@@ -1,0 +1,951 @@
+//! The autodiff tape.
+
+use apollo_tensor::Matrix;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// Recorded operation, including any activation caches needed by backward.
+enum Op {
+    Leaf,
+    /// `a · b`
+    MatMul(NodeId, NodeId),
+    /// `a + b` (same shape)
+    Add(NodeId, NodeId),
+    /// `a ⊙ b` (same shape)
+    Mul(NodeId, NodeId),
+    /// `alpha · a`
+    Scale(NodeId, f32),
+    /// `silu(a) = a · sigmoid(a)`
+    Silu(NodeId),
+    /// Row-wise RMS normalization with a learned per-column gain.
+    RmsNorm {
+        x: NodeId,
+        gain: NodeId,
+        /// Cached `1 / rms` per row.
+        inv_rms: Vec<f32>,
+    },
+    /// Rotary position embedding applied per head.
+    Rope {
+        x: NodeId,
+        seq: usize,
+        heads: usize,
+        theta_base: f32,
+    },
+    /// Fused causal multi-head self-attention.
+    CausalAttention {
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        batch: usize,
+        seq: usize,
+        heads: usize,
+        /// Cached softmax probabilities, one `seq × seq` matrix per
+        /// `(batch, head)` pair.
+        probs: Vec<Matrix>,
+    },
+    /// Row gather: `out[i] = table[ids[i]]` (embedding lookup, last-token
+    /// selection).
+    Gather { table: NodeId, ids: Vec<u32> },
+    /// Mean softmax cross-entropy over rows of `logits`.
+    CrossEntropy {
+        logits: NodeId,
+        targets: Vec<u32>,
+        /// Cached softmax probabilities.
+        probs: Matrix,
+    },
+    /// Sum of all elements (scalar output).
+    Sum(NodeId),
+}
+
+/// A define-by-run autodiff tape.
+///
+/// Build the forward computation with the op methods, then call
+/// [`Graph::backward`] once on a scalar output; gradients are then available
+/// through [`Graph::grad`].
+pub struct Graph {
+    vals: Vec<Matrix>,
+    ops: Vec<Op>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph {
+            vals: Vec::new(),
+            ops: Vec::new(),
+            grads: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.vals.push(value);
+        self.ops.push(op);
+        self.grads.push(None);
+        NodeId(self.vals.len() - 1)
+    }
+
+    /// Registers a non-trainable input (gradient is still computed but
+    /// usually ignored).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Registers a trainable parameter leaf.
+    ///
+    /// Identical to [`Graph::input`]; the distinction is documentation for
+    /// the caller, which keeps the returned id to fetch the gradient.
+    pub fn param(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.vals[id.0]
+    }
+
+    /// The gradient of a node after [`Graph::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if backward has not reached this node (e.g. it does not
+    /// influence the loss).
+    pub fn grad(&self, id: NodeId) -> &Matrix {
+        self.grads[id.0]
+            .as_ref()
+            .expect("grad: node has no gradient; did you call backward()?")
+    }
+
+    /// The gradient if one was produced.
+    pub fn try_grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.grads[id.0].as_ref()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    // ----- ops ---------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.vals[a.0].matmul(&self.vals[b.0]);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum of two same-shape nodes.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.vals[a.0].add(&self.vals[b.0]);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise product of two same-shape nodes.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.vals[a.0].hadamard(&self.vals[b.0]);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: NodeId, alpha: f32) -> NodeId {
+        let v = self.vals[a.0].scale(alpha);
+        self.push(v, Op::Scale(a, alpha))
+    }
+
+    /// SiLU activation `x · σ(x)` (the LLaMA MLP nonlinearity).
+    pub fn silu(&mut self, a: NodeId) -> NodeId {
+        let v = self.vals[a.0].map(|x| x * sigmoid(x));
+        self.push(v, Op::Silu(a))
+    }
+
+    /// Row-wise RMS normalization with learned gain.
+    ///
+    /// `gain` must be `1 × cols`. `y[i,j] = x[i,j] / rms(x[i,:]) · gain[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not a `1 × cols` row vector.
+    pub fn rmsnorm(&mut self, x: NodeId, gain: NodeId, eps: f32) -> NodeId {
+        let xm = &self.vals[x.0];
+        let gm = &self.vals[gain.0];
+        assert_eq!(
+            gm.shape(),
+            (1, xm.cols()),
+            "rmsnorm: gain must be 1 x cols"
+        );
+        let n = xm.cols() as f32;
+        let mut inv_rms = Vec::with_capacity(xm.rows());
+        let mut y = Matrix::zeros(xm.rows(), xm.cols());
+        for r in 0..xm.rows() {
+            let row = xm.row(r);
+            let ms = row.iter().map(|&v| v * v).sum::<f32>() / n;
+            let inv = 1.0 / (ms + eps).sqrt();
+            inv_rms.push(inv);
+            let out = y.row_mut(r);
+            for (j, (&v, &g)) in row.iter().zip(gm.row(0)).enumerate() {
+                out[j] = v * inv * g;
+            }
+        }
+        self.push(y, Op::RmsNorm { x, gain, inv_rms })
+    }
+
+    /// Applies rotary position embeddings per head.
+    ///
+    /// `x` is `(batch·seq) × (heads·head_dim)`; `head_dim` must be even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn rope(&mut self, x: NodeId, seq: usize, heads: usize, theta_base: f32) -> NodeId {
+        let xm = &self.vals[x.0];
+        assert_eq!(xm.rows() % seq, 0, "rope: rows not divisible by seq");
+        assert_eq!(xm.cols() % heads, 0, "rope: cols not divisible by heads");
+        let hd = xm.cols() / heads;
+        assert_eq!(hd % 2, 0, "rope: head_dim must be even");
+        let mut y = xm.clone();
+        rope_apply(&mut y, seq, heads, theta_base, false);
+        self.push(
+            y,
+            Op::Rope {
+                x,
+                seq,
+                heads,
+                theta_base,
+            },
+        )
+    }
+
+    /// Fused causal multi-head self-attention.
+    ///
+    /// `q`, `k`, `v` are `(batch·seq) × (heads·head_dim)`. Returns the
+    /// attention output in the same layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree or the geometry does not divide evenly.
+    pub fn causal_attention(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        batch: usize,
+        seq: usize,
+        heads: usize,
+    ) -> NodeId {
+        let (qm, km, vm) = (&self.vals[q.0], &self.vals[k.0], &self.vals[v.0]);
+        assert_eq!(qm.shape(), km.shape(), "attention: q/k shape mismatch");
+        assert_eq!(qm.shape(), vm.shape(), "attention: q/v shape mismatch");
+        assert_eq!(qm.rows(), batch * seq, "attention: rows != batch*seq");
+        assert_eq!(qm.cols() % heads, 0, "attention: cols not divisible by heads");
+        let hd = qm.cols() / heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let mut out = Matrix::zeros(qm.rows(), qm.cols());
+        let mut probs = Vec::with_capacity(batch * heads);
+        for b in 0..batch {
+            for h in 0..heads {
+                let qh = slice_head(qm, b, seq, h, hd);
+                let kh = slice_head(km, b, seq, h, hd);
+                let vh = slice_head(vm, b, seq, h, hd);
+                // S = Q·Kᵀ · scale with causal mask, row-softmaxed.
+                let mut s = qh.matmul_transb(&kh);
+                s.scale_assign(scale);
+                let mut p = Matrix::zeros(seq, seq);
+                for i in 0..seq {
+                    let srow = s.row(i);
+                    let maxv = srow[..=i].iter().cloned().fold(f32::MIN, f32::max);
+                    let mut denom = 0.0;
+                    let prow = p.row_mut(i);
+                    for j in 0..=i {
+                        let e = (srow[j] - maxv).exp();
+                        prow[j] = e;
+                        denom += e;
+                    }
+                    for pj in prow[..=i].iter_mut() {
+                        *pj /= denom;
+                    }
+                }
+                let oh = p.matmul(&vh);
+                write_head(&mut out, &oh, b, seq, h, hd);
+                probs.push(p);
+            }
+        }
+        self.push(
+            out,
+            Op::CausalAttention {
+                q,
+                k,
+                v,
+                batch,
+                seq,
+                heads,
+                probs,
+            },
+        )
+    }
+
+    /// Row gather: `out[i, :] = table[ids[i], :]`.
+    ///
+    /// Serves as embedding lookup and as last-token row selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn gather(&mut self, table: NodeId, ids: &[u32]) -> NodeId {
+        let tm = &self.vals[table.0];
+        let mut out = Matrix::zeros(ids.len(), tm.cols());
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(
+                (id as usize) < tm.rows(),
+                "gather: id {id} out of range for {} rows",
+                tm.rows()
+            );
+            out.row_mut(r).copy_from_slice(tm.row(id as usize));
+        }
+        self.push(
+            out,
+            Op::Gather {
+                table,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Mean softmax cross-entropy of `logits` rows against integer targets.
+    ///
+    /// Returns a `1 × 1` scalar node holding the mean negative
+    /// log-likelihood in nats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != logits.rows()` or a target is out of range.
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: &[u32]) -> NodeId {
+        let lm = &self.vals[logits.0];
+        assert_eq!(
+            targets.len(),
+            lm.rows(),
+            "cross_entropy: one target per row required"
+        );
+        let mut probs = Matrix::zeros(lm.rows(), lm.cols());
+        let mut loss = 0.0f64;
+        for r in 0..lm.rows() {
+            let row = lm.row(r);
+            let t = targets[r] as usize;
+            assert!(t < lm.cols(), "cross_entropy: target {t} out of range");
+            let maxv = row.iter().cloned().fold(f32::MIN, f32::max);
+            let mut denom = 0.0f32;
+            let prow = probs.row_mut(r);
+            for (j, &x) in row.iter().enumerate() {
+                let e = (x - maxv).exp();
+                prow[j] = e;
+                denom += e;
+            }
+            for pj in prow.iter_mut() {
+                *pj /= denom;
+            }
+            loss += -(prow[t].max(1e-30).ln()) as f64;
+        }
+        let mean = (loss / lm.rows() as f64) as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![mean]),
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
+        )
+    }
+
+    /// Sum of all elements, as a `1 × 1` node.
+    pub fn sum(&mut self, a: NodeId) -> NodeId {
+        let v = Matrix::from_vec(1, 1, vec![self.vals[a.0].sum()]);
+        self.push(v, Op::Sum(a))
+    }
+
+    // ----- backward ----------------------------------------------------------
+
+    fn grad_add(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
+        match &mut grads[id.0] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Runs reverse-mode accumulation from `output`, which must be scalar
+    /// (`1 × 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not scalar.
+    pub fn backward(&mut self, output: NodeId) {
+        assert_eq!(
+            self.vals[output.0].shape(),
+            (1, 1),
+            "backward: output must be a 1x1 scalar"
+        );
+        self.grads[output.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for idx in (0..self.ops.len()).rev() {
+            let Some(gout) = self.grads[idx].take() else {
+                continue;
+            };
+            // Reattach so callers can inspect intermediate grads too.
+            self.grads[idx] = Some(gout.clone());
+            match &self.ops[idx] {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let da = gout.matmul_transb(&self.vals[b.0]);
+                    let db = self.vals[a.0].matmul_transa(&gout);
+                    Self::grad_add(&mut self.grads, *a, da);
+                    Self::grad_add(&mut self.grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    Self::grad_add(&mut self.grads, *a, gout.clone());
+                    Self::grad_add(&mut self.grads, *b, gout);
+                }
+                Op::Mul(a, b) => {
+                    let da = gout.hadamard(&self.vals[b.0]);
+                    let db = gout.hadamard(&self.vals[a.0]);
+                    Self::grad_add(&mut self.grads, *a, da);
+                    Self::grad_add(&mut self.grads, *b, db);
+                }
+                Op::Scale(a, alpha) => {
+                    Self::grad_add(&mut self.grads, *a, gout.scale(*alpha));
+                }
+                Op::Silu(a) => {
+                    let da = self.vals[a.0].zip_map(&gout, |x, g| {
+                        let s = sigmoid(x);
+                        g * s * (1.0 + x * (1.0 - s))
+                    });
+                    Self::grad_add(&mut self.grads, *a, da);
+                }
+                Op::RmsNorm { x, gain, inv_rms } => {
+                    let xm = &self.vals[x.0];
+                    let gm = &self.vals[gain.0];
+                    let n = xm.cols() as f32;
+                    let mut dx = Matrix::zeros(xm.rows(), xm.cols());
+                    let mut dg = Matrix::zeros(1, xm.cols());
+                    for r in 0..xm.rows() {
+                        let inv = inv_rms[r];
+                        let xrow = xm.row(r);
+                        let grow = gout.row(r);
+                        // t = Σ_j dy_j · g_j · x_j
+                        let mut t = 0.0f32;
+                        for j in 0..xm.cols() {
+                            t += grow[j] * gm.get(0, j) * xrow[j];
+                        }
+                        let dxrow = dx.row_mut(r);
+                        for j in 0..xm.cols() {
+                            dxrow[j] = grow[j] * gm.get(0, j) * inv
+                                - inv * inv * inv / n * xrow[j] * t;
+                        }
+                        for j in 0..xm.cols() {
+                            let cur = dg.get(0, j);
+                            dg.set(0, j, cur + grow[j] * xrow[j] * inv);
+                        }
+                    }
+                    Self::grad_add(&mut self.grads, *x, dx);
+                    Self::grad_add(&mut self.grads, *gain, dg);
+                }
+                Op::Rope {
+                    x,
+                    seq,
+                    heads,
+                    theta_base,
+                } => {
+                    // Inverse rotation on the upstream gradient.
+                    let mut dx = gout.clone();
+                    rope_apply(&mut dx, *seq, *heads, *theta_base, true);
+                    Self::grad_add(&mut self.grads, *x, dx);
+                }
+                Op::CausalAttention {
+                    q,
+                    k,
+                    v,
+                    batch,
+                    seq,
+                    heads,
+                    probs,
+                } => {
+                    let (qm, km, vm) = (&self.vals[q.0], &self.vals[k.0], &self.vals[v.0]);
+                    let hd = qm.cols() / heads;
+                    let scale = 1.0 / (hd as f32).sqrt();
+                    let mut dq = Matrix::zeros(qm.rows(), qm.cols());
+                    let mut dk = Matrix::zeros(qm.rows(), qm.cols());
+                    let mut dv = Matrix::zeros(qm.rows(), qm.cols());
+                    for b in 0..*batch {
+                        for h in 0..*heads {
+                            let p = &probs[b * heads + h];
+                            let qh = slice_head(qm, b, *seq, h, hd);
+                            let kh = slice_head(km, b, *seq, h, hd);
+                            let vh = slice_head(vm, b, *seq, h, hd);
+                            let doh = slice_head(&gout, b, *seq, h, hd);
+                            // dV = Pᵀ · dO
+                            let dvh = p.matmul_transa(&doh);
+                            // dP = dO · Vᵀ
+                            let dp = doh.matmul_transb(&vh);
+                            // dS_ij = P_ij (dP_ij − Σ_k dP_ik P_ik)
+                            let mut ds = Matrix::zeros(*seq, *seq);
+                            for i in 0..*seq {
+                                let prow = p.row(i);
+                                let dprow = dp.row(i);
+                                let dot: f32 =
+                                    prow.iter().zip(dprow).map(|(&pv, &dpv)| pv * dpv).sum();
+                                let dsrow = ds.row_mut(i);
+                                for j in 0..=i {
+                                    dsrow[j] = prow[j] * (dprow[j] - dot);
+                                }
+                            }
+                            // dQ = dS·K · scale ; dK = dSᵀ·Q · scale
+                            let mut dqh = ds.matmul(&kh);
+                            dqh.scale_assign(scale);
+                            let mut dkh = ds.matmul_transa(&qh);
+                            dkh.scale_assign(scale);
+                            write_head(&mut dq, &dqh, b, *seq, h, hd);
+                            write_head(&mut dk, &dkh, b, *seq, h, hd);
+                            write_head(&mut dv, &dvh, b, *seq, h, hd);
+                        }
+                    }
+                    Self::grad_add(&mut self.grads, *q, dq);
+                    Self::grad_add(&mut self.grads, *k, dk);
+                    Self::grad_add(&mut self.grads, *v, dv);
+                }
+                Op::Gather { table, ids } => {
+                    let tm = &self.vals[table.0];
+                    let mut dt = Matrix::zeros(tm.rows(), tm.cols());
+                    for (r, &id) in ids.iter().enumerate() {
+                        let src = gout.row(r);
+                        let dst = dt.row_mut(id as usize);
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    Self::grad_add(&mut self.grads, *table, dt);
+                }
+                Op::CrossEntropy {
+                    logits,
+                    targets,
+                    probs,
+                } => {
+                    let upstream = gout.get(0, 0);
+                    let n = probs.rows() as f32;
+                    let mut dl = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        let cur = dl.get(r, t as usize);
+                        dl.set(r, t as usize, cur - 1.0);
+                    }
+                    dl.scale_assign(upstream / n);
+                    Self::grad_add(&mut self.grads, *logits, dl);
+                }
+                Op::Sum(a) => {
+                    let s = gout.get(0, 0);
+                    let da = Matrix::full(self.vals[a.0].rows(), self.vals[a.0].cols(), s);
+                    Self::grad_add(&mut self.grads, *a, da);
+                }
+            }
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Extracts head `h` of batch element `b` as a `seq × head_dim` matrix.
+fn slice_head(x: &Matrix, b: usize, seq: usize, h: usize, hd: usize) -> Matrix {
+    let mut out = Matrix::zeros(seq, hd);
+    for t in 0..seq {
+        let row = x.row(b * seq + t);
+        out.row_mut(t).copy_from_slice(&row[h * hd..(h + 1) * hd]);
+    }
+    out
+}
+
+/// Writes head `h` of batch element `b` back into the flat layout.
+fn write_head(x: &mut Matrix, head: &Matrix, b: usize, seq: usize, h: usize, hd: usize) {
+    for t in 0..seq {
+        let src = head.row(t);
+        let dst = x.row_mut(b * seq + t);
+        dst[h * hd..(h + 1) * hd].copy_from_slice(src);
+    }
+}
+
+/// Applies (or inverts) the rotary embedding in place.
+fn rope_apply(x: &mut Matrix, seq: usize, heads: usize, theta_base: f32, inverse: bool) {
+    let hd = x.cols() / heads;
+    let half = hd / 2;
+    let sign = if inverse { -1.0f32 } else { 1.0 };
+    for r in 0..x.rows() {
+        let pos = (r % seq) as f32;
+        let row = x.row_mut(r);
+        for h in 0..heads {
+            let base = h * hd;
+            for i in 0..half {
+                let theta = pos * theta_base.powf(-2.0 * i as f32 / hd as f32);
+                let (sin, cos) = (sign * theta).sin_cos();
+                let a = row[base + 2 * i];
+                let b = row[base + 2 * i + 1];
+                row[base + 2 * i] = a * cos - b * sin;
+                row[base + 2 * i + 1] = a * sin + b * cos;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_tensor::Rng;
+
+    /// Central finite-difference gradient of `f` w.r.t. `param`.
+    fn numeric_grad(
+        mut f: impl FnMut(&Matrix) -> f32,
+        param: &Matrix,
+        eps: f32,
+    ) -> Matrix {
+        let mut g = Matrix::zeros(param.rows(), param.cols());
+        for r in 0..param.rows() {
+            for c in 0..param.cols() {
+                let mut p = param.clone();
+                p.set(r, c, param.get(r, c) + eps);
+                let hi = f(&p);
+                p.set(r, c, param.get(r, c) - eps);
+                let lo = f(&p);
+                g.set(r, c, (hi - lo) / (2.0 * eps));
+            }
+        }
+        g
+    }
+
+    fn assert_grad_close(analytic: &Matrix, numeric: &Matrix, tol: f32) {
+        assert_eq!(analytic.shape(), numeric.shape());
+        for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+            let scale = 1.0 + a.abs().max(n.abs());
+            assert!((a - n).abs() / scale < tol, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn doc_example_matmul_sum() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let w = g.param(Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let y = g.matmul(x, w);
+        assert_eq!(g.value(y).get(0, 0), 11.0);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(w).as_slice(), &[1.0, 2.0]);
+        assert_eq!(g.grad(x).as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let mut rng = Rng::seed_from_u64(31);
+        let a0 = Matrix::randn(3, 4, &mut rng);
+        let b0 = Matrix::randn(4, 2, &mut rng);
+        let f = |am: &Matrix, bm: &Matrix| {
+            let mut g = Graph::new();
+            let a = g.input(am.clone());
+            let b = g.input(bm.clone());
+            let y = g.matmul(a, b);
+            let s = g.sum(y);
+            g.value(s).get(0, 0)
+        };
+        let mut g = Graph::new();
+        let a = g.param(a0.clone());
+        let b = g.param(b0.clone());
+        let y = g.matmul(a, b);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_grad_close(g.grad(a), &numeric_grad(|p| f(p, &b0), &a0, 1e-2), 2e-2);
+        assert_grad_close(g.grad(b), &numeric_grad(|p| f(&a0, p), &b0, 1e-2), 2e-2);
+    }
+
+    #[test]
+    fn silu_gradcheck() {
+        let mut rng = Rng::seed_from_u64(32);
+        let x0 = Matrix::randn(2, 5, &mut rng);
+        let f = |xm: &Matrix| {
+            let mut g = Graph::new();
+            let x = g.input(xm.clone());
+            let y = g.silu(x);
+            let s = g.sum(y);
+            g.value(s).get(0, 0)
+        };
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let y = g.silu(x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_grad_close(g.grad(x), &numeric_grad(f, &x0, 1e-2), 2e-2);
+    }
+
+    #[test]
+    fn mul_and_add_gradcheck() {
+        let mut rng = Rng::seed_from_u64(33);
+        let a0 = Matrix::randn(3, 3, &mut rng);
+        let b0 = Matrix::randn(3, 3, &mut rng);
+        let run = |am: &Matrix, bm: &Matrix| -> (f32, Option<(Matrix, Matrix)>) {
+            let mut g = Graph::new();
+            let a = g.input(am.clone());
+            let b = g.input(bm.clone());
+            let p = g.mul(a, b);
+            let q = g.add(p, a);
+            let s = g.sum(q);
+            let v = g.value(s).get(0, 0);
+            g.backward(s);
+            (v, Some((g.grad(a).clone(), g.grad(b).clone())))
+        };
+        let (_, grads) = run(&a0, &b0);
+        let (ga, gb) = grads.unwrap();
+        assert_grad_close(&ga, &numeric_grad(|p| run(p, &b0).0, &a0, 1e-2), 2e-2);
+        assert_grad_close(&gb, &numeric_grad(|p| run(&a0, p).0, &b0, 1e-2), 2e-2);
+    }
+
+    #[test]
+    fn rmsnorm_gradcheck() {
+        let mut rng = Rng::seed_from_u64(34);
+        let x0 = Matrix::randn(3, 6, &mut rng);
+        let g0 = Matrix::rand_uniform(1, 6, 0.5, 1.5, &mut rng);
+        let f = |xm: &Matrix, gm: &Matrix| {
+            let mut g = Graph::new();
+            let x = g.input(xm.clone());
+            let gn = g.input(gm.clone());
+            let y = g.rmsnorm(x, gn, 1e-5);
+            // Weighted sum so the gradient is non-uniform.
+            let w = g.input(Matrix::from_vec(
+                6,
+                1,
+                (0..6).map(|i| (i as f32 + 1.0) * 0.3).collect(),
+            ));
+            let z = g.matmul(y, w);
+            let s = g.sum(z);
+            g.value(s).get(0, 0)
+        };
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let gn = g.param(g0.clone());
+        let y = g.rmsnorm(x, gn, 1e-5);
+        let w = g.input(Matrix::from_vec(
+            6,
+            1,
+            (0..6).map(|i| (i as f32 + 1.0) * 0.3).collect(),
+        ));
+        let z = g.matmul(y, w);
+        let s = g.sum(z);
+        g.backward(s);
+        assert_grad_close(g.grad(x), &numeric_grad(|p| f(p, &g0), &x0, 1e-2), 3e-2);
+        assert_grad_close(g.grad(gn), &numeric_grad(|p| f(&x0, p), &g0, 1e-2), 3e-2);
+    }
+
+    #[test]
+    fn rope_is_orthogonal_and_invertible() {
+        let mut rng = Rng::seed_from_u64(35);
+        let x = Matrix::randn(8, 8, &mut rng); // seq 4, batch 2, heads 2, hd 4
+        let mut g = Graph::new();
+        let xid = g.input(x.clone());
+        let y = g.rope(xid, 4, 2, 10_000.0);
+        // Rotation preserves per-row norms.
+        for (a, b) in x.row_norms().iter().zip(g.value(y).row_norms()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        // Inverse rotation restores the input.
+        let mut z = g.value(y).clone();
+        rope_apply(&mut z, 4, 2, 10_000.0, true);
+        for (a, b) in x.as_slice().iter().zip(z.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rope_gradcheck() {
+        let mut rng = Rng::seed_from_u64(36);
+        let x0 = Matrix::randn(4, 4, &mut rng); // batch 1 seq 4, 1 head hd 4
+        let f = |xm: &Matrix| {
+            let mut g = Graph::new();
+            let x = g.input(xm.clone());
+            let y = g.rope(x, 4, 1, 100.0);
+            let y2 = g.mul(y, y);
+            let s = g.sum(y2);
+            g.value(s).get(0, 0)
+        };
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let y = g.rope(x, 4, 1, 100.0);
+        let y2 = g.mul(y, y);
+        let s = g.sum(y2);
+        g.backward(s);
+        assert_grad_close(g.grad(x), &numeric_grad(f, &x0, 1e-2), 2e-2);
+    }
+
+    #[test]
+    fn attention_gradcheck() {
+        let mut rng = Rng::seed_from_u64(37);
+        let (batch, seq, heads, hd) = (2, 3, 2, 4);
+        let rows = batch * seq;
+        let cols = heads * hd;
+        let q0 = Matrix::randn(rows, cols, &mut rng);
+        let k0 = Matrix::randn(rows, cols, &mut rng);
+        let v0 = Matrix::randn(rows, cols, &mut rng);
+        let weights = Matrix::randn(cols, 1, &mut rng);
+        let f = |qm: &Matrix, km: &Matrix, vm: &Matrix| {
+            let mut g = Graph::new();
+            let q = g.input(qm.clone());
+            let k = g.input(km.clone());
+            let v = g.input(vm.clone());
+            let o = g.causal_attention(q, k, v, batch, seq, heads);
+            let w = g.input(weights.clone());
+            let z = g.matmul(o, w);
+            let s = g.sum(z);
+            g.value(s).get(0, 0)
+        };
+        let mut g = Graph::new();
+        let q = g.param(q0.clone());
+        let k = g.param(k0.clone());
+        let v = g.param(v0.clone());
+        let o = g.causal_attention(q, k, v, batch, seq, heads);
+        let w = g.input(weights.clone());
+        let z = g.matmul(o, w);
+        let s = g.sum(z);
+        g.backward(s);
+        assert_grad_close(g.grad(q), &numeric_grad(|p| f(p, &k0, &v0), &q0, 1e-2), 3e-2);
+        assert_grad_close(g.grad(k), &numeric_grad(|p| f(&q0, p, &v0), &k0, 1e-2), 3e-2);
+        assert_grad_close(g.grad(v), &numeric_grad(|p| f(&q0, &k0, p), &v0, 1e-2), 3e-2);
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        // Changing a *future* key/value must not change earlier outputs.
+        let mut rng = Rng::seed_from_u64(38);
+        let (batch, seq, heads, hd) = (1, 4, 1, 4);
+        let q0 = Matrix::randn(seq, hd, &mut rng);
+        let k0 = Matrix::randn(seq, hd, &mut rng);
+        let v0 = Matrix::randn(seq, hd, &mut rng);
+        let out = |km: &Matrix, vm: &Matrix| {
+            let mut g = Graph::new();
+            let q = g.input(q0.clone());
+            let k = g.input(km.clone());
+            let v = g.input(vm.clone());
+            let o = g.causal_attention(q, k, v, batch, seq, heads);
+            g.value(o).clone()
+        };
+        let base = out(&k0, &v0);
+        let mut k1 = k0.clone();
+        k1.set(3, 0, 99.0);
+        let mut v1 = v0.clone();
+        v1.set(3, 2, -99.0);
+        let perturbed = out(&k1, &v1);
+        for t in 0..3 {
+            assert_eq!(base.row(t), perturbed.row(t), "row {t} leaked future info");
+        }
+        assert_ne!(base.row(3), perturbed.row(3));
+    }
+
+    #[test]
+    fn gather_gradcheck() {
+        let mut rng = Rng::seed_from_u64(39);
+        let t0 = Matrix::randn(5, 3, &mut rng);
+        let ids = [0u32, 2, 2, 4];
+        let f = |tm: &Matrix| {
+            let mut g = Graph::new();
+            let t = g.input(tm.clone());
+            let y = g.gather(t, &ids);
+            let y2 = g.mul(y, y);
+            let s = g.sum(y2);
+            g.value(s).get(0, 0)
+        };
+        let mut g = Graph::new();
+        let t = g.param(t0.clone());
+        let y = g.gather(t, &ids);
+        let y2 = g.mul(y, y);
+        let s = g.sum(y2);
+        g.backward(s);
+        assert_grad_close(g.grad(t), &numeric_grad(f, &t0, 1e-2), 2e-2);
+    }
+
+    #[test]
+    fn gather_duplicate_ids_accumulate() {
+        let t0 = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let mut g = Graph::new();
+        let t = g.param(t0);
+        let y = g.gather(t, &[1, 1, 1]);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(t).as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual_and_gradchecks() {
+        let logits0 = Matrix::from_rows(&[&[2.0, 0.0, -1.0], &[0.5, 0.5, 0.5]]);
+        let targets = [0u32, 2];
+        let f = |lm: &Matrix| {
+            let mut g = Graph::new();
+            let l = g.input(lm.clone());
+            let s = g.cross_entropy(l, &targets);
+            g.value(s).get(0, 0)
+        };
+        // Manual check of the forward value.
+        let p0 = 2.0f32.exp() / (2.0f32.exp() + 1.0 + (-1.0f32).exp());
+        let expected = (-(p0.ln()) + -(1.0f32 / 3.0).ln()) / 2.0;
+        assert!((f(&logits0) - expected).abs() < 1e-5);
+
+        let mut g = Graph::new();
+        let l = g.param(logits0.clone());
+        let s = g.cross_entropy(l, &targets);
+        g.backward(s);
+        assert_grad_close(g.grad(l), &numeric_grad(f, &logits0, 1e-3), 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits_loss_is_log_vocab() {
+        let v = 16;
+        let logits = Matrix::zeros(4, v);
+        let mut g = Graph::new();
+        let l = g.input(logits);
+        let s = g.cross_entropy(l, &[0, 5, 9, 15]);
+        assert!((g.value(s).get(0, 0) - (v as f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reused_node() {
+        // y = x + x ⇒ dy/dx = 2.
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[5.0]]));
+        let y = g.add(x, x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).get(0, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward: output must be a 1x1 scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::zeros(2, 2));
+        g.backward(x);
+    }
+
+    #[test]
+    fn try_grad_is_none_for_unreached_nodes() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[1.0]]));
+        let unused = g.param(Matrix::from_rows(&[&[1.0]]));
+        let s = g.sum(x);
+        g.backward(s);
+        assert!(g.try_grad(unused).is_none());
+        assert!(g.try_grad(x).is_some());
+    }
+}

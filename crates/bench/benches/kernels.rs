@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: the tensor kernels underlying everything
+//! (matmul variants, channel norms, INT8 round-trips).
+
+use apollo_quant::QuantizedMatrix;
+use apollo_tensor::{Matrix, Rng};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(4);
+    let a = Matrix::randn(256, 256, &mut rng);
+    let b = Matrix::randn(256, 256, &mut rng);
+
+    let mut group = c.benchmark_group("kernels_256");
+    group.bench_function("matmul", |bch| bch.iter(|| a.matmul(&b)));
+    group.bench_function("matmul_transb", |bch| bch.iter(|| a.matmul_transb(&b)));
+    group.bench_function("matmul_transa", |bch| bch.iter(|| a.matmul_transa(&b)));
+    group.bench_function("col_norms", |bch| bch.iter(|| a.col_norms()));
+    group.bench_function("int8_roundtrip_g128", |bch| {
+        bch.iter(|| QuantizedMatrix::quantize(&a, 128).dequantize())
+    });
+    group.finish();
+}
+
+/// Short sampling profile: the reproduction sandbox has a single CPU
+/// core, so favour wall-clock over statistical depth.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_kernels
+}
+criterion_main!(benches);

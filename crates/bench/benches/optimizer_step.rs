@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark: per-step cost of each optimizer on one
+//! representative weight tensor. Shows APOLLO's step is GaLore-class cheap
+//! on non-refresh steps while AdamW pays full-state element-wise work.
+
+use apollo_optim::{AdamW, Apollo, Fira, GaLore, Optimizer, ParamUpdate, Sgd};
+use apollo_tensor::{Matrix, Rng};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_optimizers(c: &mut Criterion) {
+    let (m, n, r) = (128, 512, 32);
+    let mut rng = Rng::seed_from_u64(1);
+    let grad = Matrix::randn(m, n, &mut rng);
+    let mut group = c.benchmark_group("optimizer_step_128x512");
+    let mut run = |name: &str, mut opt: Box<dyn Optimizer>| {
+        let mut w = Matrix::zeros(m, n);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut params = [ParamUpdate {
+                    name: "w",
+                    value: &mut w,
+                    grad: &grad,
+                    projectable: true,
+                }];
+                opt.step(&mut params, 1e-3);
+            })
+        });
+    };
+    run("sgd", Box::new(Sgd::new()));
+    run("adamw", Box::new(AdamW::new()));
+    run("adamw_8bit", Box::new(AdamW::adam8bit(128)));
+    run("apollo", Box::new(Apollo::new(r, 200)));
+    run("apollo_mini", Box::new(Apollo::mini(200)));
+    // Refresh every step: the worst case GaLore pays for SVD.
+    run("galore_svd_every_step", Box::new(GaLore::new(r, 1)));
+    run("galore_amortized", Box::new(GaLore::new(r, 200)));
+    run("fira_amortized", Box::new(Fira::new(r, 200)));
+    group.finish();
+}
+
+/// Short sampling profile: the reproduction sandbox has a single CPU
+/// core, so favour wall-clock over statistical depth.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_optimizers
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmark: SVD vs random projection cost (the heart of
+//! the paper's throughput argument, Fig. 9 / §A.3).
+
+use apollo_optim::{ProjKind, Projector};
+use apollo_tensor::linalg::{randomized_svd, svd_jacobi};
+use apollo_tensor::{Matrix, Rng};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_projection(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(2);
+    let g = Matrix::randn(128, 512, &mut rng);
+    let r = 32;
+
+    let mut group = c.benchmark_group("projection_128x512_r32");
+    group.bench_function("random_project", |b| {
+        let mut p = Projector::new(ProjKind::Random, r, 200, 1);
+        p.begin_step(&g);
+        b.iter(|| p.project(&g))
+    });
+    group.bench_function("random_refresh_and_project", |b| {
+        // Refresh every step: still just a reseed + regeneration.
+        let mut p = Projector::new(ProjKind::Random, r, 1, 1);
+        b.iter(|| {
+            p.begin_step(&g);
+            p.project(&g)
+        })
+    });
+    group.bench_function("svd_refresh_jacobi", |b| b.iter(|| svd_jacobi(&g)));
+    group.bench_function("svd_refresh_randomized", |b| {
+        let mut rng2 = Rng::seed_from_u64(3);
+        b.iter(|| randomized_svd(&g, r, 8, 1, &mut rng2))
+    });
+    group.finish();
+}
+
+/// Short sampling profile: the reproduction sandbox has a single CPU
+/// core, so favour wall-clock over statistical depth.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_projection
+}
+criterion_main!(benches);

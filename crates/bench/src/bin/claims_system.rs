@@ -1,0 +1,45 @@
+//! §5.3 headline claims: LLaMA-13B with naive DDP on one A100-80G
+//! (APOLLO-Mini), and LLaMA-7B under 12 GB (Q-APOLLO-Mini), each with its
+//! AdamW counterfactual.
+
+use apollo_bench::{print_table, write_json};
+use apollo_sysmodel::claims;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    claim: String,
+    required_gib: f64,
+    capacity_gib: f64,
+    holds: bool,
+}
+
+fn main() {
+    let results = claims::all_claims();
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|c| Row {
+            claim: c.claim.clone(),
+            required_gib: c.required_gib,
+            capacity_gib: c.capacity_gib,
+            holds: c.holds,
+        })
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.claim.clone(),
+                format!("{:.1}", r.required_gib),
+                format!("{:.1}", r.capacity_gib),
+                if r.holds { "HOLDS".into() } else { "fails".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        "§5.3 system claims",
+        &["Claim", "Required (GiB)", "Capacity (GiB)", "Verdict"],
+        &table,
+    );
+    write_json("claims_system", &rows);
+}

@@ -1,0 +1,109 @@
+//! Fig. 2: LLaMA-7B validation perplexity against *wall-clock* time under
+//! a fixed training-time budget.
+//!
+//! The proxy runs give ppl-vs-step curves; the analytic throughput model
+//! (Fig. 1 right) converts each method's steps to hours on 8×A100-80G. The
+//! reproduction target is the crossover story: AdamW is so much slower per
+//! token that APOLLO/Mini finish far more optimization within the budget,
+//! and APOLLO overtakes GaLore midway.
+
+use apollo_bench::{pretrain_run, print_table, scaled, write_json, Method};
+use apollo_nn::ModelConfig;
+use apollo_optim::memory::MethodSpec;
+use apollo_sysmodel::{Gpu, MemoryOptions, ThroughputModel};
+use apollo_train::TrainConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    method: String,
+    /// Modeled optimizer steps per hour at 7B on 8×A100 (total batch 512
+    /// sequences per step, micro-batch from the memory search).
+    steps_per_hour: f64,
+    /// `(modeled hours, proxy val ppl)` points.
+    curve: Vec<(f64, f32)>,
+}
+
+fn main() {
+    let cfg = ModelConfig::tiny_7b();
+    let steps = scaled(100);
+    let eval_every = (steps / 8).max(1);
+
+    // Modeled step rate: a fixed 512-sequence global batch per optimizer
+    // step, assembled from memory-bound micro-batches (as in §5.1).
+    let mut thr = ThroughputModel::new(&ModelConfig::llama_7b(), Gpu::a100_80g(), 8, 256);
+    thr.svd_refresh_period = 1000;
+    let std = MemoryOptions::standard(1, 256);
+    let lw = MemoryOptions {
+        layer_wise_grad: true,
+        ..std
+    };
+    let step_rate = |spec: MethodSpec, opts: &MemoryOptions| {
+        let r = thr.report(spec, opts);
+        // seconds per 512-sequence optimizer step = micro-steps × micro time
+        let micro_steps = (512f64 / (r.micro_batch.max(1) * 8) as f64).ceil();
+        3600.0 / (micro_steps * r.step_seconds)
+    };
+    let cases = [
+        (Method::AdamW, step_rate(MethodSpec::AdamW, &std)),
+        (Method::GaLore, step_rate(MethodSpec::GaLore { rank: 1024 }, &lw)),
+        (Method::Apollo, step_rate(MethodSpec::Apollo { rank: 256 }, &lw)),
+        (Method::ApolloMini, step_rate(MethodSpec::ApolloMini, &lw)),
+    ];
+
+    let mut series = Vec::new();
+    for (m, steps_per_hour) in cases {
+        eprintln!("[fig2] {} ...", m.label());
+        let tc = TrainConfig {
+            steps,
+            lr: m.default_lr(),
+            grad_clip: m.grad_clip(),
+            eval_every,
+            eval_seqs: 32,
+            merge_every: None,
+            record_step_times: false,
+            grad_accum: 1,
+            quantize_weights: None,
+        };
+        let log = pretrain_run(&cfg, m, steps, 1, 42, Some(tc));
+        // Map proxy steps to modeled hours: the paper's 150K-step budget
+        // over our proxy budget.
+        let paper_steps_per_proxy_step = 150_000.0 / steps as f64;
+        let curve = log
+            .eval_ppls
+            .iter()
+            .map(|&(s, p)| {
+                let hours = s as f64 * paper_steps_per_proxy_step / steps_per_hour;
+                (hours, p)
+            })
+            .collect();
+        series.push(Series {
+            method: m.label().to_string(),
+            steps_per_hour,
+            curve,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let (end_h, end_ppl) = *s.curve.last().unwrap();
+            vec![
+                s.method.clone(),
+                format!("{:.0}", s.steps_per_hour),
+                format!("{:.0} h", end_h),
+                format!("{:.2}", end_ppl),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2 — modeled time-to-budget at 7B (proxy ppl, modeled hours for 150K steps)",
+        &["Method", "Steps/hour (7B model)", "Hours for full budget", "Final ppl"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: only APOLLO/Mini finish the 150K-step budget inside ~15 days; \
+         AdamW's wall-clock is ≈3x theirs; APOLLO passes GaLore mid-training."
+    );
+    write_json("fig2_llama7b", &series);
+}

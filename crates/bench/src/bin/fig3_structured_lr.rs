@@ -1,0 +1,57 @@
+//! Fig. 3: element-wise vs channel-wise learning-rate adaptation, with and
+//! without the norm-growth limiter, on the 130M proxy.
+//!
+//! Reproduction targets: (i) channel-wise matches (or slightly beats)
+//! element-wise AdamW; (ii) the limiter removes the early-training loss
+//! spikes of the structured rule.
+
+use apollo_bench::{pretrain_run, print_table, scaled, write_json, Method};
+use apollo_nn::ModelConfig;
+use apollo_train::RunLog;
+
+fn early_spike(log: &RunLog) -> f32 {
+    // Largest upward jump between consecutive loss samples in the first
+    // third of training.
+    let n = log.train_losses.len() / 3;
+    log.train_losses
+        .windows(2)
+        .take(n.max(2))
+        .map(|w| w[1].1 - w[0].1)
+        .fold(0.0f32, f32::max)
+}
+
+fn main() {
+    let cfg = ModelConfig::tiny_130m();
+    let steps = scaled(400);
+    let methods = [
+        Method::AdamWElementwise,
+        Method::AdamWChannelwise { limiter: false },
+        Method::AdamWChannelwise { limiter: true },
+    ];
+    let mut logs = Vec::new();
+    for m in methods {
+        eprintln!("[fig3] {} ...", m.label());
+        logs.push(pretrain_run(&cfg, m, steps, 4, 42, None));
+    }
+    let rows: Vec<Vec<String>> = logs
+        .iter()
+        .map(|l| {
+            vec![
+                l.optimizer.clone(),
+                format!("{:.2}", l.final_ppl),
+                format!("{:.3}", early_spike(l)),
+                format!("{:.2}", l.train_losses.last().unwrap().1),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 3 — structured LR adaptation ({}, {} steps)", cfg.name, steps),
+        &["Method", "Val ppl", "Max early loss jump", "Final train loss"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: channel-wise ≤ element-wise ppl; limiter suppresses the early spike \
+         and improves further (24.11 < 24.43 < 25.08 at paper scale)."
+    );
+    write_json("fig3_structured_lr", &logs);
+}

@@ -1,0 +1,108 @@
+//! Fig. 9: training-throughput spikes caused by periodic SVD subspace
+//! updates in GaLore-type optimizers.
+//!
+//! Two complementary reproductions:
+//! 1. the analytic model at LLaMA-1B scale (what the paper plots), and
+//! 2. *measured* per-step wall-clock on the CPU proxy, where GaLore's
+//!    Jacobi-SVD refresh produces the same spike pattern for real.
+
+use apollo_bench::{pretrain_run, print_table, scaled, write_json, Method};
+use apollo_nn::ModelConfig;
+use apollo_optim::memory::MethodSpec;
+use apollo_sysmodel::{Gpu, MemoryOptions, ThroughputModel};
+use apollo_train::TrainConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9 {
+    modeled_1b_galore_tokens_per_sec: Vec<f64>,
+    modeled_1b_apollo_tokens_per_sec: Vec<f64>,
+    measured_proxy_galore_ms: Vec<f32>,
+    measured_proxy_apollo_ms: Vec<f32>,
+}
+
+fn main() {
+    // Part 1: analytic 1B series, refresh every 200 steps as in the figure.
+    let model = ThroughputModel::new(&ModelConfig::llama_1b(), Gpu::a100_80g(), 8, 256);
+    let opts = MemoryOptions::standard(1, 256);
+    let bs = model
+        .max_micro_batch(MethodSpec::GaLore { rank: 512 }, &opts)
+        .max(1);
+    let tokens_per_step = (bs * 256 * 8) as f64;
+    let galore_series = model.step_time_series(MethodSpec::GaLore { rank: 512 }, bs, 600, 200);
+    let apollo_series = model.step_time_series(MethodSpec::Apollo { rank: 512 }, bs, 600, 200);
+    let g_thpt = galore_series.throughput(tokens_per_step);
+    let a_thpt = apollo_series.throughput(tokens_per_step);
+
+    // Part 2: measured proxy runs with per-step timing. GaLore refreshes
+    // its SVD basis every UPDATE_FREQ steps; shrink the budget so spikes
+    // appear several times. (Projector refresh period is fixed at 200, so
+    // run ≥ 2.5 windows.)
+    let steps = scaled(450).max(410);
+    let cfg = ModelConfig::tiny_1b();
+    let timing = |method: Method| {
+        let tc = TrainConfig {
+            steps,
+            lr: method.default_lr(),
+            grad_clip: method.grad_clip(),
+            record_step_times: true,
+            ..TrainConfig::quick(steps)
+        };
+        pretrain_run(&cfg, method, steps, 1, 99, Some(tc)).step_times_ms
+    };
+    let galore_ms = timing(Method::GaLore);
+    let apollo_ms = timing(Method::Apollo);
+
+    let spike = |xs: &[f32]| {
+        let max = xs.iter().cloned().fold(0.0f32, f32::max);
+        let mut sorted: Vec<f32> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        max / median
+    };
+    print_table(
+        "Fig. 9 — SVD-induced step-time spikes",
+        &["Series", "Median step", "Max step", "Spike ratio"],
+        &[
+            vec![
+                "1B model (GaLore, modeled s)".into(),
+                format!("{:.2}", galore_series.step_seconds[1]),
+                format!("{:.2}", galore_series.step_seconds[0]),
+                format!(
+                    "{:.1}x",
+                    galore_series.step_seconds[0] / galore_series.step_seconds[1]
+                ),
+            ],
+            vec![
+                "proxy-1B (GaLore, measured ms)".into(),
+                format!("{:.0}", {
+                    let mut s = galore_ms.clone();
+                    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    s[s.len() / 2]
+                }),
+                format!("{:.0}", galore_ms.iter().cloned().fold(0.0f32, f32::max)),
+                format!("{:.1}x", spike(&galore_ms)),
+            ],
+            vec![
+                "proxy-1B (APOLLO, measured ms)".into(),
+                format!("{:.0}", {
+                    let mut s = apollo_ms.clone();
+                    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    s[s.len() / 2]
+                }),
+                format!("{:.0}", apollo_ms.iter().cloned().fold(0.0f32, f32::max)),
+                format!("{:.1}x", spike(&apollo_ms)),
+            ],
+        ],
+    );
+    println!("\nPaper shape: GaLore throughput collapses every T steps; APOLLO stays flat.");
+    write_json(
+        "fig9_svd_spikes",
+        &Fig9 {
+            modeled_1b_galore_tokens_per_sec: g_thpt,
+            modeled_1b_apollo_tokens_per_sec: a_thpt,
+            measured_proxy_galore_ms: galore_ms,
+            measured_proxy_apollo_ms: apollo_ms,
+        },
+    );
+}

@@ -1,0 +1,90 @@
+//! Table 3: LLaMA-7B pre-training (proxy) — validation perplexity at four
+//! checkpoints plus the paper-geometry optimizer memory.
+
+use apollo_bench::{pretrain_run, print_table, scaled, write_json, Method};
+use apollo_nn::ModelConfig;
+use apollo_optim::memory::MethodSpec;
+use apollo_sysmodel::TrainingMemoryModel;
+use apollo_train::TrainConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    optimizer_memory_gib: f64,
+    checkpoints: Vec<(usize, f32)>,
+}
+
+/// Optimizer-state GiB on the real LLaMA-7B geometry (BF16 states, INT8
+/// where the method quantizes).
+fn optimizer_memory_7b(method: Method) -> f64 {
+    let cfg = ModelConfig::llama_7b();
+    let mem = TrainingMemoryModel::new(&cfg);
+    let (spec, bytes_per_elem) = match method {
+        Method::Adam8bit => (MethodSpec::AdamW, 1.0),
+        Method::GaLore8bit => (MethodSpec::GaLore { rank: 1024 }, 1.0),
+        Method::Apollo => (MethodSpec::Apollo { rank: 256 }, 2.0),
+        Method::ApolloMini => (MethodSpec::ApolloMini, 2.0),
+        _ => (MethodSpec::AdamW, 2.0),
+    };
+    spec.state_elems(mem.shapes()) as f64 * bytes_per_elem / (1u64 << 30) as f64
+}
+
+fn main() {
+    let cfg = ModelConfig::tiny_7b();
+    let steps = scaled(100);
+    let eval_every = (steps / 4).max(1);
+    // Paper checkpoints 40K/80K/120K/150K map to quarters of the budget.
+    let methods = [
+        Method::Adam8bit,
+        Method::GaLore8bit,
+        Method::Apollo,
+        Method::ApolloMini,
+    ];
+    let mut rows = Vec::new();
+    for m in methods {
+        eprintln!("[table3] {} ({steps} steps) ...", m.label());
+        let tc = TrainConfig {
+            steps,
+            lr: m.default_lr(),
+            grad_clip: m.grad_clip(),
+            eval_every,
+            eval_seqs: 32,
+            merge_every: None,
+            record_step_times: false,
+            grad_accum: 1,
+            quantize_weights: None,
+        };
+        let log = pretrain_run(&cfg, m, steps, 1, 42, Some(tc));
+        rows.push(Row {
+            method: m.label().to_string(),
+            optimizer_memory_gib: optimizer_memory_7b(m),
+            checkpoints: log.eval_ppls.clone(),
+        });
+    }
+    let n_ck = rows[0].checkpoints.len();
+    let mut headers: Vec<String> = vec!["Method".into(), "Opt. mem (7B)".into()];
+    headers.extend(rows[0].checkpoints.iter().map(|&(s, _)| format!("ppl@{s}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.method.clone(),
+                format!("{:.1}G", r.optimizer_memory_gib),
+            ];
+            row.extend(r.checkpoints.iter().take(n_ck).map(|&(_, p)| format!("{p:.2}")));
+            row
+        })
+        .collect();
+    print_table(
+        &format!("Table 3 — 7B-proxy pre-training, checkpoints over {steps} steps"),
+        &header_refs,
+        &table,
+    );
+    println!(
+        "\nPaper shape: APOLLO/Mini beat the 8-bit baselines by a clear ppl margin at every \
+         checkpoint, with 1.6G / ~0G optimizer memory vs 13G / 4.9G."
+    );
+    write_json("table3_llama7b", &rows);
+}

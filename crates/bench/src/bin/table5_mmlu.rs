@@ -1,0 +1,118 @@
+//! Table 5: fine-tuning on the four MMLU domain stand-ins with a small
+//! learning-rate sweep per method (the paper sweeps nine LRs; the proxy
+//! sweeps two and reports the best).
+
+use apollo_bench::{print_table, scaled, write_json, UPDATE_FREQ};
+use apollo_data::{mmlu_suite, CorpusConfig, LmBatcher, SyntheticCorpus};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_optim::{AdamW, Apollo, Fira, GaLore, Optimizer};
+use apollo_tensor::Rng;
+use apollo_train::{finetune, pretrain, FinetuneConfig, TrainConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MethodRow {
+    method: String,
+    accuracies: Vec<(String, f32)>,
+    average: f32,
+    best_lr: f32,
+}
+
+/// MMLU uses the small rank (8 at paper scale → 4 on hidden 64).
+const FT_RANK: usize = 4;
+
+fn build_optimizer(name: &str, mini_alpha: f32) -> Box<dyn Optimizer> {
+    match name {
+        "Full" | "LoRA" => Box::new(AdamW::new()),
+        "GaLore" => Box::new(GaLore::new(FT_RANK, UPDATE_FREQ)),
+        "Fira" => Box::new(Fira::new(FT_RANK, UPDATE_FREQ)),
+        "APOLLO w. SVD" => Box::new(Apollo::new(FT_RANK, UPDATE_FREQ).with_svd()),
+        "APOLLO" => Box::new(Apollo::new(FT_RANK, UPDATE_FREQ)),
+        "APOLLO-Mini" => Box::new(Apollo::mini(UPDATE_FREQ).with_alpha(mini_alpha)),
+        other => panic!("unknown method {other}"),
+    }
+}
+
+fn main() {
+    let cfg = ModelConfig::tiny_60m();
+    let base_steps = scaled(300);
+    let ft_steps = scaled(40);
+    // Fine-tuning α: the paper uses √4 for Mini here (more conservative
+    // than pre-training).
+    let mini_alpha = 2.0;
+
+    eprintln!("[table5] pre-training the base model ({base_steps} steps) ...");
+    let mut rng = Rng::seed_from_u64(43);
+    let mut base = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    let mut batcher = LmBatcher::new(corpus, 4, cfg.max_seq);
+    let mut pre_opt = AdamW::new();
+    let tc = TrainConfig {
+        lr: 3e-3,
+        grad_clip: Some(1.0),
+        ..TrainConfig::quick(base_steps)
+    };
+    pretrain(&mut base, &mut pre_opt, &mut batcher, &tc);
+
+    let methods = ["Full", "LoRA", "GaLore", "Fira", "APOLLO w. SVD", "APOLLO", "APOLLO-Mini"];
+    let lrs = [1e-3f32, 3e-3];
+    let mut results = Vec::new();
+    for &name in &methods {
+        let mut best: Option<MethodRow> = None;
+        for &lr in &lrs {
+            let mut accs = Vec::new();
+            for task in mmlu_suite(cfg.vocab_size, cfg.max_seq).iter_mut() {
+                eprintln!("[table5] {name} lr={lr} on {} ...", task.config().name);
+                let mut model = if name == "LoRA" {
+                    let mut rng = Rng::seed_from_u64(7);
+                    base.to_lora(FT_RANK, 2.0 * FT_RANK as f32, &mut rng)
+                } else {
+                    base.clone()
+                };
+                let mut opt = build_optimizer(name, mini_alpha);
+                let fc = FinetuneConfig {
+                    steps: ft_steps,
+                    batch: 8,
+                    lr,
+                    eval_examples: 100,
+                };
+                let res = finetune(&mut model, opt.as_mut(), task, &fc);
+                accs.push((task.config().name.clone(), res.accuracy));
+            }
+            let average = accs.iter().map(|&(_, a)| a).sum::<f32>() / accs.len() as f32;
+            let row = MethodRow {
+                method: name.to_string(),
+                accuracies: accs,
+                average,
+                best_lr: lr,
+            };
+            if best.as_ref().is_none_or(|b| row.average > b.average) {
+                best = Some(row);
+            }
+        }
+        results.push(best.expect("at least one LR"));
+    }
+
+    let mut headers: Vec<String> = vec!["Method".into()];
+    headers.extend(results[0].accuracies.iter().map(|(t, _)| t.clone()));
+    headers.push("Average".into());
+    headers.push("best LR".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.method.clone()];
+            row.extend(r.accuracies.iter().map(|&(_, a)| format!("{a:.1}")));
+            row.push(format!("{:.2}", r.average));
+            row.push(format!("{}", r.best_lr));
+            row
+        })
+        .collect();
+    print_table(
+        &format!("Table 5 — MMLU-domain fine-tuning accuracy (%), best of {} LRs", lrs.len()),
+        &header_refs,
+        &rows,
+    );
+    println!("\nPaper shape: all methods within ~1 pt of full fine-tuning; APOLLO ≥ GaLore.");
+    write_json("table5_mmlu", &results);
+}

@@ -1,0 +1,61 @@
+//! Table 7: scaling-factor granularity ablation — channel-wise vs
+//! tensor-wise, under both projection kinds, at rank n/4.
+
+use apollo_bench::{pretrain_run, print_table, proxy_for, scaled, write_json, Method};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    method: String,
+    granularity: String,
+    size: String,
+    ppl: f32,
+}
+
+fn main() {
+    let sizes = [("60M", scaled(300)), ("130M", scaled(150)), ("350M", scaled(80))];
+    let cases = [
+        ("AdamW", "-", Method::AdamW),
+        ("GaLore", "-", Method::GaLore),
+        ("APOLLO w. SVD", "Channel", Method::ApolloSvd),
+        ("APOLLO w. SVD", "Tensor", Method::ApolloTensorSvd),
+        ("APOLLO", "Channel", Method::Apollo),
+        ("APOLLO", "Tensor", Method::ApolloTensor),
+    ];
+    let mut cells = Vec::new();
+    for (size, steps) in sizes {
+        let cfg = proxy_for(size);
+        for (name, gran, m) in cases {
+            eprintln!("[table7] {size} {name}/{gran} ...");
+            let log = pretrain_run(&cfg, m, steps, 4, 42, None);
+            cells.push(Cell {
+                method: name.to_string(),
+                granularity: gran.to_string(),
+                size: size.to_string(),
+                ppl: log.final_ppl,
+            });
+        }
+    }
+    let mut rows = Vec::new();
+    for (name, gran, _) in cases {
+        let mut row = vec![name.to_string(), gran.to_string()];
+        for (size, _) in sizes {
+            let c = cells
+                .iter()
+                .find(|c| c.method == name && c.granularity == gran && c.size == size)
+                .unwrap();
+            row.push(format!("{:.2}", c.ppl));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 7 — scaling-factor granularity at rank n/4 (val ppl)",
+        &["Method", "Granularity", "60M", "130M", "350M"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: at rank n/4 tensor-wise is within a whisker of channel-wise, and both \
+         beat AdamW/GaLore — granularity only matters in the extreme low-rank regime (Fig. 5d)."
+    );
+    write_json("table7_granularity", &cells);
+}

@@ -1,0 +1,105 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `args` (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if no subcommand is present or a flag is missing
+    /// its value.
+    pub fn parse(args: &[String]) -> Result<Args, String> {
+        let mut it = args.iter();
+        let command = it.next().ok_or("missing subcommand")?.clone();
+        let mut flags = HashMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got `{key}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<String, String> {
+        self.flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Whether a flag was provided at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&strs(&["pretrain", "--steps", "100", "--lr", "0.01"])).unwrap();
+        assert_eq!(a.command, "pretrain");
+        assert_eq!(a.get_num::<usize>("steps", 0).unwrap(), 100);
+        assert_eq!(a.get_num::<f32>("lr", 0.0).unwrap(), 0.01);
+        assert_eq!(a.get("model", "tiny-60m"), "tiny-60m");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&strs(&["pretrain", "--steps"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(&strs(&["x", "--steps", "abc"])).unwrap();
+        assert!(a.get_num::<usize>("steps", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing_flags() {
+        let a = Args::parse(&strs(&["x"])).unwrap();
+        assert!(a.require("checkpoint").is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! `apollo` — train, fine-tune, and plan memory from the command line.
+//!
+//! ```text
+//! apollo pretrain --model tiny-60m --optimizer apollo --steps 500 --save model.ckpt
+//! apollo finetune --checkpoint model.ckpt --task WG --optimizer apollo-mini
+//! apollo eval     --checkpoint model.ckpt
+//! apollo memory   --model llama-7b --method apollo --rank 256
+//! apollo list
+//! ```
+
+mod args;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use apollo_data::{commonsense_suite, mmlu_suite, CorpusConfig, LmBatcher, SyntheticCorpus};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_optim::memory::MethodSpec;
+use apollo_optim::{AdamMini, AdamW, Apollo, Fira, Flora, GaLore, Optimizer, Sgd, SgdMomentum};
+use apollo_sysmodel::{Gpu, MemoryOptions, TrainingMemoryModel};
+use apollo_tensor::Rng;
+use apollo_train::{
+    eval_perplexity, finetune, load_model, pretrain, save_model, FinetuneConfig, TrainConfig,
+};
+use args::Args;
+
+const USAGE: &str = "\
+apollo — APOLLO optimizer reproduction CLI
+
+USAGE:
+  apollo pretrain [--model NAME] [--optimizer NAME] [--steps N] [--batch N]
+                  [--lr F] [--rank N] [--seed N] [--quantize-weights GROUP]
+                  [--save PATH]
+  apollo finetune --checkpoint PATH --task NAME [--optimizer NAME]
+                  [--steps N] [--batch N] [--lr F] [--rank N]
+  apollo eval     --checkpoint PATH [--seqs N]
+  apollo memory   [--model NAME] [--method NAME] [--rank N] [--gpu NAME]
+  apollo list
+
+MODELS     test-tiny tiny-60m tiny-130m tiny-350m tiny-1b tiny-7b
+           llama-60m llama-130m llama-350m llama-1b llama-7b llama-13b
+OPTIMIZERS adamw adamw-8bit adam-mini sgd sgd-m apollo apollo-svd
+           apollo-mini galore galore-rp galore-8bit fira flora
+TASKS      WG PIQA SIQA OBQA HS BoolQ Arc-E Arc-C
+           STEM 'Social Sciences' Humanities Other
+GPUS       a100-80g consumer-12g";
+
+fn model_config(name: &str) -> Result<ModelConfig, String> {
+    Ok(match name {
+        "test-tiny" => ModelConfig::test_tiny(),
+        "tiny-60m" => ModelConfig::tiny_60m(),
+        "tiny-130m" => ModelConfig::tiny_130m(),
+        "tiny-350m" => ModelConfig::tiny_350m(),
+        "tiny-1b" => ModelConfig::tiny_1b(),
+        "tiny-7b" => ModelConfig::tiny_7b(),
+        "llama-60m" => ModelConfig::llama_60m(),
+        "llama-130m" => ModelConfig::llama_130m(),
+        "llama-350m" => ModelConfig::llama_350m(),
+        "llama-1b" => ModelConfig::llama_1b(),
+        "llama-7b" => ModelConfig::llama_7b(),
+        "llama-13b" => ModelConfig::llama_13b(),
+        other => return Err(format!("unknown model `{other}` (try `apollo list`)")),
+    })
+}
+
+fn build_optimizer(name: &str, rank: usize, cfg: &ModelConfig) -> Result<Box<dyn Optimizer>, String> {
+    let freq = 200;
+    let mini_alpha = (cfg.hidden as f32 / 4.0).sqrt();
+    Ok(match name {
+        "adamw" => Box::new(AdamW::new()),
+        "adamw-8bit" => Box::new(AdamW::adam8bit(128)),
+        "adam-mini" => Box::new(AdamMini::new()),
+        "sgd" => Box::new(Sgd::new()),
+        "sgd-m" => Box::new(SgdMomentum::new(0.9)),
+        "apollo" => Box::new(Apollo::new(rank, freq)),
+        "apollo-svd" => Box::new(Apollo::new(rank, freq).with_svd()),
+        "apollo-mini" => Box::new(Apollo::mini(freq).with_alpha(mini_alpha)),
+        "galore" => Box::new(GaLore::new(rank, freq)),
+        "galore-rp" => Box::new(GaLore::new(rank, freq).with_random_projection()),
+        "galore-8bit" => Box::new(GaLore::galore8bit(rank, freq, 128)),
+        "fira" => Box::new(Fira::new(rank, freq)),
+        "flora" => Box::new(Flora::new(rank, freq)),
+        other => return Err(format!("unknown optimizer `{other}` (try `apollo list`)")),
+    })
+}
+
+fn default_lr(optimizer: &str) -> f32 {
+    match optimizer {
+        "adamw" | "adamw-8bit" | "adam-mini" => 1e-2,
+        "sgd" | "sgd-m" => 0.3,
+        _ => 3e-2,
+    }
+}
+
+fn cmd_pretrain(a: &Args) -> Result<(), String> {
+    let cfg = model_config(&a.get("model", "tiny-60m"))?;
+    if cfg.name.starts_with("llama-") {
+        return Err("paper-scale geometries are for `apollo memory`; pick a tiny-* model".into());
+    }
+    let opt_name = a.get("optimizer", "apollo");
+    let rank = a.get_num("rank", cfg.default_rank())?;
+    let steps = a.get_num("steps", 300usize)?;
+    let batch = a.get_num("batch", 4usize)?;
+    let lr = a.get_num("lr", default_lr(&opt_name))?;
+    let seed = a.get_num("seed", 42u64)?;
+
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    let mut batcher = LmBatcher::new(corpus, batch, cfg.max_seq);
+    let mut opt = build_optimizer(&opt_name, rank, &cfg)?;
+    let tc = TrainConfig {
+        steps,
+        lr,
+        grad_clip: if opt_name.starts_with("adamw") || opt_name.starts_with("sgd") {
+            Some(1.0)
+        } else {
+            None
+        },
+        eval_every: (steps / 5).max(1),
+        quantize_weights: if a.has("quantize-weights") {
+            Some(a.get_num("quantize-weights", 128usize)?)
+        } else {
+            None
+        },
+        ..TrainConfig::quick(steps)
+    };
+    eprintln!(
+        "pretraining {} with {} (rank {rank}, lr {lr}, {steps} steps, batch {batch})",
+        cfg.name,
+        opt.name()
+    );
+    let log = pretrain(&mut model, opt.as_mut(), &mut batcher, &tc);
+    for (step, ppl) in &log.eval_ppls {
+        println!("step {step:>6}  val ppl {ppl:.2}");
+    }
+    println!(
+        "final ppl {:.2} | optimizer state {} elems ({} bytes) | {:.1}s",
+        log.final_ppl, log.state_elems, log.state_bytes, log.wall_secs
+    );
+    if a.has("save") {
+        let path = PathBuf::from(a.require("save")?);
+        save_model(&model, LinearMode::Dense, &path).map_err(|e| e.to_string())?;
+        println!("saved checkpoint to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_finetune(a: &Args) -> Result<(), String> {
+    let path = PathBuf::from(a.require("checkpoint")?);
+    let mut model = load_model(&path).map_err(|e| e.to_string())?;
+    let cfg = model.config().clone();
+    let task_name = a.require("task")?;
+    let mut suite = commonsense_suite(cfg.vocab_size, cfg.max_seq);
+    suite.extend(mmlu_suite(cfg.vocab_size, cfg.max_seq));
+    let mut task = suite
+        .into_iter()
+        .find(|t| t.config().name == task_name)
+        .ok_or_else(|| format!("unknown task `{task_name}` (try `apollo list`)"))?;
+
+    let opt_name = a.get("optimizer", "apollo");
+    let rank = a.get_num("rank", (cfg.hidden / 8).max(1))?;
+    let steps = a.get_num("steps", 60usize)?;
+    let fc = FinetuneConfig {
+        steps,
+        batch: a.get_num("batch", 8usize)?,
+        lr: a.get_num("lr", 3e-3f32)?,
+        eval_examples: 100,
+    };
+    let mut opt = build_optimizer(&opt_name, rank, &cfg)?;
+    eprintln!("fine-tuning on {task_name} with {} ({steps} steps)", opt.name());
+    let res = finetune(&mut model, opt.as_mut(), &mut task, &fc);
+    println!(
+        "{}: accuracy {:.1}% (chance {:.0}%), final loss {:.3}, {:.1}s",
+        res.task, res.accuracy, res.chance, res.final_loss, res.wall_secs
+    );
+    Ok(())
+}
+
+fn cmd_eval(a: &Args) -> Result<(), String> {
+    let path = PathBuf::from(a.require("checkpoint")?);
+    let model = load_model(&path).map_err(|e| e.to_string())?;
+    let cfg = model.config();
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    let batcher = LmBatcher::new(corpus, 4, cfg.max_seq);
+    let ppl = eval_perplexity(&model, &batcher, a.get_num("seqs", 64usize)?);
+    println!("{}: validation ppl {ppl:.2}", cfg.name);
+    Ok(())
+}
+
+fn cmd_memory(a: &Args) -> Result<(), String> {
+    let cfg = model_config(&a.get("model", "llama-7b"))?;
+    let rank = a.get_num("rank", cfg.default_rank())?;
+    let spec = match a.get("method", "apollo").as_str() {
+        "adamw" => MethodSpec::AdamW,
+        "adamw-8bit" => MethodSpec::Adam8bit,
+        "adam-mini" => MethodSpec::AdamMini,
+        "sgd" => MethodSpec::Sgd,
+        "sgd-m" => MethodSpec::SgdMomentum,
+        "apollo" => MethodSpec::Apollo { rank },
+        "apollo-svd" => MethodSpec::ApolloSvd { rank },
+        "apollo-mini" => MethodSpec::ApolloMini,
+        "galore" => MethodSpec::GaLore { rank },
+        "galore-8bit" => MethodSpec::GaLore8bit { rank },
+        "fira" => MethodSpec::Fira { rank },
+        "flora" => MethodSpec::Flora { rank },
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let gpu = match a.get("gpu", "a100-80g").as_str() {
+        "a100-80g" => Gpu::a100_80g(),
+        "consumer-12g" => Gpu::consumer_12g(),
+        other => return Err(format!("unknown gpu `{other}`")),
+    };
+    let mem = TrainingMemoryModel::new(&cfg);
+    let b = mem.breakdown(spec, &MemoryOptions::figure1(256));
+    println!("{} + {} (batch 1, layer-wise grads):", cfg.name, spec.label());
+    println!("  weights     {:>8.2} GiB", b.weights_gib);
+    println!("  gradients   {:>8.2} GiB", b.grads_gib);
+    println!("  optimizer   {:>8.2} GiB", b.optimizer_gib);
+    println!("  activations {:>8.2} GiB", b.activations_gib);
+    println!("  total       {:>8.2} GiB", b.total_gib());
+    println!(
+        "  on {} ({} GiB): {}",
+        gpu.name,
+        gpu.memory_gib,
+        if b.total_gib() <= gpu.memory_gib { "fits" } else { "OOM" }
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let a = Args::parse(&argv)?;
+    match a.command.as_str() {
+        "pretrain" => cmd_pretrain(&a),
+        "finetune" => cmd_finetune(&a),
+        "eval" => cmd_eval(&a),
+        "memory" => cmd_memory(&a),
+        "list" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

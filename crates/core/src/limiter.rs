@@ -1,0 +1,136 @@
+//! The Norm-growth Limiter of Eq. 4 (adopted from Fira).
+
+use apollo_tensor::Matrix;
+
+/// Limits the step-to-step growth of the scaled gradient norm:
+///
+/// ```text
+/// if ‖G̃_t‖ / ‖G̃_{t−1}‖ > γ:   G̃_t ← G̃_t / ‖G̃_t‖ · γ‖G̃_{t−1}‖
+/// ```
+///
+/// The paper uses this in place of vanilla gradient clipping to suppress the
+/// early-training loss spikes of structured learning-rate adaptation
+/// (Fig. 3), with γ = 1.01 by default. The single stored scalar per tensor
+/// is one of the "+2" constants in Table 1's APOLLO state count.
+#[derive(Debug, Clone)]
+pub struct NormGrowthLimiter {
+    gamma: f32,
+    prev_norm: Option<f32>,
+}
+
+impl NormGrowthLimiter {
+    /// Creates a limiter with growth threshold `gamma` (> 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma <= 1.0`.
+    pub fn new(gamma: f32) -> Self {
+        assert!(gamma > 1.0, "gamma must exceed 1");
+        NormGrowthLimiter {
+            gamma,
+            prev_norm: None,
+        }
+    }
+
+    /// The paper's default (γ = 1.01).
+    pub fn paper_default() -> Self {
+        Self::new(1.01)
+    }
+
+    /// Clamps `update` in place if its norm grew more than γ× since the
+    /// previous call; records the (post-clamp) norm for the next step.
+    /// Returns `true` if clamping occurred.
+    pub fn apply(&mut self, update: &mut Matrix) -> bool {
+        let norm = update.fro_norm();
+        let clamped = match self.prev_norm {
+            Some(prev) if prev > 0.0 && norm > self.gamma * prev => {
+                update.scale_assign(self.gamma * prev / norm);
+                true
+            }
+            _ => false,
+        };
+        self.prev_norm = Some(if clamped {
+            self.gamma * self.prev_norm.unwrap()
+        } else {
+            norm
+        });
+        clamped
+    }
+
+    /// Number of stored scalars (for memory accounting): the previous norm.
+    pub fn state_elems(&self) -> usize {
+        1
+    }
+
+    /// Resets the history (used when a training run restarts).
+    pub fn reset(&mut self) {
+        self.prev_norm = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_never_clamps() {
+        let mut l = NormGrowthLimiter::new(1.01);
+        let mut u = Matrix::full(2, 2, 100.0);
+        assert!(!l.apply(&mut u));
+        assert_eq!(u.get(0, 0), 100.0);
+    }
+
+    #[test]
+    fn growth_beyond_gamma_is_clamped_to_gamma() {
+        let mut l = NormGrowthLimiter::new(1.01);
+        let mut u1 = Matrix::full(1, 4, 1.0); // norm 2
+        l.apply(&mut u1);
+        let mut u2 = Matrix::full(1, 4, 10.0); // norm 20 ≫ 1.01·2
+        assert!(l.apply(&mut u2));
+        let expect = 1.01 * 2.0;
+        assert!((u2.fro_norm() - expect).abs() < 1e-4, "{}", u2.fro_norm());
+    }
+
+    #[test]
+    fn shrinking_or_mild_growth_passes_through() {
+        let mut l = NormGrowthLimiter::new(1.5);
+        let mut u1 = Matrix::full(1, 1, 4.0);
+        l.apply(&mut u1);
+        let mut u2 = Matrix::full(1, 1, 5.0); // ratio 1.25 < 1.5
+        assert!(!l.apply(&mut u2));
+        assert_eq!(u2.get(0, 0), 5.0);
+        let mut u3 = Matrix::full(1, 1, 1.0);
+        assert!(!l.apply(&mut u3));
+    }
+
+    #[test]
+    fn repeated_spikes_grow_at_most_geometrically() {
+        let mut l = NormGrowthLimiter::new(1.01);
+        let mut first = Matrix::full(1, 1, 1.0);
+        l.apply(&mut first);
+        let mut norm = 1.0f32;
+        for _ in 0..10 {
+            let mut u = Matrix::full(1, 1, 1000.0);
+            l.apply(&mut u);
+            norm = u.fro_norm();
+        }
+        // After 10 clamped steps: at most 1.01^10.
+        assert!(norm <= 1.01f32.powi(10) + 1e-4, "{norm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must exceed 1")]
+    fn rejects_gamma_below_one() {
+        let _ = NormGrowthLimiter::new(0.9);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut l = NormGrowthLimiter::new(1.01);
+        let mut u = Matrix::full(1, 1, 1.0);
+        l.apply(&mut u);
+        l.reset();
+        let mut big = Matrix::full(1, 1, 100.0);
+        assert!(!l.apply(&mut big), "post-reset first step must not clamp");
+    }
+}

@@ -1,0 +1,283 @@
+//! Closed-form optimizer-state memory model (Table 1 of the paper).
+//!
+//! For a projectable `m × n` weight (`m ≤ n` after orientation) and rank
+//! `r`, the per-tensor optimizer state element counts are:
+//!
+//! | Method | State elements |
+//! |---|---|
+//! | AdamW | `2mn` |
+//! | SGD | `0` |
+//! | SGD-M | `mn` |
+//! | APOLLO | `2nr + 2` |
+//! | APOLLO-Mini | `2n + 2` |
+//! | APOLLO w. SVD | `mr + 2nr + 1` |
+//! | GaLore | `mr + 2nr` |
+//! | GaLore w. RP / Flora | `2nr + 1` |
+//! | Fira | `mr + 2nr + 1` |
+//!
+//! Non-projectable tensors (norm gains, embeddings) always carry dense
+//! AdamW state under the Adam-family methods, as in the official
+//! implementations.
+//!
+//! The unit tests in this module assert that the *live* optimizers'
+//! [`crate::Optimizer::state_elems`] agree with these formulas, and
+//! `apollo-sysmodel` builds its GB-level breakdowns (Fig. 1, Table 2 memory
+//! columns) on top of them.
+
+use serde::{Deserialize, Serialize};
+
+/// A training method whose optimizer-state footprint can be predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodSpec {
+    /// Full-precision AdamW.
+    AdamW,
+    /// AdamW with INT8 moments (affects bytes, not element count).
+    Adam8bit,
+    /// Adam-mini: full momentum + one second-moment scalar per channel.
+    AdamMini,
+    /// Plain SGD (no state).
+    Sgd,
+    /// SGD with momentum.
+    SgdMomentum,
+    /// APOLLO with random projection at the given rank.
+    Apollo {
+        /// Auxiliary-space rank.
+        rank: usize,
+    },
+    /// APOLLO with SVD projection at the given rank.
+    ApolloSvd {
+        /// Auxiliary-space rank.
+        rank: usize,
+    },
+    /// APOLLO-Mini (rank 1, tensor-wise scaling).
+    ApolloMini,
+    /// GaLore with SVD projection.
+    GaLore {
+        /// Projection rank.
+        rank: usize,
+    },
+    /// GaLore with INT8 moments.
+    GaLore8bit {
+        /// Projection rank.
+        rank: usize,
+    },
+    /// Fira (GaLore + residual + limiter scalar).
+    Fira {
+        /// Projection rank.
+        rank: usize,
+    },
+    /// Flora / GaLore-with-random-projection (seed-only subspace).
+    Flora {
+        /// Projection rank.
+        rank: usize,
+    },
+}
+
+impl MethodSpec {
+    /// Optimizer-state elements for one weight tensor of shape
+    /// `(rows, cols)`. `projectable` marks 2-D attention/MLP weights.
+    pub fn state_elems_for(&self, rows: usize, cols: usize, projectable: bool) -> usize {
+        let (m, n) = (rows.min(cols), rows.max(cols));
+        let dense_adam = 2 * rows * cols;
+        if !projectable || m <= 1 {
+            return match self {
+                MethodSpec::Sgd => 0,
+                MethodSpec::SgdMomentum => rows * cols,
+                MethodSpec::AdamMini => rows * cols + rows.max(cols).min(rows * cols),
+                _ => dense_adam,
+            };
+        }
+        let clamp = |r: usize| r.min(m);
+        match *self {
+            MethodSpec::AdamW | MethodSpec::Adam8bit => dense_adam,
+            MethodSpec::AdamMini => m * n + n,
+            MethodSpec::Sgd => 0,
+            MethodSpec::SgdMomentum => m * n,
+            MethodSpec::Apollo { rank } => 2 * n * clamp(rank) + 2,
+            MethodSpec::ApolloSvd { rank } => {
+                let r = clamp(rank);
+                m * r + 2 * n * r + 1
+            }
+            MethodSpec::ApolloMini => 2 * n + 2,
+            MethodSpec::GaLore { rank } | MethodSpec::GaLore8bit { rank } => {
+                let r = clamp(rank);
+                m * r + 2 * n * r
+            }
+            MethodSpec::Fira { rank } => {
+                let r = clamp(rank);
+                m * r + 2 * n * r + 1
+            }
+            MethodSpec::Flora { rank } => 2 * n * clamp(rank) + 1,
+        }
+    }
+
+    /// Total optimizer-state elements over a model's weight inventory.
+    ///
+    /// `shapes` is `(rows, cols, projectable)` per tensor.
+    pub fn state_elems(&self, shapes: &[(usize, usize, bool)]) -> usize {
+        shapes
+            .iter()
+            .map(|&(r, c, p)| self.state_elems_for(r, c, p))
+            .sum()
+    }
+
+    /// Bytes per state element: 1 for INT8-moment methods, 4 otherwise.
+    /// (Group-scale overhead is ignored here; the live optimizers report
+    /// it exactly via `state_bytes`.)
+    pub fn bytes_per_state_elem(&self) -> f64 {
+        match self {
+            MethodSpec::Adam8bit | MethodSpec::GaLore8bit { .. } => 1.0,
+            _ => 4.0,
+        }
+    }
+
+    /// Total optimizer-state bytes over a model's weight inventory.
+    pub fn state_bytes(&self, shapes: &[(usize, usize, bool)]) -> f64 {
+        self.state_elems(shapes) as f64 * self.bytes_per_state_elem()
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> String {
+        match *self {
+            MethodSpec::AdamW => "AdamW".into(),
+            MethodSpec::AdamMini => "Adam-mini".into(),
+            MethodSpec::Adam8bit => "8-bit Adam".into(),
+            MethodSpec::Sgd => "SGD".into(),
+            MethodSpec::SgdMomentum => "SGD-M".into(),
+            MethodSpec::Apollo { rank } => format!("APOLLO(r={rank})"),
+            MethodSpec::ApolloSvd { rank } => format!("APOLLO w. SVD(r={rank})"),
+            MethodSpec::ApolloMini => "APOLLO-Mini".into(),
+            MethodSpec::GaLore { rank } => format!("GaLore(r={rank})"),
+            MethodSpec::GaLore8bit { rank } => format!("8-bit GaLore(r={rank})"),
+            MethodSpec::Fira { rank } => format!("Fira(r={rank})"),
+            MethodSpec::Flora { rank } => format!("Flora(r={rank})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Apollo, Fira, Flora, GaLore, Optimizer, ParamUpdate, Sgd, SgdMomentum};
+    use apollo_tensor::Matrix;
+
+    const M: usize = 8;
+    const N: usize = 32;
+    const R: usize = 4;
+
+    fn live_state(opt: &mut dyn Optimizer, projectable: bool) -> usize {
+        let mut w = Matrix::zeros(M, N);
+        let g = Matrix::full(M, N, 1.0);
+        opt.step(
+            &mut [ParamUpdate {
+                name: "w",
+                value: &mut w,
+                grad: &g,
+                projectable,
+            }],
+            0.01,
+        );
+        opt.state_elems()
+    }
+
+    #[test]
+    fn formulas_match_live_optimizers_on_projectable_tensor() {
+        let shapes = [(M, N, true)];
+        let cases: Vec<(MethodSpec, usize)> = vec![
+            (
+                MethodSpec::AdamW,
+                live_state(&mut crate::AdamW::new(), true),
+            ),
+            (MethodSpec::Sgd, live_state(&mut Sgd::new(), true)),
+            (
+                MethodSpec::SgdMomentum,
+                live_state(&mut SgdMomentum::new(0.9), true),
+            ),
+            (
+                MethodSpec::Apollo { rank: R },
+                live_state(&mut Apollo::new(R, 100), true),
+            ),
+            (
+                MethodSpec::ApolloSvd { rank: R },
+                live_state(&mut Apollo::new(R, 100).with_svd(), true),
+            ),
+            (
+                MethodSpec::ApolloMini,
+                live_state(&mut Apollo::mini(100), true),
+            ),
+            (
+                MethodSpec::GaLore { rank: R },
+                live_state(&mut GaLore::new(R, 100), true),
+            ),
+            (
+                MethodSpec::Fira { rank: R },
+                live_state(&mut Fira::new(R, 100), true),
+            ),
+            (
+                MethodSpec::Flora { rank: R },
+                live_state(&mut Flora::new(R, 100), true),
+            ),
+        ];
+        for (spec, live) in cases {
+            assert_eq!(
+                spec.state_elems(&shapes),
+                live,
+                "Table 1 mismatch for {}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn non_projectable_tensors_get_dense_adam_state() {
+        let spec = MethodSpec::Apollo { rank: R };
+        assert_eq!(spec.state_elems_for(M, N, false), 2 * M * N);
+        let live = live_state(&mut Apollo::new(R, 100), false);
+        assert_eq!(live, 2 * M * N);
+    }
+
+    #[test]
+    fn apollo_mini_is_cheapest_adam_family_method() {
+        let shapes = [(M, N, true)];
+        let mini = MethodSpec::ApolloMini.state_elems(&shapes);
+        for spec in [
+            MethodSpec::AdamW,
+            MethodSpec::Apollo { rank: R },
+            MethodSpec::GaLore { rank: R },
+            MethodSpec::Fira { rank: R },
+            MethodSpec::Flora { rank: R },
+        ] {
+            assert!(
+                mini < spec.state_elems(&shapes),
+                "Mini not below {}",
+                spec.label()
+            );
+        }
+        // ...and within a whisker of SGD.
+        assert!(mini < M * N / 2);
+    }
+
+    #[test]
+    fn rank_is_clamped_to_small_dim() {
+        let spec = MethodSpec::GaLore { rank: 1000 };
+        // r clamps to m = 8.
+        assert_eq!(spec.state_elems_for(M, N, true), M * M + 2 * N * M);
+    }
+
+    #[test]
+    fn orientation_is_symmetric() {
+        let spec = MethodSpec::Apollo { rank: R };
+        assert_eq!(
+            spec.state_elems_for(M, N, true),
+            spec.state_elems_for(N, M, true)
+        );
+    }
+
+    #[test]
+    fn bytes_account_for_int8() {
+        let shapes = [(M, N, true)];
+        let full = MethodSpec::AdamW.state_bytes(&shapes);
+        let eight = MethodSpec::Adam8bit.state_bytes(&shapes);
+        assert!((full / eight - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Failure-injection and edge-case tests for every optimizer: degenerate
+//! shapes, extreme ranks, zero/huge gradients, and state-reset behaviour.
+
+use apollo_optim::{
+    AdamMini, AdamW, AdamWChannelwise, Apollo, Fira, Flora, GaLore, Optimizer, ParamUpdate,
+    ScaleGranularity, Sgd, SgdMomentum,
+};
+use apollo_tensor::{Matrix, Rng};
+
+fn all_optimizers() -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(Sgd::new()),
+        Box::new(SgdMomentum::new(0.9)),
+        Box::new(AdamW::new()),
+        Box::new(AdamW::adam8bit(32)),
+        Box::new(AdamMini::new()),
+        Box::new(AdamWChannelwise::new()),
+        Box::new(Apollo::new(4, 10)),
+        Box::new(Apollo::new(4, 10).with_svd()),
+        Box::new(Apollo::mini(10)),
+        Box::new(
+            Apollo::new(4, 10).with_granularity(ScaleGranularity::Tensor),
+        ),
+        Box::new(GaLore::new(4, 10)),
+        Box::new(GaLore::new(4, 10).with_random_projection()),
+        Box::new(GaLore::galore8bit(4, 10, 32)),
+        Box::new(Fira::new(4, 10)),
+        Box::new(Flora::new(4, 10)),
+    ]
+}
+
+fn step_once(opt: &mut dyn Optimizer, w: &mut Matrix, g: &Matrix) {
+    let mut params = [ParamUpdate {
+        name: "w",
+        value: w,
+        grad: g,
+        projectable: true,
+    }];
+    opt.step(&mut params, 1e-2);
+}
+
+#[test]
+fn one_by_one_tensors_do_not_panic() {
+    for mut opt in all_optimizers() {
+        let mut w = Matrix::full(1, 1, 1.0);
+        let g = Matrix::full(1, 1, 0.5);
+        for _ in 0..3 {
+            step_once(opt.as_mut(), &mut w, &g);
+        }
+        assert!(w.all_finite(), "{}", opt.name());
+    }
+}
+
+#[test]
+fn single_row_and_single_column_tensors_work() {
+    for mut opt in all_optimizers() {
+        let name = opt.name();
+        let mut row = Matrix::full(1, 16, 1.0);
+        let g_row = Matrix::full(1, 16, 0.1);
+        step_once(opt.as_mut(), &mut row, &g_row);
+        assert!(row.all_finite(), "{name} row");
+    }
+    for mut opt in all_optimizers() {
+        let name = opt.name();
+        let mut col = Matrix::full(16, 1, 1.0);
+        let g_col = Matrix::full(16, 1, 0.1);
+        step_once(opt.as_mut(), &mut col, &g_col);
+        assert!(col.all_finite(), "{name} col");
+    }
+}
+
+#[test]
+fn rank_larger_than_both_dims_is_clamped() {
+    let mut opt = Apollo::new(1000, 10);
+    let mut w = Matrix::zeros(4, 6);
+    let g = Matrix::full(4, 6, 1.0);
+    for _ in 0..3 {
+        step_once(&mut opt, &mut w, &g);
+    }
+    assert!(w.all_finite());
+    // 2·n·r(clamped to 4) + 2.
+    assert_eq!(opt.state_elems(), 2 * 6 * 4 + 2);
+}
+
+#[test]
+fn zero_gradients_leave_weights_unchanged_without_decay() {
+    for mut opt in all_optimizers() {
+        let name = opt.name();
+        let mut w = Matrix::full(4, 8, 1.0);
+        let g = Matrix::zeros(4, 8);
+        for _ in 0..3 {
+            step_once(opt.as_mut(), &mut w, &g);
+        }
+        for &x in w.as_slice() {
+            assert!((x - 1.0).abs() < 1e-5, "{name}: moved on zero grad ({x})");
+        }
+    }
+}
+
+#[test]
+fn huge_gradients_do_not_produce_nan() {
+    for mut opt in all_optimizers() {
+        let name = opt.name();
+        let mut w = Matrix::zeros(4, 8);
+        let g = Matrix::full(4, 8, 1e20);
+        for _ in 0..3 {
+            step_once(opt.as_mut(), &mut w, &g);
+        }
+        assert!(w.all_finite(), "{name}: non-finite weights from huge grads");
+    }
+}
+
+#[test]
+fn tiny_gradients_do_not_produce_nan() {
+    for mut opt in all_optimizers() {
+        let name = opt.name();
+        let mut w = Matrix::zeros(4, 8);
+        let g = Matrix::full(4, 8, 1e-30);
+        for _ in 0..3 {
+            step_once(opt.as_mut(), &mut w, &g);
+        }
+        assert!(w.all_finite(), "{name}");
+    }
+}
+
+#[test]
+fn reset_state_allows_param_list_change() {
+    for mut opt in all_optimizers() {
+        let mut w = Matrix::zeros(4, 8);
+        let g = Matrix::full(4, 8, 1.0);
+        step_once(opt.as_mut(), &mut w, &g);
+        opt.reset_state();
+        // New shape after reset must be accepted.
+        let mut w2 = Matrix::zeros(2, 3);
+        let g2 = Matrix::full(2, 3, 1.0);
+        step_once(opt.as_mut(), &mut w2, &g2);
+        assert!(w2.all_finite(), "{}", opt.name());
+    }
+}
+
+#[test]
+fn alternating_gradient_signs_remain_stable() {
+    let mut rng = Rng::seed_from_u64(500);
+    for mut opt in all_optimizers() {
+        let name = opt.name();
+        let mut w = Matrix::zeros(4, 8);
+        for i in 0..20 {
+            let mut g = Matrix::randn(4, 8, &mut rng);
+            g.scale_assign(if i % 2 == 0 { 1.0 } else { -1.0 });
+            step_once(opt.as_mut(), &mut w, &g);
+        }
+        assert!(w.all_finite(), "{name}");
+        assert!(w.fro_norm() < 100.0, "{name}: runaway weights {}", w.fro_norm());
+    }
+}
+
+#[test]
+fn mixed_projectable_and_dense_params_route_correctly() {
+    let mut opt = Apollo::new(4, 10);
+    let mut big = Matrix::zeros(8, 16);
+    let mut norm = Matrix::full(1, 16, 1.0);
+    let g_big = Matrix::full(8, 16, 1.0);
+    let g_norm = Matrix::full(1, 16, 0.1);
+    for _ in 0..3 {
+        let mut params = [
+            ParamUpdate {
+                name: "w",
+                value: &mut big,
+                grad: &g_big,
+                projectable: true,
+            },
+            ParamUpdate {
+                name: "gain",
+                value: &mut norm,
+                grad: &g_norm,
+                projectable: false,
+            },
+        ];
+        opt.step(&mut params, 1e-2);
+    }
+    // low-rank part: 2·16·4 + 2; dense part: 2·16.
+    assert_eq!(opt.state_elems(), (2 * 16 * 4 + 2) + 2 * 16);
+}

@@ -1,0 +1,126 @@
+//! Batch iteration for language-model pre-training.
+
+use crate::corpus::SyntheticCorpus;
+
+/// Streams `(tokens, next-token targets)` batches from a [`SyntheticCorpus`]
+/// and holds out a fixed validation set, mirroring single-epoch C4 training.
+///
+/// Batches are laid out as `batch` concatenated sequences of length `seq`
+/// (the layout [`apollo_nn::LlamaModel`](https://docs.rs) consumes).
+#[derive(Debug, Clone)]
+pub struct LmBatcher {
+    corpus: SyntheticCorpus,
+    batch: usize,
+    seq: usize,
+    /// Next train stream id; validation streams are negative space
+    /// (`u64::MAX - k`), so they never collide.
+    next_stream: u64,
+}
+
+impl LmBatcher {
+    /// Creates a batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `seq` is zero.
+    pub fn new(corpus: SyntheticCorpus, batch: usize, seq: usize) -> Self {
+        assert!(batch > 0 && seq > 0, "batch and seq must be positive");
+        LmBatcher {
+            corpus,
+            batch,
+            seq,
+            next_stream: 1,
+        }
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Sequence length.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Produces the next training batch: `(tokens, targets)`, each of length
+    /// `batch · seq`, where `targets[i]` is the token following `tokens[i]`.
+    pub fn next_batch(&mut self) -> (Vec<u32>, Vec<u32>) {
+        let mut tokens = Vec::with_capacity(self.batch * self.seq);
+        let mut targets = Vec::with_capacity(self.batch * self.seq);
+        for _ in 0..self.batch {
+            let stream = self.next_stream;
+            self.next_stream += 1;
+            let chunk = self.corpus.generate(self.seq + 1, stream);
+            tokens.extend_from_slice(&chunk[..self.seq]);
+            targets.extend_from_slice(&chunk[1..]);
+        }
+        (tokens, targets)
+    }
+
+    /// A fixed validation set of `n_seqs` sequences, disjoint from every
+    /// training stream. Returns `(tokens, targets, n_seqs)`.
+    pub fn validation_set(&self, n_seqs: usize) -> (Vec<u32>, Vec<u32>, usize) {
+        let mut tokens = Vec::with_capacity(n_seqs * self.seq);
+        let mut targets = Vec::with_capacity(n_seqs * self.seq);
+        for k in 0..n_seqs {
+            let chunk = self.corpus.generate(self.seq + 1, u64::MAX - k as u64);
+            tokens.extend_from_slice(&chunk[..self.seq]);
+            targets.extend_from_slice(&chunk[1..]);
+        }
+        (tokens, targets, n_seqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn batcher() -> LmBatcher {
+        LmBatcher::new(
+            SyntheticCorpus::new(CorpusConfig::with_vocab(64)),
+            4,
+            16,
+        )
+    }
+
+    #[test]
+    fn batch_shapes_and_shift() {
+        let mut b = batcher();
+        let (tokens, targets) = b.next_batch();
+        assert_eq!(tokens.len(), 4 * 16);
+        assert_eq!(targets.len(), 4 * 16);
+        // Within each sequence, targets are tokens shifted by one.
+        for s in 0..4 {
+            for i in 0..15 {
+                assert_eq!(targets[s * 16 + i], tokens[s * 16 + i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn successive_batches_differ() {
+        let mut b = batcher();
+        let (t1, _) = b.next_batch();
+        let (t2, _) = b.next_batch();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn validation_set_is_stable_and_disjoint_from_train() {
+        let mut b = batcher();
+        let (v1, _, n) = b.validation_set(3);
+        let (v2, _, _) = b.validation_set(3);
+        assert_eq!(v1, v2);
+        assert_eq!(n, 3);
+        let (t, _) = b.next_batch();
+        assert_ne!(&v1[..16], &t[..16]);
+    }
+
+    #[test]
+    fn two_batchers_with_same_corpus_agree() {
+        let (mut a, mut b) = (batcher(), batcher());
+        assert_eq!(a.next_batch(), b.next_batch());
+    }
+}

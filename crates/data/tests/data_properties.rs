@@ -1,0 +1,86 @@
+//! Property-based tests for the data substrates.
+
+use apollo_data::{
+    BpeTokenizer, ByteTokenizer, CorpusConfig, LmBatcher, SyntheticCorpus, TaskConfig, TaskGen,
+    Tokenize,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn corpus_tokens_always_in_vocab(vocab in 8usize..256, stream in any::<u64>()) {
+        let c = SyntheticCorpus::new(CorpusConfig::with_vocab(vocab));
+        prop_assert!(c.generate(500, stream).iter().all(|&t| (t as usize) < vocab));
+    }
+
+    #[test]
+    fn batcher_targets_are_shifted_tokens(batch in 1usize..6, seq in 2usize..32, _x in 0..3u8) {
+        let c = SyntheticCorpus::new(CorpusConfig::with_vocab(64));
+        let mut b = LmBatcher::new(c, batch, seq);
+        let (tokens, targets) = b.next_batch();
+        for s in 0..batch {
+            for i in 0..seq - 1 {
+                prop_assert_eq!(targets[s * seq + i], tokens[s * seq + i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_tokenizer_roundtrips(text in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let t = ByteTokenizer;
+        prop_assert_eq!(t.decode(&t.encode(&text)), text);
+    }
+
+    #[test]
+    fn bpe_roundtrips_any_input(
+        sample in proptest::collection::vec(any::<u8>(), 8..256),
+        text in proptest::collection::vec(any::<u8>(), 0..128),
+        extra in 0usize..64,
+    ) {
+        let tok = BpeTokenizer::train(&sample, 256 + extra);
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    #[test]
+    fn bpe_never_expands_token_count(sample in proptest::collection::vec(any::<u8>(), 8..200)) {
+        let tok = BpeTokenizer::train(&sample, 300);
+        prop_assert!(tok.encode(&sample).len() <= sample.len());
+    }
+
+    #[test]
+    fn task_labels_in_range_and_tokens_in_vocab(
+        classes in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut t = TaskGen::new(TaskConfig {
+            name: "prop".into(),
+            n_classes: classes,
+            vocab_size: 128,
+            seq: 24,
+            true_markers: 4,
+            distractors: 1,
+            seed,
+        });
+        let (tokens, labels) = t.sample(16);
+        prop_assert!(labels.iter().all(|&l| (l as usize) < classes));
+        prop_assert!(tokens.iter().all(|&x| (x as usize) < 128));
+        prop_assert_eq!(tokens.len(), 16 * 24);
+    }
+}
+
+#[test]
+fn different_streams_cover_the_vocabulary() {
+    // Across many streams, most of a small vocabulary appears — the corpus
+    // is not collapsing onto a few tokens.
+    let c = SyntheticCorpus::new(CorpusConfig::with_vocab(32));
+    let mut seen = [false; 32];
+    for stream in 0..20 {
+        for t in c.generate(200, stream) {
+            seen[t as usize] = true;
+        }
+    }
+    let covered = seen.iter().filter(|&&s| s).count();
+    assert!(covered >= 24, "only {covered}/32 tokens ever appear");
+}

@@ -1,0 +1,77 @@
+//! Named trainable parameters.
+
+use apollo_tensor::Matrix;
+
+/// What role a parameter plays; optimizers use this to decide whether the
+/// low-rank projection path applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// 2-D projection/MLP weight — eligible for GaLore/APOLLO low-rank
+    /// treatment.
+    Projectable,
+    /// Norm gain or other 1-D parameter — always dense AdamW, as in the
+    /// official APOLLO/GaLore implementations.
+    Norm,
+    /// Embedding or LM-head table — dense AdamW by default (matching the
+    /// official implementations, which only project attention/MLP weights).
+    Embedding,
+}
+
+/// A named parameter tensor with its training metadata.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Dotted path, e.g. `layers.0.attn.wq`.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Role of the tensor (drives optimizer routing).
+    pub kind: ParamKind,
+    /// Frozen parameters receive no updates (LoRA backbones).
+    pub trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter.
+    pub fn new(name: impl Into<String>, value: Matrix, kind: ParamKind) -> Self {
+        Param {
+            name: name.into(),
+            value,
+            kind,
+            trainable: true,
+        }
+    }
+
+    /// Creates a frozen parameter.
+    pub fn frozen(name: impl Into<String>, value: Matrix, kind: ParamKind) -> Self {
+        Param {
+            name: name.into(),
+            value,
+            kind,
+            trainable: false,
+        }
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let p = Param::new("w", Matrix::zeros(2, 3), ParamKind::Projectable);
+        assert!(p.trainable);
+        assert_eq!(p.len(), 6);
+        let f = Param::frozen("w0", Matrix::zeros(1, 1), ParamKind::Projectable);
+        assert!(!f.trainable);
+    }
+}

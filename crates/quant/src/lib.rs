@@ -1,0 +1,230 @@
+//! Group-wise INT8 quantization for weights and optimizer states.
+//!
+//! Two users in the reproduction:
+//!
+//! - **Q-APOLLO / Q-GaLore** (Table 6, Fig. 1 middle): model weights are
+//!   held in INT8 with a per-group scale (group size 128, as in Q-GaLore)
+//!   and updated through a dequantize → update → requantize round-trip
+//!   (straight-through estimator).
+//! - **8-bit Adam / 8-bit GaLore** (Table 3): optimizer moments are stored
+//!   block-wise quantized and dequantized on use.
+//!
+//! The scheme is symmetric absmax quantization: within each group of
+//! `group` consecutive elements, `q = round(x / scale)` with
+//! `scale = absmax / 127`.
+//!
+//! # Example
+//!
+//! ```
+//! use apollo_quant::QuantizedMatrix;
+//! use apollo_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from_u64(0);
+//! let w = Matrix::randn(8, 32, &mut rng);
+//! let q = QuantizedMatrix::quantize(&w, 128);
+//! let err = q.dequantize().sub(&w).max_abs();
+//! assert!(err < 0.05); // bounded by scale/2 per group
+//! ```
+
+use apollo_tensor::Matrix;
+
+/// An INT8 matrix with per-group absmax scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    group: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a matrix with groups of `group` consecutive (row-major)
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group == 0`.
+    pub fn quantize(m: &Matrix, group: usize) -> Self {
+        assert!(group > 0, "group size must be positive");
+        let flat = m.as_slice();
+        let n_groups = flat.len().div_ceil(group);
+        let mut data = Vec::with_capacity(flat.len());
+        let mut scales = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let chunk = &flat[g * group..((g + 1) * group).min(flat.len())];
+            let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let scale = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+            scales.push(scale);
+            for &x in chunk {
+                data.push((x / scale).round().clamp(-127.0, 127.0) as i8);
+            }
+        }
+        QuantizedMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            group,
+            data,
+            scales,
+        }
+    }
+
+    /// Reconstructs the full-precision matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Vec::with_capacity(self.data.len());
+        for (i, &q) in self.data.iter().enumerate() {
+            out.push(q as f32 * self.scales[i / self.group]);
+        }
+        Matrix::from_vec(self.rows, self.cols, out)
+    }
+
+    /// `(rows, cols)` of the logical matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Group size.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Bytes of storage: one byte per element plus 4 per group scale.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() + 4 * self.scales.len()
+    }
+
+    /// The worst-case absolute reconstruction error (`scale / 2` per group).
+    pub fn max_quantization_error(&self) -> f32 {
+        self.scales.iter().fold(0.0f32, |m, &s| m.max(s / 2.0))
+    }
+
+    /// Applies a full-precision update to the quantized weight:
+    /// dequantize, add `delta`, requantize (straight-through estimator, as
+    /// in Q-GaLore's quantized-weight training).
+    pub fn apply_update(&mut self, delta: &Matrix) {
+        assert_eq!(
+            delta.shape(),
+            (self.rows, self.cols),
+            "apply_update: shape mismatch"
+        );
+        let mut full = self.dequantize();
+        full.add_assign(delta);
+        *self = QuantizedMatrix::quantize(&full, self.group);
+    }
+}
+
+/// Convenience: round-trips a matrix through INT8 to simulate quantized
+/// storage of optimizer states (8-bit Adam).
+pub fn fake_quantize(m: &Matrix, group: usize) -> Matrix {
+    QuantizedMatrix::quantize(m, group).dequantize()
+}
+
+/// Round-trips a matrix through a *companded* INT8 code:
+/// `y = sign(x)·|x|^pow` is quantized linearly, stretching the usable
+/// dynamic range by `1/pow` in dB. This mimics the nonlinear
+/// (dynamic-exponent) codes real 8-bit optimizers (bitsandbytes) use for
+/// their moment states — plain absmax INT8 zeroes out small second-moment
+/// entries and destabilizes Adam.
+///
+/// Use `pow = 0.5` for first moments and `pow = 0.25` for second moments:
+/// since `v ≈ m²`, the quartic code gives both states the same small-value
+/// resolution, so `v` never rounds to zero while `m` survives (which would
+/// blow up `m/√v`).
+///
+/// # Panics
+///
+/// Panics if `pow` is not in `(0, 1]`.
+pub fn fake_quantize_companded(m: &Matrix, group: usize, pow: f32) -> Matrix {
+    assert!(pow > 0.0 && pow <= 1.0, "pow must be in (0, 1]");
+    let companded = m.map(|x| x.signum() * x.abs().powf(pow));
+    let deq = QuantizedMatrix::quantize(&companded, group).dequantize();
+    let inv = 1.0 / pow;
+    deq.map(|y| y.signum() * y.abs().powf(inv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_tensor::Rng;
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_scale() {
+        let mut rng = Rng::seed_from_u64(60);
+        let m = Matrix::randn(16, 64, &mut rng);
+        let q = QuantizedMatrix::quantize(&m, 128);
+        let deq = q.dequantize();
+        let bound = q.max_quantization_error() + 1e-6;
+        for (a, b) in m.as_slice().iter().zip(deq.as_slice()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn zero_matrix_roundtrips_exactly() {
+        let m = Matrix::zeros(4, 4);
+        assert_eq!(QuantizedMatrix::quantize(&m, 8).dequantize(), m);
+    }
+
+    #[test]
+    fn extreme_values_hit_plus_minus_127() {
+        let m = Matrix::from_rows(&[&[1.0, -1.0, 0.5, 0.0]]);
+        let q = QuantizedMatrix::quantize(&m, 4);
+        let deq = q.dequantize();
+        assert!((deq.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((deq.get(0, 1) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_is_quarter_of_f32_plus_scales() {
+        let mut rng = Rng::seed_from_u64(61);
+        let m = Matrix::randn(32, 128, &mut rng);
+        let q = QuantizedMatrix::quantize(&m, 128);
+        let f32_bytes = m.len() * 4;
+        assert_eq!(q.memory_bytes(), m.len() + 4 * (m.len() / 128));
+        assert!(q.memory_bytes() * 3 < f32_bytes);
+    }
+
+    #[test]
+    fn per_group_scaling_adapts_to_local_range() {
+        // First group huge, second tiny: the tiny group must keep precision.
+        let mut data = vec![100.0f32; 4];
+        data.extend(vec![0.001f32; 4]);
+        let m = Matrix::from_vec(1, 8, data);
+        let q = QuantizedMatrix::quantize(&m, 4);
+        let deq = q.dequantize();
+        assert!((deq.get(0, 5) - 0.001).abs() < 1e-5);
+    }
+
+    #[test]
+    fn apply_update_moves_the_weight() {
+        let mut rng = Rng::seed_from_u64(62);
+        let m = Matrix::randn(8, 16, &mut rng);
+        let mut q = QuantizedMatrix::quantize(&m, 32);
+        let delta = Matrix::full(8, 16, 0.5);
+        q.apply_update(&delta);
+        let got = q.dequantize();
+        let expect = m.map(|x| x + 0.5);
+        for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ragged_tail_group_is_handled() {
+        let mut rng = Rng::seed_from_u64(63);
+        let m = Matrix::randn(1, 10, &mut rng); // 10 elements, group 4 → 3 groups
+        let q = QuantizedMatrix::quantize(&m, 4);
+        assert_eq!(q.dequantize().shape(), (1, 10));
+        assert_eq!(q.memory_bytes(), 10 + 4 * 3);
+    }
+
+    #[test]
+    fn fake_quantize_matches_quantize_dequantize() {
+        let mut rng = Rng::seed_from_u64(64);
+        let m = Matrix::randn(4, 32, &mut rng);
+        assert_eq!(
+            fake_quantize(&m, 16),
+            QuantizedMatrix::quantize(&m, 16).dequantize()
+        );
+    }
+}

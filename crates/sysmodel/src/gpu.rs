@@ -1,0 +1,61 @@
+//! GPU profiles used by the memory/throughput model.
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU's capacity and compute profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gpu {
+    /// Marketing name.
+    pub name: String,
+    /// Usable device memory in GiB (a little below the marketing number to
+    /// account for framework/CUDA reservations).
+    pub memory_gib: f64,
+    /// Sustained BF16 throughput in TFLOP/s.
+    pub bf16_tflops: f64,
+    /// Model FLOPs utilization achievable in this setting (dense decoder
+    /// pre-training lands around 0.4–0.5 on A100s).
+    pub mfu: f64,
+}
+
+impl Gpu {
+    /// NVIDIA A100-80GB (the paper's testbed, 8 of them).
+    pub fn a100_80g() -> Self {
+        Gpu {
+            name: "A100-80GB".to_string(),
+            memory_gib: 79.0,
+            bf16_tflops: 312.0,
+            mfu: 0.45,
+        }
+    }
+
+    /// A 12 GB consumer card (the paper's "low-end GPU" target, e.g.
+    /// an RTX 3060-class device).
+    pub fn consumer_12g() -> Self {
+        Gpu {
+            name: "RTX-12GB".to_string(),
+            memory_gib: 11.6,
+            bf16_tflops: 51.0,
+            mfu: 0.35,
+        }
+    }
+
+    /// Effective sustained FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.bf16_tflops * 1e12 * self.mfu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_sane() {
+        let a = Gpu::a100_80g();
+        assert!(a.memory_gib > 70.0 && a.memory_gib < 80.0);
+        assert!(a.effective_flops() > 1e14);
+        let c = Gpu::consumer_12g();
+        assert!(c.memory_gib < 12.0);
+        assert!(c.effective_flops() < a.effective_flops());
+    }
+}

@@ -1,0 +1,111 @@
+//! BF16 (bfloat16) storage emulation.
+//!
+//! The paper trains everything in BF16; this module provides the rounding
+//! primitive so weights/gradients can be held at BF16 fidelity while the
+//! arithmetic stays in f32 (exactly what mixed-precision kernels do), and
+//! so the memory model's "2 bytes per element" accounting corresponds to a
+//! representable format.
+
+use crate::Matrix;
+
+/// Rounds an `f32` to the nearest representable bfloat16 value
+/// (round-to-nearest-even on the truncated 16 mantissa bits).
+pub fn bf16_round(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // Round to nearest even: add 0x7FFF + lsb of the kept part.
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7FFF + lsb) & 0xFFFF_0000;
+    f32::from_bits(rounded)
+}
+
+/// Rounds every element of a matrix to BF16 precision.
+pub fn bf16_round_matrix(m: &Matrix) -> Matrix {
+    m.map(bf16_round)
+}
+
+/// Packs an `f32` slice into raw BF16 bytes (2 per element) — the storage
+/// format a BF16 checkpoint would use.
+pub fn bf16_pack(xs: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 2);
+    for &x in xs {
+        let hi = (bf16_round(x).to_bits() >> 16) as u16;
+        out.extend_from_slice(&hi.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks raw BF16 bytes back to `f32`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is odd.
+pub fn bf16_unpack(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len() % 2 == 0, "bf16 data must be 2-byte aligned");
+    bytes
+        .chunks_exact(2)
+        .map(|c| f32::from_bits((u16::from_le_bytes([c[0], c[1]]) as u32) << 16))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn exact_values_pass_through() {
+        for x in [0.0f32, 1.0, -2.0, 0.5, 256.0] {
+            assert_eq!(bf16_round(x), x);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // BF16 has 8 head_dim mantissa bits → relative error ≤ 2^-8.
+        let mut rng = Rng::seed_from_u64(300);
+        for _ in 0..10_000 {
+            let x = rng.gauss() * 10f32.powf(rng.uniform_in(-6.0, 6.0));
+            let r = bf16_round(x);
+            if x != 0.0 {
+                assert!(((r - x) / x).abs() <= 1.0 / 256.0 + 1e-7, "{x} -> {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_is_idempotent() {
+        let mut rng = Rng::seed_from_u64(301);
+        for _ in 0..1000 {
+            let r = bf16_round(rng.gauss());
+            assert_eq!(bf16_round(r), r);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips_bf16_values() {
+        let mut rng = Rng::seed_from_u64(302);
+        let xs: Vec<f32> = (0..64).map(|_| bf16_round(rng.gauss())).collect();
+        assert_eq!(bf16_unpack(&bf16_pack(&xs)), xs);
+    }
+
+    #[test]
+    fn special_values_survive() {
+        assert_eq!(bf16_round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(bf16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(bf16_round(f32::NAN).is_nan());
+        assert_eq!(bf16_round(-0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn matrix_rounding_preserves_shape() {
+        let mut rng = Rng::seed_from_u64(303);
+        let m = Matrix::randn(3, 5, &mut rng);
+        let r = bf16_round_matrix(&m);
+        assert_eq!(r.shape(), m.shape());
+        let err = r.sub(&m).max_abs();
+        assert!(err < 0.02, "err {err}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense `f32` matrix kernels, deterministic RNG, and small-scale linear
+//! algebra used throughout the APOLLO reproduction.
+//!
+//! The paper's algorithms (AdamW, GaLore, Fira, APOLLO, APOLLO-Mini) are all
+//! expressed over 2-D weight matrices, so this crate deliberately provides a
+//! 2-D row-major [`Matrix`] rather than a general N-d tensor. Higher-rank
+//! shapes (batch × seq × hidden) are flattened to `(batch·seq) × hidden` by
+//! the layers in `apollo-nn`.
+//!
+//! # Example
+//!
+//! ```
+//! use apollo_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from_u64(7);
+//! let a = Matrix::randn(4, 8, &mut rng);
+//! let b = Matrix::randn(8, 3, &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!((c.rows(), c.cols()), (4, 3));
+//! ```
+
+pub mod bf16;
+
+mod matmul;
+mod matrix;
+mod rng;
+
+pub mod linalg;
+
+pub use matrix::Matrix;
+pub use rng::Rng;
+
+/// Machine-epsilon-scale tolerance used by tests and iterative algorithms.
+pub const EPS: f32 = 1e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_example_compiles() {
+        let mut rng = Rng::seed_from_u64(7);
+        let a = Matrix::randn(4, 8, &mut rng);
+        let b = Matrix::randn(8, 3, &mut rng);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (4, 3));
+    }
+}

@@ -1,0 +1,12 @@
+//! Small-scale dense linear algebra: Householder QR, one-sided Jacobi SVD,
+//! and randomized (sketch-based) SVD.
+//!
+//! GaLore and the "APOLLO w. SVD" variant need the top-`r` left singular
+//! vectors of each gradient matrix; everything here exists to serve that,
+//! plus the QR step of the randomized range finder.
+
+mod qr;
+mod svd;
+
+pub use qr::qr_thin;
+pub use svd::{randomized_svd, svd_jacobi, Svd};

@@ -1,0 +1,134 @@
+//! Thin Householder QR decomposition.
+
+use crate::Matrix;
+
+/// Computes the thin QR decomposition `a = q · r` for an `m × n` matrix with
+/// `m ≥ n`, returning `(q, r)` with `q: m × n` (orthonormal columns) and
+/// `r: n × n` (upper triangular).
+///
+/// Used by the randomized SVD's range finder.
+///
+/// # Panics
+///
+/// Panics if `a.rows() < a.cols()`.
+pub fn qr_thin(a: &Matrix) -> (Matrix, Matrix) {
+    let (m, n) = a.shape();
+    assert!(m >= n, "qr_thin: requires rows >= cols, got {m}x{n}");
+
+    // Work in f64 internally: Householder QR is numerically delicate in f32
+    // when columns are nearly dependent (exactly the regime of low-rank
+    // gradient sketches).
+    let mut r: Vec<f64> = a.as_slice().iter().map(|&x| x as f64).collect();
+    // Householder vectors, stored per-column.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k, rows k..m.
+        let mut v: Vec<f64> = (k..m).map(|i| r[i * n + k]).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+            v[0] += sign * norm;
+            let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if vnorm > 0.0 {
+                for x in &mut v {
+                    *x /= vnorm;
+                }
+                // Apply H = I - 2vvᵀ to R[k.., k..].
+                for j in k..n {
+                    let dot: f64 = (k..m).map(|i| v[i - k] * r[i * n + j]).sum();
+                    for i in k..m {
+                        r[i * n + j] -= 2.0 * v[i - k] * dot;
+                    }
+                }
+            }
+        }
+        vs.push(v);
+    }
+
+    // Q = H_0 · H_1 · … · H_{n-1} · I_thin — apply reflections in reverse to
+    // the first n columns of the identity.
+    let mut q = vec![0.0f64; m * n];
+    for j in 0..n {
+        q[j * n + j] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for j in 0..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * q[i * n + j]).sum();
+            for i in k..m {
+                q[i * n + j] -= 2.0 * v[i - k] * dot;
+            }
+        }
+    }
+
+    let q32: Vec<f32> = q.into_iter().map(|x| x as f32).collect();
+    let mut r32 = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r32.set(i, j, r[i * n + j] as f32);
+        }
+    }
+    (Matrix::from_vec(m, n, q32), r32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let mut rng = Rng::seed_from_u64(10);
+        for &(m, n) in &[(4, 4), (10, 3), (50, 20)] {
+            let a = Matrix::randn(m, n, &mut rng);
+            let (q, r) = qr_thin(&a);
+            assert_close(&q.matmul(&r), &a, 1e-4);
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = Rng::seed_from_u64(11);
+        let a = Matrix::randn(30, 8, &mut rng);
+        let (q, _) = qr_thin(&a);
+        let qtq = q.matmul_transa(&q);
+        assert_close(&qtq, &Matrix::identity(8), 1e-4);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = Rng::seed_from_u64(12);
+        let a = Matrix::randn(9, 5, &mut rng);
+        let (_, r) = qr_thin(&a);
+        for i in 0..5 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_rank_deficient_input() {
+        // Two identical columns: QR must still produce orthonormal Q.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let (q, r) = qr_thin(&a);
+        assert_close(&q.matmul(&r), &a, 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "qr_thin")]
+    fn wide_input_panics() {
+        let _ = qr_thin(&Matrix::zeros(2, 5));
+    }
+}

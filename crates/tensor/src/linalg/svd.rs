@@ -1,0 +1,272 @@
+//! Singular value decomposition: one-sided Jacobi (exact, small matrices)
+//! and a Halko-style randomized SVD (fast, low-rank sketches).
+
+use crate::{Matrix, Rng};
+
+use super::qr_thin;
+
+/// The factors of a (thin) singular value decomposition `a = u · diag(s) · vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values in non-increasing order, length `k`.
+    pub s: Vec<f32>,
+    /// Right singular vectors, `n × k`, orthonormal columns.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs `u · diag(s) · vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let mut us = self.u.clone();
+        us.scale_cols(&self.s);
+        us.matmul_transb(&self.v)
+    }
+
+    /// Truncates to the top `r` singular triplets.
+    pub fn truncate(&self, r: usize) -> Svd {
+        let r = r.min(self.s.len());
+        Svd {
+            u: self.u.slice_cols(0, r),
+            s: self.s[..r].to_vec(),
+            v: self.v.slice_cols(0, r),
+        }
+    }
+}
+
+/// Computes the full thin SVD with one-sided Jacobi rotations.
+///
+/// Exact (to f32 round-off) but `O(min(m,n)² · max(m,n))` per sweep — use
+/// [`randomized_svd`] when only a low-rank factor is needed on large inputs.
+pub fn svd_jacobi(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    if m < n {
+        // SVD(Aᵀ) = V Σ Uᵀ ⇒ swap factors.
+        let t = svd_jacobi(&a.transpose());
+        return Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        };
+    }
+
+    // Work on columns of A (m × n, m ≥ n) in f64 for convergence robustness.
+    let mut w: Vec<f64> = a.as_slice().iter().map(|&x| x as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let col_dot = |w: &[f64], p: usize, q: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..m {
+            acc += w[i * n + p] * w[i * n + q];
+        }
+        acc
+    };
+
+    let tol = 1e-12;
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = col_dot(&w, p, q);
+                let app = col_dot(&w, p, p);
+                let aqq = col_dot(&w, q, q);
+                off += apq * apq;
+                if apq.abs() <= tol * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p, q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[i * n + p];
+                    let wq = w[i * n + q];
+                    w[i * n + p] = c * wp - s * wq;
+                    w[i * n + q] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[i * n + p];
+                    let vq = v[i * n + q];
+                    v[i * n + p] = c * vp - s * vq;
+                    v[i * n + q] = s * vp + c * vq;
+                }
+            }
+        }
+        if off.sqrt() < 1e-14 {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of the rotated A; U its
+    // normalized columns.
+    let mut sig: Vec<(f64, usize)> = (0..n)
+        .map(|j| (col_dot(&w, j, j).sqrt(), j))
+        .collect();
+    sig.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vm = Matrix::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (out_j, &(sv, j)) in sig.iter().enumerate() {
+        s.push(sv as f32);
+        let inv = if sv > 1e-30 { 1.0 / sv } else { 0.0 };
+        for i in 0..m {
+            u.set(i, out_j, (w[i * n + j] * inv) as f32);
+        }
+        for i in 0..n {
+            vm.set(i, out_j, v[i * n + j] as f32);
+        }
+    }
+    Svd { u, s, v: vm }
+}
+
+/// Computes a rank-`r` truncated SVD with the randomized range-finder
+/// algorithm of Halko, Martinsson & Tropp.
+///
+/// `oversample` extra sketch dimensions (typically 5-10) and `power_iters`
+/// subspace iterations trade accuracy for time. For the gradient spectra in
+/// this reproduction `oversample = 8`, `power_iters = 1` is plenty.
+///
+/// # Panics
+///
+/// Panics if `r == 0`.
+pub fn randomized_svd(
+    a: &Matrix,
+    r: usize,
+    oversample: usize,
+    power_iters: usize,
+    rng: &mut Rng,
+) -> Svd {
+    assert!(r > 0, "randomized_svd: rank must be positive");
+    let (m, n) = a.shape();
+    let k = (r + oversample).min(m).min(n);
+
+    // Range finder: Y = A·Ω, Q = orth(Y).
+    let omega = Matrix::randn(n, k, rng);
+    let mut y = a.matmul(&omega);
+    let (mut q, _) = qr_thin(&y);
+    for _ in 0..power_iters {
+        let z = a.matmul_transa(&q); // n × k  (Aᵀ Q)
+        let (qz, _) = qr_thin(&z);
+        y = a.matmul(&qz);
+        let (q2, _) = qr_thin(&y);
+        q = q2;
+    }
+
+    // B = Qᵀ·A is k × n; exact SVD of the small B.
+    let b = q.matmul_transa(a);
+    let small = svd_jacobi(&b);
+    let u = q.matmul(&small.u); // m × k
+    Svd {
+        u: u.slice_cols(0, r.min(k)),
+        s: small.s[..r.min(k)].to_vec(),
+        v: small.v.slice_cols(0, r.min(k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_tall() {
+        let mut rng = Rng::seed_from_u64(20);
+        let a = Matrix::randn(12, 5, &mut rng);
+        let f = svd_jacobi(&a);
+        assert_close(&f.reconstruct(), &a, 1e-3);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_wide() {
+        let mut rng = Rng::seed_from_u64(21);
+        let a = Matrix::randn(4, 9, &mut rng);
+        let f = svd_jacobi(&a);
+        assert_close(&f.reconstruct(), &a, 1e-3);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let mut rng = Rng::seed_from_u64(22);
+        let a = Matrix::randn(8, 8, &mut rng);
+        let f = svd_jacobi(&a);
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(f.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let mut rng = Rng::seed_from_u64(23);
+        let a = Matrix::randn(10, 6, &mut rng);
+        let f = svd_jacobi(&a);
+        assert_close(&f.u.matmul_transa(&f.u), &Matrix::identity(6), 2e-3);
+        assert_close(&f.v.matmul_transa(&f.v), &Matrix::identity(6), 2e-3);
+    }
+
+    #[test]
+    fn diagonal_matrix_svd_recovers_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 1.0);
+        a.set(2, 2, 2.0);
+        let f = svd_jacobi(&a);
+        let got: Vec<f32> = f.s.clone();
+        assert!((got[0] - 3.0).abs() < 1e-4);
+        assert!((got[1] - 2.0).abs() < 1e-4);
+        assert!((got[2] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncate_keeps_top_components() {
+        let mut rng = Rng::seed_from_u64(24);
+        let a = Matrix::randn(10, 10, &mut rng);
+        let f = svd_jacobi(&a).truncate(3);
+        assert_eq!(f.u.cols(), 3);
+        assert_eq!(f.s.len(), 3);
+        assert_eq!(f.v.cols(), 3);
+    }
+
+    #[test]
+    fn randomized_svd_recovers_low_rank_matrix() {
+        let mut rng = Rng::seed_from_u64(25);
+        // Exactly rank-4 matrix.
+        let u = Matrix::randn(40, 4, &mut rng);
+        let v = Matrix::randn(30, 4, &mut rng);
+        let a = u.matmul_transb(&v);
+        let f = randomized_svd(&a, 4, 6, 1, &mut rng);
+        let err = f.reconstruct().sub(&a).fro_norm() / a.fro_norm();
+        assert!(err < 1e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn randomized_svd_matches_jacobi_top_values() {
+        let mut rng = Rng::seed_from_u64(26);
+        let a = Matrix::randn(30, 20, &mut rng);
+        let exact = svd_jacobi(&a);
+        let approx = randomized_svd(&a, 5, 10, 2, &mut rng);
+        for i in 0..5 {
+            let rel = (approx.s[i] - exact.s[i]).abs() / exact.s[i];
+            assert!(rel < 0.05, "sv {i}: {} vs {}", approx.s[i], exact.s[i]);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_svd_is_zero() {
+        let f = svd_jacobi(&Matrix::zeros(5, 3));
+        assert!(f.s.iter().all(|&s| s == 0.0));
+    }
+}

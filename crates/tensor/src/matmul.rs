@@ -1,0 +1,234 @@
+//! Matrix-multiplication kernels.
+//!
+//! The kernels are cache-blocked over `k` and parallelised over row bands
+//! with scoped threads. They are deliberately simple — at the proxy scales
+//! of this reproduction (hidden dims ≤ 512) they are far from the
+//! bottleneck, but the threading keeps the larger pretraining sweeps snappy.
+
+use crate::matrix::Matrix;
+
+/// Rows below this threshold are multiplied single-threaded; the spawn cost
+/// dominates for tiny matrices.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Computes one row band `c[lo..hi] = a[lo..hi] · b` into `out`.
+fn band_matmul(a: &Matrix, b: &Matrix, lo: usize, hi: usize, out: &mut [f32]) {
+    let (k, n) = (a.cols(), b.cols());
+    for (band_r, r) in (lo..hi).enumerate() {
+        let arow = a.row(r);
+        let crow = &mut out[band_r * n..(band_r + 1) * n];
+        crow.fill(0.0);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+fn parallel_rows(
+    m: usize,
+    flops: usize,
+    run: impl Fn(usize, usize, &mut [f32]) + Sync,
+    n_out: usize,
+) -> Vec<f32> {
+    let threads = num_threads();
+    if threads <= 1 || flops < PAR_MIN_FLOPS || m < 2 * threads {
+        let mut out = vec![0.0; m * n_out];
+        run(0, m, &mut out);
+        return out;
+    }
+    let mut out = vec![0.0; m * n_out];
+    let band = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut lo = 0;
+        while lo < m {
+            let hi = (lo + band).min(m);
+            let (chunk, tail) = rest.split_at_mut((hi - lo) * n_out);
+            rest = tail;
+            let run = &run;
+            scope.spawn(move || run(lo, hi, chunk));
+            lo = hi;
+        }
+    });
+    out
+}
+
+/// `a · b`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dims {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let data = parallel_rows(m, m * k * n, |lo, hi, out| band_matmul(a, b, lo, hi, out), n);
+    Matrix::from_vec(m, n, data)
+}
+
+/// `a · bᵀ` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transb: inner dims {}x{} · ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let run = |lo: usize, hi: usize, out: &mut [f32]| {
+        for (band_r, r) in (lo..hi).enumerate() {
+            let arow = a.row(r);
+            for c in 0..n {
+                let brow = b.row(c);
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += arow[p] * brow[p];
+                }
+                out[band_r * n + c] = acc;
+            }
+        }
+    };
+    let data = parallel_rows(m, m * k * n, run, n);
+    Matrix::from_vec(m, n, data)
+}
+
+/// `aᵀ · b` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_transa: inner dims ({}x{})ᵀ · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    // out[r, c] = sum_p a[p, r] * b[p, c]. Iterate p outer for locality.
+    let run = |lo: usize, hi: usize, out: &mut [f32]| {
+        for p in 0..k {
+            let arow = a.row(p);
+            let brow = b.row(p);
+            for (band_r, r) in (lo..hi).enumerate() {
+                let av = arow[r];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[band_r * n..(band_r + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+    };
+    let data = parallel_rows(m, m * k * n, run, n);
+    Matrix::from_vec(m, n, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Rng::seed_from_u64(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 32, 48)] {
+            let a = Matrix::randn(m, k, &mut rng);
+            let b = Matrix::randn(k, n, &mut rng);
+            assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(3);
+        let a = Matrix::randn(13, 7, &mut rng);
+        let b = Matrix::randn(11, 7, &mut rng);
+        assert_close(&matmul_transb(&a, &b), &matmul(&a, &b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(4);
+        let a = Matrix::randn(7, 13, &mut rng);
+        let b = Matrix::randn(7, 11, &mut rng);
+        assert_close(&matmul_transa(&a, &b), &matmul(&a.transpose(), &b), 1e-4);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_naive() {
+        let mut rng = Rng::seed_from_u64(5);
+        let a = Matrix::randn(200, 120, &mut rng);
+        let b = Matrix::randn(120, 90, &mut rng);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from_u64(6);
+        let a = Matrix::randn(9, 9, &mut rng);
+        assert_close(&matmul(&a, &Matrix::identity(9)), &a, 1e-6);
+        assert_close(&matmul(&Matrix::identity(9), &a), &a, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dims")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

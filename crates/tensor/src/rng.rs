@@ -1,0 +1,209 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! APOLLO's headline memory trick is that the projection matrix `P` is never
+//! stored: only a 64-bit seed is kept, and `P` is regenerated on demand from
+//! that seed (Algorithm 1, "Step 1"). That requires a fully deterministic,
+//! cheap, seedable generator — so we implement xoshiro256++ with a splitmix64
+//! seeder rather than relying on an external crate whose stream might change
+//! between versions.
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// Streams are stable across platforms and releases of this crate: the same
+/// seed always regenerates the same projection matrix, which the APOLLO
+/// optimizer relies on for correctness of its seed-only state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Box-Muller transform.
+    spare_gauss: Option<f32>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The full 256-bit state is expanded with splitmix64, which guarantees a
+    /// non-zero state for every seed (including zero).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            spare_gauss: None,
+        }
+    }
+
+    /// Returns the next 64 uniformly random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f32` in `[0, 1)` with 24 bits of randomness.
+    pub fn uniform(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Returns a uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform_in: empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Returns a uniform integer in `[0, n)` via rejection-free Lemire
+    /// reduction (bias is negligible for the ranges used here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below: n must be positive");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Returns a standard-normal sample via the Box-Muller transform.
+    pub fn gauss(&mut self) -> f32 {
+        if let Some(z) = self.spare_gauss.take() {
+            return z;
+        }
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = core::f32::consts::TAU * u2;
+        self.spare_gauss = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Returns a normal sample with the given mean and standard deviation.
+    pub fn gauss_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.gauss()
+    }
+
+    /// Derives an independent child generator; used to give each weight
+    /// matrix / data shard its own reproducible stream.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gauss_moments_are_standard_normal() {
+        let mut rng = Rng::seed_from_u64(4);
+        let n = 100_000;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let z = rng.gauss() as f64;
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let k = rng.below(10);
+            assert!(k < 10);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Rng::seed_from_u64(9);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut rng = Rng::seed_from_u64(0);
+        // State must not be all-zero (xoshiro would then be stuck at 0).
+        let outputs: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(outputs.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the tensor kernels.
+
+use apollo_tensor::linalg::{qr_thin, svd_jacobi};
+use apollo_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+fn arb_matrix(max_m: usize, max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_m, 1..=max_n, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut rng = Rng::seed_from_u64(seed);
+        Matrix::randn(m, n, &mut rng)
+    })
+}
+
+fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in any::<u64>(), m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let c = Matrix::randn(k, n, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(seed in any::<u64>(), m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn trans_variants_agree_with_explicit_transpose(m in arb_matrix(8, 8), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let other = Matrix::randn(m.rows(), m.cols(), &mut rng);
+        prop_assert!(close(
+            &m.matmul_transb(&other),
+            &m.matmul(&other.transpose()),
+            1e-4
+        ));
+        prop_assert!(close(
+            &m.matmul_transa(&other),
+            &m.transpose().matmul(&other),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn fro_norm_is_subadditive(a in arb_matrix(6, 6), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let b = Matrix::randn(a.rows(), a.cols(), &mut rng);
+        prop_assert!(a.add(&b).fro_norm() <= a.fro_norm() + b.fro_norm() + 1e-4);
+    }
+
+    #[test]
+    fn col_norms_square_sum_to_fro_norm_square(m in arb_matrix(8, 8)) {
+        let total: f32 = m.col_norms().iter().map(|&n| n * n).sum();
+        let fro2 = m.fro_norm().powi(2);
+        prop_assert!((total - fro2).abs() <= 1e-3 * (1.0 + fro2));
+    }
+
+    #[test]
+    fn scale_cols_matches_diag_right_multiply(m in arb_matrix(6, 6), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let s: Vec<f32> = (0..m.cols()).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let mut scaled = m.clone();
+        scaled.scale_cols(&s);
+        let mut diag = Matrix::zeros(m.cols(), m.cols());
+        for (i, &v) in s.iter().enumerate() {
+            diag.set(i, i, v);
+        }
+        prop_assert!(close(&scaled, &m.matmul(&diag), 1e-4));
+    }
+
+    #[test]
+    fn ema_interpolates(beta in 0.0f32..1.0, seed in any::<u64>()) {
+        // β·a + (1−β)·b lies between min and max elementwise.
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(3, 3, &mut rng);
+        let b = Matrix::randn(3, 3, &mut rng);
+        let mut e = a.clone();
+        e.ema_assign(beta, &b);
+        for ((&x, &y), &z) in a.as_slice().iter().zip(b.as_slice()).zip(e.as_slice()) {
+            let (lo, hi) = (x.min(y), x.max(y));
+            prop_assert!(z >= lo - 1e-5 && z <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn qr_q_orthonormal_and_reconstructs(seed in any::<u64>(), m in 2usize..12, n in 1usize..8) {
+        prop_assume!(m >= n);
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, n, &mut rng);
+        let (q, r) = qr_thin(&a);
+        prop_assert!(close(&q.matmul(&r), &a, 1e-3));
+        prop_assert!(close(&q.matmul_transa(&q), &Matrix::identity(n), 1e-3));
+    }
+
+    #[test]
+    fn svd_singular_values_bound_the_spectral_action(m in arb_matrix(8, 8), seed in any::<u64>()) {
+        // ‖A·x‖ ≤ σ_max·‖x‖ for any x.
+        let f = svd_jacobi(&m);
+        let sigma_max = f.s.first().copied().unwrap_or(0.0);
+        let mut rng = Rng::seed_from_u64(seed);
+        let x = Matrix::randn(m.cols(), 1, &mut rng);
+        let ax = m.matmul(&x);
+        prop_assert!(ax.fro_norm() <= sigma_max * x.fro_norm() * (1.0 + 1e-3) + 1e-4);
+    }
+
+    #[test]
+    fn rng_uniform_stays_in_range(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let u = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn randn_scaled_matches_scaled_randn(seed in any::<u64>(), std in 0.01f32..10.0) {
+        let mut r1 = Rng::seed_from_u64(seed);
+        let mut r2 = Rng::seed_from_u64(seed);
+        let a = Matrix::randn_scaled(3, 4, std, &mut r1);
+        let b = Matrix::randn(3, 4, &mut r2).scale(std);
+        prop_assert!(close(&a, &b, 1e-5));
+    }
+}

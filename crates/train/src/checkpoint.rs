@@ -1,0 +1,177 @@
+//! Model checkpointing: a compact binary format for saving and resuming
+//! trained models.
+//!
+//! Layout: a JSON metadata header (magic, format version, [`ModelConfig`],
+//! [`LinearMode`], parameter manifest) followed by the raw little-endian
+//! f32 parameter data in manifest order. Loading reconstructs the model
+//! topology from the config/mode and fills parameters by name, validating
+//! every shape.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &str = "apollo-checkpoint";
+const VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    config: ModelConfig,
+    mode: LinearMode,
+    /// `(name, rows, cols)` in storage order.
+    manifest: Vec<(String, usize, usize)>,
+}
+
+/// Saves a model to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_model(model: &LlamaModel, mode: LinearMode, path: &Path) -> io::Result<()> {
+    let header = Header {
+        magic: MAGIC.to_string(),
+        version: VERSION,
+        config: model.config().clone(),
+        mode,
+        manifest: model
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.value.rows(), p.value.cols()))
+            .collect(),
+    };
+    let mut w = BufWriter::new(File::create(path)?);
+    let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
+    w.write_all(&(head.len() as u64).to_le_bytes())?;
+    w.write_all(&head)?;
+    for p in &model.params {
+        for &x in p.value.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads a model saved by [`save_model`].
+///
+/// # Errors
+///
+/// Returns an error if the file is unreadable, the magic/version mismatch,
+/// or any parameter is missing or has the wrong shape.
+pub fn load_model(path: &Path) -> io::Result<LlamaModel> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let head_len = u64::from_le_bytes(len8) as usize;
+    // Guard against garbage files: no sane header exceeds a few MB.
+    if head_len > 16 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint"));
+    }
+    let mut head = vec![0u8; head_len];
+    r.read_exact(&mut head)?;
+    let header: Header = serde_json::from_slice(&head).map_err(io::Error::other)?;
+    if header.magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint"));
+    }
+    if header.version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {}", header.version),
+        ));
+    }
+
+    // Rebuild the topology, then overwrite values in manifest order.
+    let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
+    for (name, rows, cols) in &header.manifest {
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        let param = model
+            .params
+            .iter_mut()
+            .find(|p| &p.name == name)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("unknown param {name}"))
+            })?;
+        if param.value.shape() != (*rows, *cols) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch for {name}"),
+            ));
+        }
+        param.value = Matrix::from_vec(*rows, *cols, data);
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_data::{CorpusConfig, LmBatcher, SyntheticCorpus};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("apollo-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_model_exactly() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(200);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let path = tmp("dense.ckpt");
+        save_model(&model, LinearMode::Dense, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        for (a, b) in model.params.iter().zip(&loaded.params) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.value, b.value, "{}", a.name);
+            assert_eq!(a.trainable, b.trainable);
+        }
+    }
+
+    #[test]
+    fn loaded_model_evaluates_identically() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(201);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let path = tmp("eval.ckpt");
+        save_model(&model, LinearMode::Dense, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+        let batcher = LmBatcher::new(corpus, 2, cfg.max_seq);
+        let (tokens, targets, _) = batcher.validation_set(4);
+        assert_eq!(
+            model.eval_loss(&tokens, &targets, 2),
+            loaded.eval_loss(&tokens, &targets, 2)
+        );
+    }
+
+    #[test]
+    fn lora_checkpoints_roundtrip() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(202);
+        let mode = LinearMode::LoRa { rank: 2, alpha: 4.0 };
+        let model = LlamaModel::new(&cfg, mode, &mut rng);
+        let path = tmp("lora.ckpt");
+        save_model(&model, mode, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(model.params.len(), loaded.params.len());
+        assert_eq!(model.num_trainable(), loaded.num_trainable());
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, b"not a checkpoint at all............").unwrap();
+        assert!(load_model(&path).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! The paper's learning-rate schedule: linear warmup over the first 10% of
+//! steps, then cosine annealing down to 10% of the peak LR (Appendix A.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Warmup + cosine-decay schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    /// Peak learning rate.
+    pub peak_lr: f32,
+    /// Total training steps.
+    pub total_steps: usize,
+    /// Fraction of steps spent in linear warmup (0.1 in the paper).
+    pub warmup_frac: f32,
+    /// Final LR as a fraction of the peak (0.1 in the paper).
+    pub min_lr_frac: f32,
+}
+
+impl LrSchedule {
+    /// The paper's schedule for a given peak LR and step budget.
+    pub fn paper_default(peak_lr: f32, total_steps: usize) -> Self {
+        LrSchedule {
+            peak_lr,
+            total_steps,
+            warmup_frac: 0.1,
+            min_lr_frac: 0.1,
+        }
+    }
+
+    /// Learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        let warmup = ((self.total_steps as f32 * self.warmup_frac) as usize).max(1);
+        if step < warmup {
+            return self.peak_lr * (step + 1) as f32 / warmup as f32;
+        }
+        let min_lr = self.peak_lr * self.min_lr_frac;
+        let span = (self.total_steps.saturating_sub(warmup)).max(1) as f32;
+        let t = ((step - warmup) as f32 / span).min(1.0);
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        min_lr + (self.peak_lr - min_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_linearly_to_peak() {
+        let s = LrSchedule::paper_default(1.0, 100);
+        assert!(s.lr_at(0) > 0.0);
+        assert!(s.lr_at(4) < s.lr_at(8));
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6, "end of warmup hits peak");
+    }
+
+    #[test]
+    fn decays_to_min_fraction() {
+        let s = LrSchedule::paper_default(1.0, 100);
+        let last = s.lr_at(99);
+        assert!((last - 0.1).abs() < 0.02, "final lr {last}");
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = LrSchedule::paper_default(0.01, 200);
+        let mut prev = f32::MAX;
+        for step in 20..200 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-9, "not monotone at {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn steps_beyond_total_stay_at_min() {
+        let s = LrSchedule::paper_default(1.0, 50);
+        assert!((s.lr_at(500) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tiny_budgets_do_not_divide_by_zero() {
+        let s = LrSchedule::paper_default(1.0, 1);
+        assert!(s.lr_at(0).is_finite());
+        assert!(s.lr_at(1).is_finite());
+    }
+}

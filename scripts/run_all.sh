@@ -1,0 +1,29 @@
+#!/bin/sh
+# Regenerates every table and figure. Logs to results/logs/<id>.log and
+# JSON to results/<id>.json. APOLLO_SCALE can trade fidelity vs time.
+set -x
+run() {
+  bin=$1; scale=${2:-1}
+  APOLLO_SCALE=$scale cargo run -q --release -p apollo-bench --bin "$bin" \
+    > "results/logs/$bin.log" 2>&1
+}
+# Analytic (instant)
+run table1_memory
+run fig1_memory
+run fig1_throughput
+run claims_system
+# Training-based, most important first
+run table2_pretrain "$APOLLO_SCALE_T2"
+run fig5_projection_rank
+run table3_llama7b
+run fig2_llama7b
+run fig3_structured_lr
+run fig4_ratio
+run fig6_curves
+run fig7_longcontext
+run fig9_svd_spikes
+run table4_commonsense
+run table5_mmlu
+run table6_quantized
+run table7_granularity
+run ablations

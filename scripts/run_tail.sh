@@ -1,0 +1,21 @@
+#!/bin/sh
+# Remaining artifacts after table2, at trimmed scales for the time budget.
+set -x
+run() {
+  bin=$1; scale=$2
+  APOLLO_SCALE=$scale cargo run -q --release -p apollo-bench --bin "$bin" \
+    > "results/logs/$bin.log" 2>&1
+}
+run fig5_projection_rank 0.7
+run table3_llama7b 1
+run fig2_llama7b 1
+run fig3_structured_lr 1
+run fig4_ratio 1
+run fig6_curves 0.7
+run fig9_svd_spikes 1
+run table4_commonsense 0.8
+run table6_quantized 0.6
+run table7_granularity 0.6
+run table5_mmlu 0.8
+run fig7_longcontext 0.7
+run ablations 0.7

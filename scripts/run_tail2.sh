@@ -1,0 +1,19 @@
+#!/bin/sh
+set -x
+run() {
+  bin=$1; scale=$2
+  APOLLO_SCALE=$scale cargo run -q --release -p apollo-bench --bin "$bin" \
+    > "results/logs/$bin.log" 2>&1
+}
+run table3_llama7b 0.6
+run fig2_llama7b 0.6
+run table4_commonsense 0.5
+run table6_quantized 0.4
+run table7_granularity 0.4
+run table5_mmlu 0.5
+run fig3_structured_lr 0.6
+run fig4_ratio 0.7
+run fig6_curves 0.5
+run fig9_svd_spikes 1
+run fig7_longcontext 0.4
+run ablations 0.5

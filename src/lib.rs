@@ -1,0 +1,23 @@
+//! Façade crate for the APOLLO reproduction.
+//!
+//! Re-exports every subsystem so examples and integration tests can use a
+//! single dependency. See the individual crates for details:
+//!
+//! - [`tensor`] — dense matrix kernels, RNG, SVD/QR
+//! - [`autograd`] — tape-based reverse-mode automatic differentiation
+//! - [`nn`] — LLaMA-style transformer blocks and model configs
+//! - [`data`] — synthetic C4-substitute corpus and fine-tuning tasks
+//! - [`optim`] — the paper's contribution: APOLLO, APOLLO-Mini, and the
+//!   baseline optimizers (AdamW, GaLore, Fira, 8-bit Adam, SGD, …)
+//! - [`quant`] — INT8 group quantization (Q-APOLLO / Q-GaLore)
+//! - [`train`] — training loops, LR schedules, evaluation
+//! - [`sysmodel`] — analytic GPU memory / throughput model
+
+pub use apollo_autograd as autograd;
+pub use apollo_data as data;
+pub use apollo_nn as nn;
+pub use apollo_optim as optim;
+pub use apollo_quant as quant;
+pub use apollo_sysmodel as sysmodel;
+pub use apollo_tensor as tensor;
+pub use apollo_train as train;
