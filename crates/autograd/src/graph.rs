@@ -47,7 +47,10 @@ enum Op {
     },
     /// Row gather: `out[i] = table[ids[i]]` (embedding lookup, last-token
     /// selection).
-    Gather { table: NodeId, ids: Vec<u32> },
+    Gather {
+        table: NodeId,
+        ids: Vec<u32>,
+    },
     /// Mean softmax cross-entropy over rows of `logits`.
     CrossEntropy {
         logits: NodeId,
@@ -181,11 +184,7 @@ impl Graph {
     pub fn rmsnorm(&mut self, x: NodeId, gain: NodeId, eps: f32) -> NodeId {
         let xm = &self.vals[x.0];
         let gm = &self.vals[gain.0];
-        assert_eq!(
-            gm.shape(),
-            (1, xm.cols()),
-            "rmsnorm: gain must be 1 x cols"
-        );
+        assert_eq!(gm.shape(), (1, xm.cols()), "rmsnorm: gain must be 1 x cols");
         let n = xm.cols() as f32;
         let mut inv_rms = Vec::with_capacity(xm.rows());
         let mut y = Matrix::zeros(xm.rows(), xm.cols());
@@ -249,7 +248,11 @@ impl Graph {
         assert_eq!(qm.shape(), km.shape(), "attention: q/k shape mismatch");
         assert_eq!(qm.shape(), vm.shape(), "attention: q/v shape mismatch");
         assert_eq!(qm.rows(), batch * seq, "attention: rows != batch*seq");
-        assert_eq!(qm.cols() % heads, 0, "attention: cols not divisible by heads");
+        assert_eq!(
+            qm.cols() % heads,
+            0,
+            "attention: cols not divisible by heads"
+        );
         let hd = qm.cols() / heads;
         let scale = 1.0 / (hd as f32).sqrt();
 
@@ -341,9 +344,9 @@ impl Graph {
         );
         let mut probs = Matrix::zeros(lm.rows(), lm.cols());
         let mut loss = 0.0f64;
-        for r in 0..lm.rows() {
+        for (r, &target) in targets.iter().enumerate() {
             let row = lm.row(r);
-            let t = targets[r] as usize;
+            let t = target as usize;
             assert!(t < lm.cols(), "cross_entropy: target {t} out of range");
             let maxv = row.iter().cloned().fold(f32::MIN, f32::max);
             let mut denom = 0.0f32;
@@ -438,8 +441,7 @@ impl Graph {
                     let n = xm.cols() as f32;
                     let mut dx = Matrix::zeros(xm.rows(), xm.cols());
                     let mut dg = Matrix::zeros(1, xm.cols());
-                    for r in 0..xm.rows() {
-                        let inv = inv_rms[r];
+                    for (r, &inv) in inv_rms.iter().enumerate() {
                         let xrow = xm.row(r);
                         let grow = gout.row(r);
                         // t = Σ_j dy_j · g_j · x_j
@@ -449,8 +451,8 @@ impl Graph {
                         }
                         let dxrow = dx.row_mut(r);
                         for j in 0..xm.cols() {
-                            dxrow[j] = grow[j] * gm.get(0, j) * inv
-                                - inv * inv * inv / n * xrow[j] * t;
+                            dxrow[j] =
+                                grow[j] * gm.get(0, j) * inv - inv * inv * inv / n * xrow[j] * t;
                         }
                         for j in 0..xm.cols() {
                             let cur = dg.get(0, j);
@@ -611,11 +613,7 @@ mod tests {
     use apollo_tensor::Rng;
 
     /// Central finite-difference gradient of `f` w.r.t. `param`.
-    fn numeric_grad(
-        mut f: impl FnMut(&Matrix) -> f32,
-        param: &Matrix,
-        eps: f32,
-    ) -> Matrix {
+    fn numeric_grad(mut f: impl FnMut(&Matrix) -> f32, param: &Matrix, eps: f32) -> Matrix {
         let mut g = Matrix::zeros(param.rows(), param.cols());
         for r in 0..param.rows() {
             for c in 0..param.cols() {
@@ -821,9 +819,21 @@ mod tests {
         let z = g.matmul(o, w);
         let s = g.sum(z);
         g.backward(s);
-        assert_grad_close(g.grad(q), &numeric_grad(|p| f(p, &k0, &v0), &q0, 1e-2), 3e-2);
-        assert_grad_close(g.grad(k), &numeric_grad(|p| f(&q0, p, &v0), &k0, 1e-2), 3e-2);
-        assert_grad_close(g.grad(v), &numeric_grad(|p| f(&q0, &k0, p), &v0, 1e-2), 3e-2);
+        assert_grad_close(
+            g.grad(q),
+            &numeric_grad(|p| f(p, &k0, &v0), &q0, 1e-2),
+            3e-2,
+        );
+        assert_grad_close(
+            g.grad(k),
+            &numeric_grad(|p| f(&q0, p, &v0), &k0, 1e-2),
+            3e-2,
+        );
+        assert_grad_close(
+            g.grad(v),
+            &numeric_grad(|p| f(&q0, &k0, p), &v0, 1e-2),
+            3e-2,
+        );
     }
 
     #[test]

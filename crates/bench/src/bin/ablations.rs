@@ -44,7 +44,11 @@ fn main() {
     for t in [25usize, 100, 200, 1_000_000] {
         eprintln!("[ablations] T = {t} ...");
         let ppl = run(&cfg, &mut Apollo::new(rank, t), steps, lr);
-        let label = if t == 1_000_000 { "never".to_string() } else { t.to_string() };
+        let label = if t == 1_000_000 {
+            "never".to_string()
+        } else {
+            t.to_string()
+        };
         t_rows.push(vec![label, format!("{ppl:.2}")]);
         points.push(Point {
             sweep: "update_freq".into(),
@@ -52,7 +56,11 @@ fn main() {
             ppl,
         });
     }
-    print_table("Ablation — APOLLO subspace refresh period T", &["T", "Val ppl"], &t_rows);
+    print_table(
+        "Ablation — APOLLO subspace refresh period T",
+        &["T", "Val ppl"],
+        &t_rows,
+    );
 
     // 2. APOLLO-Mini α sensitivity around the √(hidden/4) rule.
     let base_alpha = Method::mini_alpha(&cfg);
@@ -61,7 +69,10 @@ fn main() {
         let alpha = base_alpha * mult;
         eprintln!("[ablations] Mini α = {alpha:.2} ...");
         let ppl = run(&cfg, &mut Apollo::mini(200).with_alpha(alpha), steps, lr);
-        a_rows.push(vec![format!("{alpha:.2} ({mult}x rule)"), format!("{ppl:.2}")]);
+        a_rows.push(vec![
+            format!("{alpha:.2} ({mult}x rule)"),
+            format!("{ppl:.2}"),
+        ]);
         points.push(Point {
             sweep: "mini_alpha".into(),
             value: alpha,
@@ -89,7 +100,7 @@ fn main() {
         let clamped = l.apply(&mut u2);
         g_rows.push(vec![
             format!("{gamma}"),
-            format!("{}", clamped),
+            format!("{clamped:?}"),
             format!("{:.3}", u2.fro_norm()),
         ]);
     }

@@ -32,7 +32,11 @@ fn main() {
                 r.claim.clone(),
                 format!("{:.1}", r.required_gib),
                 format!("{:.1}", r.capacity_gib),
-                if r.holds { "HOLDS".into() } else { "fails".into() },
+                if r.holds {
+                    "HOLDS".into()
+                } else {
+                    "fails".into()
+                },
             ]
         })
         .collect();

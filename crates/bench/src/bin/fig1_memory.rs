@@ -27,10 +27,26 @@ fn main() {
     };
     let cases: Vec<(String, MethodSpec, MemoryOptions)> = vec![
         ("AdamW".into(), MethodSpec::AdamW, bf16),
-        ("GaLore (r=1024)".into(), MethodSpec::GaLore { rank: 1024 }, bf16),
-        ("Q-GaLore (r=1024)".into(), MethodSpec::GaLore { rank: 1024 }, int8),
-        ("APOLLO (r=256)".into(), MethodSpec::Apollo { rank: 256 }, bf16),
-        ("Q-APOLLO (r=256)".into(), MethodSpec::Apollo { rank: 256 }, int8),
+        (
+            "GaLore (r=1024)".into(),
+            MethodSpec::GaLore { rank: 1024 },
+            bf16,
+        ),
+        (
+            "Q-GaLore (r=1024)".into(),
+            MethodSpec::GaLore { rank: 1024 },
+            int8,
+        ),
+        (
+            "APOLLO (r=256)".into(),
+            MethodSpec::Apollo { rank: 256 },
+            bf16,
+        ),
+        (
+            "Q-APOLLO (r=256)".into(),
+            MethodSpec::Apollo { rank: 256 },
+            int8,
+        ),
         ("APOLLO-Mini".into(), MethodSpec::ApolloMini, bf16),
         ("Q-APOLLO-Mini".into(), MethodSpec::ApolloMini, int8),
     ];
@@ -61,7 +77,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 1 (middle) — LLaMA-7B memory breakdown, batch 1, layer-wise grads (GiB)",
-        &["Method", "Weights", "Grads", "Optimizer", "Activations", "Total"],
+        &[
+            "Method",
+            "Weights",
+            "Grads",
+            "Optimizer",
+            "Activations",
+            "Total",
+        ],
         &table,
     );
     println!("\nPaper shape: AdamW ≈58 GB dominated by 28 GB states; Q-APOLLO-Mini ≈12 GB.");

@@ -46,7 +46,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 1 (right) — LLaMA-7B throughput, 8x A100-80GB",
-        &["Method", "Micro-batch", "Mem (GiB)", "s/step", "Tokens/s", "vs AdamW"],
+        &[
+            "Method",
+            "Micro-batch",
+            "Mem (GiB)",
+            "s/step",
+            "Tokens/s",
+            "vs AdamW",
+        ],
         &table,
     );
     println!("\nPaper shape: APOLLO ≈3x AdamW and ≈2x GaLore via 4x larger batches + no SVD.");

@@ -46,8 +46,14 @@ fn main() {
     };
     let cases = [
         (Method::AdamW, step_rate(MethodSpec::AdamW, &std)),
-        (Method::GaLore, step_rate(MethodSpec::GaLore { rank: 1024 }, &lw)),
-        (Method::Apollo, step_rate(MethodSpec::Apollo { rank: 256 }, &lw)),
+        (
+            Method::GaLore,
+            step_rate(MethodSpec::GaLore { rank: 1024 }, &lw),
+        ),
+        (
+            Method::Apollo,
+            step_rate(MethodSpec::Apollo { rank: 256 }, &lw),
+        ),
         (Method::ApolloMini, step_rate(MethodSpec::ApolloMini, &lw)),
     ];
 
@@ -98,7 +104,12 @@ fn main() {
         .collect();
     print_table(
         "Fig. 2 — modeled time-to-budget at 7B (proxy ppl, modeled hours for 150K steps)",
-        &["Method", "Steps/hour (7B model)", "Hours for full budget", "Final ppl"],
+        &[
+            "Method",
+            "Steps/hour (7B model)",
+            "Hours for full budget",
+            "Final ppl",
+        ],
         &rows,
     );
     println!(

@@ -45,8 +45,16 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Fig. 3 — structured LR adaptation ({}, {} steps)", cfg.name, steps),
-        &["Method", "Val ppl", "Max early loss jump", "Final train loss"],
+        &format!(
+            "Fig. 3 — structured LR adaptation ({}, {} steps)",
+            cfg.name, steps
+        ),
+        &[
+            "Method",
+            "Val ppl",
+            "Max early loss jump",
+            "Final train loss",
+        ],
         &rows,
     );
     println!(

@@ -54,12 +54,7 @@ fn main() {
     // never used, so the trajectory is governed by the golden optimizer.
     let mut probes: Vec<(LlamaModel, Apollo)> = ranks
         .iter()
-        .map(|&r| {
-            (
-                model.clone(),
-                Apollo::new(r, UPDATE_FREQ).without_limiter(),
-            )
-        })
+        .map(|&r| (model.clone(), Apollo::new(r, UPDATE_FREQ).without_limiter()))
         .collect();
     let mut golden = AdamWChannelwise::new().without_limiter();
 

@@ -32,7 +32,11 @@ fn rank_run(cfg: &ModelConfig, opt: &mut dyn Optimizer, steps: usize, lr: f32) -
 
 fn main() {
     // Part (a-c): projection-kind ablation per size.
-    let sizes = [("60M", scaled(300)), ("130M", scaled(150)), ("350M", scaled(80))];
+    let sizes = [
+        ("60M", scaled(300)),
+        ("130M", scaled(150)),
+        ("350M", scaled(80)),
+    ];
     let methods = [
         Method::AdamW,
         Method::GaLore,
@@ -61,7 +65,11 @@ fn main() {
     }
     let mut headers = vec!["Size"];
     headers.extend(methods.iter().map(|m| m.label()));
-    print_table("Fig. 5 (a-c) — SVD vs random projection (val ppl)", &headers, &rows);
+    print_table(
+        "Fig. 5 (a-c) — SVD vs random projection (val ppl)",
+        &headers,
+        &rows,
+    );
 
     // Part (d): rank sweep at 60M (hidden 64, so n/4 = 16).
     let cfg = ModelConfig::tiny_60m();
@@ -103,7 +111,10 @@ fn main() {
     }
     let adamw_ref = pretrain_run(&cfg, Method::AdamW, steps, 4, 42, None).final_ppl;
     print_table(
-        &format!("Fig. 5 (d) — rank sweep on {} (AdamW reference: {adamw_ref:.2})", cfg.name),
+        &format!(
+            "Fig. 5 (d) — rank sweep on {} (AdamW reference: {adamw_ref:.2})",
+            cfg.name
+        ),
         &["Rank", "GaLore", "Fira", "APOLLO", "APOLLO-Mini (tensor)"],
         &drows,
     );

@@ -40,7 +40,10 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Fig. 6 — validation ppl over training ({}, {} steps)", cfg.name, steps),
+        &format!(
+            "Fig. 6 — validation ppl over training ({}, {} steps)",
+            cfg.name, steps
+        ),
         &header_refs,
         &rows,
     );

@@ -17,7 +17,13 @@ struct Fig7Run {
     log: RunLog,
 }
 
-fn run(cfg: &ModelConfig, opt: &mut dyn Optimizer, steps: usize, lr: f32, clip: Option<f32>) -> RunLog {
+fn run(
+    cfg: &ModelConfig,
+    opt: &mut dyn Optimizer,
+    steps: usize,
+    lr: f32,
+    clip: Option<f32>,
+) -> RunLog {
     let mut rng = Rng::seed_from_u64(42);
     let mut model = LlamaModel::new(cfg, LinearMode::Dense, &mut rng);
     let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
@@ -77,7 +83,10 @@ fn main() {
         .map(|r| vec![r.label.clone(), format!("{:.2}", r.final_ppl)])
         .collect();
     print_table(
-        &format!("Fig. 7 — long-context (seq {} = 4x base), {} steps", cfg.max_seq, steps),
+        &format!(
+            "Fig. 7 — long-context (seq {} = 4x base), {} steps",
+            cfg.max_seq, steps
+        ),
         &["Run", "Val ppl"],
         &rows,
     );

@@ -40,7 +40,12 @@ fn main() {
         .collect();
     print_table(
         &format!("Table 1 — optimizer state for one {m}x{n} tensor (r = {r}) and full LLaMA-7B"),
-        &["Method", "State elems (tensor)", "7B total (G elems)", "7B states (GB, BF16)"],
+        &[
+            "Method",
+            "State elems (tensor)",
+            "7B total (G elems)",
+            "7B states (GB, BF16)",
+        ],
         &rows_str,
     );
     println!(

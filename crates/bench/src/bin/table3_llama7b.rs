@@ -69,11 +69,13 @@ fn main() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            let mut row = vec![
-                r.method.clone(),
-                format!("{:.1}G", r.optimizer_memory_gib),
-            ];
-            row.extend(r.checkpoints.iter().take(n_ck).map(|&(_, p)| format!("{p:.2}")));
+            let mut row = vec![r.method.clone(), format!("{:.1}G", r.optimizer_memory_gib)];
+            row.extend(
+                r.checkpoints
+                    .iter()
+                    .take(n_ck)
+                    .map(|&(_, p)| format!("{p:.2}")),
+            );
             row
         })
         .collect();

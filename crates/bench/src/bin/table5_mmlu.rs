@@ -54,7 +54,15 @@ fn main() {
     };
     pretrain(&mut base, &mut pre_opt, &mut batcher, &tc);
 
-    let methods = ["Full", "LoRA", "GaLore", "Fira", "APOLLO w. SVD", "APOLLO", "APOLLO-Mini"];
+    let methods = [
+        "Full",
+        "LoRA",
+        "GaLore",
+        "Fira",
+        "APOLLO w. SVD",
+        "APOLLO",
+        "APOLLO-Mini",
+    ];
     let lrs = [1e-3f32, 3e-3];
     let mut results = Vec::new();
     for &name in &methods {
@@ -109,7 +117,10 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Table 5 — MMLU-domain fine-tuning accuracy (%), best of {} LRs", lrs.len()),
+        &format!(
+            "Table 5 — MMLU-domain fine-tuning accuracy (%), best of {} LRs",
+            lrs.len()
+        ),
         &header_refs,
         &rows,
     );

@@ -25,8 +25,12 @@ fn paper_memory_gib(method: Method, quantized: bool, size: &str) -> f64 {
         _ => unreachable!(),
     };
     let spec = match method {
-        Method::GaLore => MethodSpec::GaLore { rank: cfg.default_rank() },
-        Method::Apollo => MethodSpec::Apollo { rank: cfg.default_rank() },
+        Method::GaLore => MethodSpec::GaLore {
+            rank: cfg.default_rank(),
+        },
+        Method::Apollo => MethodSpec::Apollo {
+            rank: cfg.default_rank(),
+        },
         Method::ApolloMini => MethodSpec::ApolloMini,
         _ => MethodSpec::AdamW,
     };
@@ -43,7 +47,11 @@ fn paper_memory_gib(method: Method, quantized: bool, size: &str) -> f64 {
 }
 
 fn main() {
-    let sizes = [("60M", scaled(300)), ("130M", scaled(150)), ("350M", scaled(80))];
+    let sizes = [
+        ("60M", scaled(300)),
+        ("130M", scaled(150)),
+        ("350M", scaled(80)),
+    ];
     // (label base, method, quantize weights?)
     let cases = [
         ("AdamW", Method::AdamW, false),
@@ -90,7 +98,9 @@ fn main() {
     }
     print_table(
         "Table 6 — INT8-weight training (proxy ppl; paper-geometry weights+states memory)",
-        &["Method", "60M ppl", "mem", "130M ppl", "mem", "350M ppl", "mem"],
+        &[
+            "Method", "60M ppl", "mem", "130M ppl", "mem", "350M ppl", "mem",
+        ],
         &rows,
     );
     println!(

@@ -13,7 +13,11 @@ struct Cell {
 }
 
 fn main() {
-    let sizes = [("60M", scaled(300)), ("130M", scaled(150)), ("350M", scaled(80))];
+    let sizes = [
+        ("60M", scaled(300)),
+        ("130M", scaled(150)),
+        ("350M", scaled(80)),
+    ];
     let cases = [
         ("AdamW", "-", Method::AdamW),
         ("GaLore", "-", Method::GaLore),

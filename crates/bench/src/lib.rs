@@ -159,9 +159,9 @@ impl Method {
             Method::Flora => Box::new(Flora::new(rank, UPDATE_FREQ)),
             Method::Apollo | Method::ApolloHalfRank => Box::new(Apollo::new(rank, UPDATE_FREQ)),
             Method::ApolloSvd => Box::new(Apollo::new(rank, UPDATE_FREQ).with_svd()),
-            Method::ApolloTensor => Box::new(
-                Apollo::new(rank, UPDATE_FREQ).with_granularity(ScaleGranularity::Tensor),
-            ),
+            Method::ApolloTensor => {
+                Box::new(Apollo::new(rank, UPDATE_FREQ).with_granularity(ScaleGranularity::Tensor))
+            }
             Method::ApolloTensorSvd => Box::new(
                 Apollo::new(rank, UPDATE_FREQ)
                     .with_svd()
@@ -272,7 +272,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

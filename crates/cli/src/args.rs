@@ -13,22 +13,27 @@ pub struct Args {
 impl Args {
     /// Parses `args` (excluding the program name).
     ///
+    /// A flag followed by another `--flag` (or by nothing) is treated as a
+    /// boolean switch and stored as `"true"`, so `--resume` works without
+    /// a value.
+    ///
     /// # Errors
     ///
-    /// Returns a message if no subcommand is present or a flag is missing
-    /// its value.
+    /// Returns a message if no subcommand is present or an argument is not
+    /// a flag.
     pub fn parse(args: &[String]) -> Result<Args, String> {
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         let command = it.next().ok_or("missing subcommand")?.clone();
         let mut flags = HashMap::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --flag, got `{key}`"));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.insert(name.to_string(), value.clone());
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), value);
         }
         Ok(Args { command, flags })
     }
@@ -87,8 +92,19 @@ mod tests {
     }
 
     #[test]
-    fn missing_value_is_an_error() {
-        assert!(Args::parse(&strs(&["pretrain", "--steps"])).is_err());
+    fn valueless_flags_parse_as_boolean_switches() {
+        let a = Args::parse(&strs(&["pretrain", "--resume", "--steps", "10"])).unwrap();
+        assert!(a.has("resume"));
+        assert_eq!(a.get("resume", "false"), "true");
+        assert_eq!(a.get_num::<usize>("steps", 0).unwrap(), 10);
+        let b = Args::parse(&strs(&["pretrain", "--resume"])).unwrap();
+        assert!(b.has("resume"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = Args::parse(&strs(&["x", "--lr", "-0.5"])).unwrap();
+        assert_eq!(a.get_num::<f32>("lr", 0.0).unwrap(), -0.5);
     }
 
     #[test]

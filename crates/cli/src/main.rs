@@ -20,7 +20,8 @@ use apollo_optim::{AdamMini, AdamW, Apollo, Fira, Flora, GaLore, Optimizer, Sgd,
 use apollo_sysmodel::{Gpu, MemoryOptions, TrainingMemoryModel};
 use apollo_tensor::Rng;
 use apollo_train::{
-    eval_perplexity, finetune, load_model, pretrain, save_model, FinetuneConfig, TrainConfig,
+    eval_perplexity, finetune, load_model, pretrain_resilient, save_model, FinetuneConfig,
+    RecoveryPolicy, ResilienceConfig, ResilienceReport, TrainConfig,
 };
 use args::Args;
 
@@ -31,6 +32,8 @@ USAGE:
   apollo pretrain [--model NAME] [--optimizer NAME] [--steps N] [--batch N]
                   [--lr F] [--rank N] [--seed N] [--quantize-weights GROUP]
                   [--save PATH]
+                  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                  [--recovery POLICY] [--lr-backoff F] [--spike-factor F]
   apollo finetune --checkpoint PATH --task NAME [--optimizer NAME]
                   [--steps N] [--batch N] [--lr F] [--rank N]
   apollo eval     --checkpoint PATH [--seqs N]
@@ -43,7 +46,8 @@ OPTIMIZERS adamw adamw-8bit adam-mini sgd sgd-m apollo apollo-svd
            apollo-mini galore galore-rp galore-8bit fira flora
 TASKS      WG PIQA SIQA OBQA HS BoolQ Arc-E Arc-C
            STEM 'Social Sciences' Humanities Other
-GPUS       a100-80g consumer-12g";
+GPUS       a100-80g consumer-12g
+RECOVERY   off skip clip rollback abort   (what to do on NaN/Inf/loss-spike steps)";
 
 fn model_config(name: &str) -> Result<ModelConfig, String> {
     Ok(match name {
@@ -63,7 +67,11 @@ fn model_config(name: &str) -> Result<ModelConfig, String> {
     })
 }
 
-fn build_optimizer(name: &str, rank: usize, cfg: &ModelConfig) -> Result<Box<dyn Optimizer>, String> {
+fn build_optimizer(
+    name: &str,
+    rank: usize,
+    cfg: &ModelConfig,
+) -> Result<Box<dyn Optimizer>, String> {
     let freq = 200;
     let mini_alpha = (cfg.hidden as f32 / 4.0).sqrt();
     Ok(match name {
@@ -89,6 +97,60 @@ fn default_lr(optimizer: &str) -> f32 {
         "adamw" | "adamw-8bit" | "adam-mini" => 1e-2,
         "sgd" | "sgd-m" => 0.3,
         _ => 3e-2,
+    }
+}
+
+fn resilience_config(a: &Args) -> Result<ResilienceConfig, String> {
+    let policy = match a.get("recovery", "off").as_str() {
+        "off" => None,
+        "skip" => Some(RecoveryPolicy::SkipStep),
+        "clip" => Some(RecoveryPolicy::ClipAndContinue),
+        "rollback" => Some(RecoveryPolicy::RollbackAndRetry {
+            lr_backoff: a.get_num("lr-backoff", 0.5f32)?,
+        }),
+        "abort" => Some(RecoveryPolicy::Abort),
+        other => {
+            return Err(format!(
+                "unknown recovery policy `{other}` (try `apollo list`)"
+            ))
+        }
+    };
+    let mut res = ResilienceConfig {
+        policy,
+        resume: a.has("resume"),
+        spike_factor: a.get_num("spike-factor", 3.0f32)?,
+        ..ResilienceConfig::default()
+    };
+    if a.has("checkpoint-dir") {
+        res.checkpoint_dir = Some(PathBuf::from(a.require("checkpoint-dir")?));
+        res.checkpoint_every = a.get_num("checkpoint-every", 100usize)?;
+    } else if a.has("resume") || a.has("checkpoint-every") {
+        return Err("--resume/--checkpoint-every need --checkpoint-dir".into());
+    }
+    Ok(res)
+}
+
+fn print_resilience(r: &ResilienceReport) {
+    if let Some(step) = r.resumed_from_step {
+        println!("resumed from checkpointed step {step}");
+    }
+    if r.checkpoints_written > 0 || r.checkpoint_errors > 0 {
+        println!(
+            "checkpoints: {} written, {} failed",
+            r.checkpoints_written, r.checkpoint_errors
+        );
+    }
+    if !r.is_clean() {
+        println!(
+            "faults: {} NaN/Inf-grad, {} NaN/Inf-loss, {} spike | recovery: {} skipped, {} clipped, {} rollbacks{}",
+            r.non_finite_grads,
+            r.non_finite_loss,
+            r.loss_spikes,
+            r.skipped_steps,
+            r.clipped_steps,
+            r.rollbacks,
+            if r.aborted { " | ABORTED" } else { "" },
+        );
     }
 }
 
@@ -125,12 +187,13 @@ fn cmd_pretrain(a: &Args) -> Result<(), String> {
         },
         ..TrainConfig::quick(steps)
     };
+    let res = resilience_config(a)?;
     eprintln!(
         "pretraining {} with {} (rank {rank}, lr {lr}, {steps} steps, batch {batch})",
         cfg.name,
         opt.name()
     );
-    let log = pretrain(&mut model, opt.as_mut(), &mut batcher, &tc);
+    let log = pretrain_resilient(&mut model, opt.as_mut(), &mut batcher, &tc, &res);
     for (step, ppl) in &log.eval_ppls {
         println!("step {step:>6}  val ppl {ppl:.2}");
     }
@@ -138,6 +201,7 @@ fn cmd_pretrain(a: &Args) -> Result<(), String> {
         "final ppl {:.2} | optimizer state {} elems ({} bytes) | {:.1}s",
         log.final_ppl, log.state_elems, log.state_bytes, log.wall_secs
     );
+    print_resilience(&log.resilience);
     if a.has("save") {
         let path = PathBuf::from(a.require("save")?);
         save_model(&model, LinearMode::Dense, &path).map_err(|e| e.to_string())?;
@@ -168,7 +232,10 @@ fn cmd_finetune(a: &Args) -> Result<(), String> {
         eval_examples: 100,
     };
     let mut opt = build_optimizer(&opt_name, rank, &cfg)?;
-    eprintln!("fine-tuning on {task_name} with {} ({steps} steps)", opt.name());
+    eprintln!(
+        "fine-tuning on {task_name} with {} ({steps} steps)",
+        opt.name()
+    );
     let res = finetune(&mut model, opt.as_mut(), &mut task, &fc);
     println!(
         "{}: accuracy {:.1}% (chance {:.0}%), final loss {:.3}, {:.1}s",
@@ -213,7 +280,11 @@ fn cmd_memory(a: &Args) -> Result<(), String> {
     };
     let mem = TrainingMemoryModel::new(&cfg);
     let b = mem.breakdown(spec, &MemoryOptions::figure1(256));
-    println!("{} + {} (batch 1, layer-wise grads):", cfg.name, spec.label());
+    println!(
+        "{} + {} (batch 1, layer-wise grads):",
+        cfg.name,
+        spec.label()
+    );
     println!("  weights     {:>8.2} GiB", b.weights_gib);
     println!("  gradients   {:>8.2} GiB", b.grads_gib);
     println!("  optimizer   {:>8.2} GiB", b.optimizer_gib);
@@ -223,7 +294,11 @@ fn cmd_memory(a: &Args) -> Result<(), String> {
         "  on {} ({} GiB): {}",
         gpu.name,
         gpu.memory_gib,
-        if b.total_gib() <= gpu.memory_gib { "fits" } else { "OOM" }
+        if b.total_gib() <= gpu.memory_gib {
+            "fits"
+        } else {
+            "OOM"
+        }
     );
     Ok(())
 }

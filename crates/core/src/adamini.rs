@@ -11,7 +11,8 @@
 
 use apollo_tensor::Matrix;
 
-use crate::{Optimizer, ParamUpdate};
+use crate::state::{StateReader, StateWriter};
+use crate::{check_state_header, save_state_header, Optimizer, ParamUpdate};
 
 /// Per-tensor Adam-mini state: full first moment, block-wise second moment.
 #[derive(Debug, Clone)]
@@ -22,6 +23,36 @@ struct MiniState {
     /// Blocks run along columns (`true`) or rows (`false`).
     along_cols: bool,
     t: u32,
+}
+
+impl MiniState {
+    fn save_into(&self, w: &mut StateWriter) {
+        w.matrix(&self.m);
+        w.f32_slice(&self.v_blocks);
+        w.bool(self.along_cols);
+        w.u32(self.t);
+    }
+
+    fn load_from(r: &mut StateReader<'_>) -> Result<Self, String> {
+        let m = r.matrix()?;
+        let v_blocks = r.f32_slice()?;
+        let along_cols = r.bool()?;
+        let t = r.u32()?;
+        let expect = if along_cols { m.cols() } else { m.rows() };
+        if v_blocks.len() != expect {
+            return Err(format!(
+                "Adam-mini block count {} does not match moment shape {:?}",
+                v_blocks.len(),
+                m.shape()
+            ));
+        }
+        Ok(MiniState {
+            m,
+            v_blocks,
+            along_cols,
+            t,
+        })
+    }
 }
 
 /// Block-wise AdamW: full momentum, one second-moment scalar per channel.
@@ -128,6 +159,29 @@ impl Optimizer for AdamMini {
 
     fn reset_state(&mut self) {
         self.states.clear();
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        let mut w = StateWriter::new();
+        save_state_header(&mut w, &self.name());
+        w.u64(self.states.len() as u64);
+        for st in &self.states {
+            st.save_into(&mut w);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        check_state_header(&mut r, &self.name())?;
+        let n = r.len()?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(MiniState::load_from(&mut r)?);
+        }
+        r.expect_exhausted()?;
+        self.states = states;
+        Ok(())
     }
 }
 

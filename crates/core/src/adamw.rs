@@ -2,7 +2,10 @@
 //! structured channel-wise AdamW used to motivate APOLLO.
 
 use crate::limiter::NormGrowthLimiter;
-use crate::{norm_ratio_scales, AdamMoments, Optimizer, ParamUpdate};
+use crate::state::{StateReader, StateWriter};
+use crate::{
+    check_state_header, norm_ratio_scales, save_state_header, AdamMoments, Optimizer, ParamUpdate,
+};
 
 /// The AdamW baseline (Loshchilov & Hutter), with optional block-wise
 /// 8-bit state quantization.
@@ -99,6 +102,29 @@ impl Optimizer for AdamW {
 
     fn reset_state(&mut self) {
         self.states.clear();
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        let mut w = StateWriter::new();
+        save_state_header(&mut w, &self.name());
+        w.u64(self.states.len() as u64);
+        for st in &self.states {
+            st.save_into(&mut w);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        check_state_header(&mut r, &self.name())?;
+        let n = r.len()?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(AdamMoments::load_from(&mut r)?);
+        }
+        r.expect_exhausted()?;
+        self.states = states;
+        Ok(())
     }
 }
 
@@ -221,6 +247,52 @@ impl Optimizer for AdamWChannelwise {
         self.states.clear();
         self.limiters.clear();
         self.last_scales.clear();
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        let mut w = StateWriter::new();
+        save_state_header(&mut w, &self.name());
+        w.u64(self.states.len() as u64);
+        for st in &self.states {
+            st.save_into(&mut w);
+        }
+        w.u64(self.limiters.len() as u64);
+        for l in &self.limiters {
+            l.save_into(&mut w);
+        }
+        w.u64(self.last_scales.len() as u64);
+        for s in &self.last_scales {
+            w.f32_slice(s);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        check_state_header(&mut r, &self.name())?;
+        let n = r.len()?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(AdamMoments::load_from(&mut r)?);
+        }
+        let nl = r.len()?;
+        if nl != n {
+            return Err(format!("limiter count {nl} != moment count {n}"));
+        }
+        let mut limiters = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            limiters.push(NormGrowthLimiter::load_from(&mut r)?);
+        }
+        let ns = r.len()?;
+        let mut last_scales = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            last_scales.push(r.f32_slice()?);
+        }
+        r.expect_exhausted()?;
+        self.states = states;
+        self.limiters = limiters;
+        self.last_scales = last_scales;
+        Ok(())
     }
 }
 

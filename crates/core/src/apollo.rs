@@ -2,7 +2,10 @@
 
 use crate::limiter::NormGrowthLimiter;
 use crate::projector::{ProjKind, Projector};
-use crate::{norm_ratio_scales, AdamMoments, Optimizer, ParamUpdate};
+use crate::state::{StateReader, StateWriter};
+use crate::{
+    check_state_header, norm_ratio_scales, save_state_header, AdamMoments, Optimizer, ParamUpdate,
+};
 
 /// Granularity of the approximated gradient scaling factor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -292,6 +295,62 @@ impl Optimizer for Apollo {
     fn reset_state(&mut self) {
         self.states.clear();
         self.last_scales.clear();
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        let mut w = StateWriter::new();
+        save_state_header(&mut w, &self.name());
+        w.u64(self.states.len() as u64);
+        for st in &self.states {
+            match st {
+                ApolloState::Dense(moments) => {
+                    w.u8(0);
+                    moments.save_into(&mut w);
+                }
+                ApolloState::LowRank {
+                    moments,
+                    projector,
+                    limiter,
+                } => {
+                    w.u8(1);
+                    moments.save_into(&mut w);
+                    projector.save_into(&mut w);
+                    limiter.save_into(&mut w);
+                }
+            }
+        }
+        w.u64(self.last_scales.len() as u64);
+        for s in &self.last_scales {
+            w.f32_slice(s);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        check_state_header(&mut r, &self.name())?;
+        let n = r.len()?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(match r.u8()? {
+                0 => ApolloState::Dense(AdamMoments::load_from(&mut r)?),
+                1 => ApolloState::LowRank {
+                    moments: AdamMoments::load_from(&mut r)?,
+                    projector: Projector::load_from(&mut r)?,
+                    limiter: NormGrowthLimiter::load_from(&mut r)?,
+                },
+                other => return Err(format!("unknown APOLLO state tag {other}")),
+            });
+        }
+        let ns = r.len()?;
+        let mut last_scales = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            last_scales.push(r.f32_slice()?);
+        }
+        r.expect_exhausted()?;
+        self.states = states;
+        self.last_scales = last_scales;
+        Ok(())
     }
 }
 

@@ -7,7 +7,10 @@
 
 use crate::limiter::NormGrowthLimiter;
 use crate::projector::{ProjKind, Projector};
-use crate::{norm_ratio_scales, AdamMoments, Optimizer, ParamUpdate};
+use crate::state::{StateReader, StateWriter};
+use crate::{
+    check_state_header, norm_ratio_scales, save_state_header, AdamMoments, Optimizer, ParamUpdate,
+};
 
 #[derive(Debug, Clone)]
 enum LowRankState {
@@ -198,6 +201,54 @@ impl GaLore {
             .sum()
     }
 
+    /// Shared `state_save` used by GaLore, Fira, and Flora; `name` embeds
+    /// the concrete optimizer so checkpoints cannot cross wrappers.
+    fn state_save_inner(&self, name: &str) -> Result<Vec<u8>, String> {
+        let mut w = StateWriter::new();
+        save_state_header(&mut w, name);
+        w.u64(self.states.len() as u64);
+        for st in &self.states {
+            match st {
+                LowRankState::Dense(moments) => {
+                    w.u8(0);
+                    moments.save_into(&mut w);
+                }
+                LowRankState::LowRank {
+                    moments,
+                    projector,
+                    limiter,
+                } => {
+                    w.u8(1);
+                    moments.save_into(&mut w);
+                    projector.save_into(&mut w);
+                    limiter.save_into(&mut w);
+                }
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_load_inner(&mut self, bytes: &[u8], name: &str) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        check_state_header(&mut r, name)?;
+        let n = r.len()?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(match r.u8()? {
+                0 => LowRankState::Dense(AdamMoments::load_from(&mut r)?),
+                1 => LowRankState::LowRank {
+                    moments: AdamMoments::load_from(&mut r)?,
+                    projector: Projector::load_from(&mut r)?,
+                    limiter: NormGrowthLimiter::load_from(&mut r)?,
+                },
+                other => return Err(format!("unknown GaLore state tag {other}")),
+            });
+        }
+        r.expect_exhausted()?;
+        self.states = states;
+        Ok(())
+    }
+
     fn state_bytes_inner(&self) -> usize {
         self.states
             .iter()
@@ -243,6 +294,14 @@ impl Optimizer for GaLore {
 
     fn reset_state(&mut self) {
         self.states.clear();
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        self.state_save_inner(&self.name())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.state_load_inner(bytes, &self.name())
     }
 }
 
@@ -297,6 +356,15 @@ impl Optimizer for Fira {
     fn reset_state(&mut self) {
         self.0.states.clear();
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        self.0.state_save_inner(&self.name())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let name = self.name();
+        self.0.state_load_inner(bytes, &name)
+    }
 }
 
 /// **Flora** (Hao et al., 2024): gradient compression by *random*
@@ -337,6 +405,15 @@ impl Optimizer for Flora {
 
     fn reset_state(&mut self) {
         self.0.states.clear();
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        self.0.state_save_inner(&self.name())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let name = self.name();
+        self.0.state_load_inner(bytes, &name)
     }
 }
 

@@ -59,12 +59,13 @@ mod limiter;
 pub mod memory;
 mod projector;
 mod sgd;
+pub mod state;
 
 pub use adamini::AdamMini;
 pub use adamw::{AdamW, AdamWChannelwise};
 pub use apollo::{Apollo, ScaleGranularity};
 pub use galore::{Fira, Flora, GaLore};
-pub use limiter::NormGrowthLimiter;
+pub use limiter::{LimiterOutcome, NormGrowthLimiter};
 pub use projector::{ProjKind, Projector};
 pub use sgd::{Sgd, SgdMomentum};
 
@@ -113,6 +114,50 @@ pub trait Optimizer {
     /// step. Used by ReLoRA's periodic adapter merges, which invalidate the
     /// old moments.
     fn reset_state(&mut self) {}
+
+    /// Serializes the optimizer's complete mutable state (moments,
+    /// projector seeds/steps/bases, limiter scalars) into the
+    /// [`state`] binary format, so training resumes **bit-exactly** from a
+    /// crash-safe checkpoint. The serialized form embeds [`Optimizer::name`]
+    /// and is only loadable into an identically-configured optimizer.
+    ///
+    /// The default implementation reports the optimizer as
+    /// non-checkpointable; every optimizer shipped in this crate overrides
+    /// it.
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        Err(format!(
+            "optimizer `{}` does not support state checkpointing",
+            self.name()
+        ))
+    }
+
+    /// Restores state captured by [`Optimizer::state_save`]. Errors (leaving
+    /// existing state untouched) on a name mismatch, layout-version
+    /// mismatch, truncation, or trailing bytes.
+    fn state_load(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!(
+            "optimizer `{}` does not support state checkpointing",
+            self.name()
+        ))
+    }
+}
+
+/// Writes the shared `state_save` header: optimizer name + layout version.
+pub(crate) fn save_state_header(w: &mut state::StateWriter, name: &str) {
+    w.str(name);
+    w.u8(1);
+}
+
+/// Validates the shared header against the loading optimizer's name.
+pub(crate) fn check_state_header(r: &mut state::StateReader<'_>, name: &str) -> Result<(), String> {
+    let tag = r.str()?;
+    if tag != name {
+        return Err(format!("optimizer state is for `{tag}`, not `{name}`"));
+    }
+    match r.u8()? {
+        1 => Ok(()),
+        v => Err(format!("unknown `{name}` state layout version {v}")),
+    }
 }
 
 /// Shared helper: channel-wise norm-ratio scaling factors.
@@ -202,6 +247,33 @@ impl AdamMoments {
                 per(self.m.len()) + per(self.v.len())
             }
         }
+    }
+
+    pub(crate) fn save_into(&self, w: &mut state::StateWriter) {
+        w.matrix(&self.m);
+        w.matrix(&self.v);
+        w.u32(self.t);
+        w.opt_u64(self.quant_group.map(|g| g as u64));
+    }
+
+    pub(crate) fn load_from(r: &mut state::StateReader<'_>) -> Result<Self, String> {
+        let m = r.matrix()?;
+        let v = r.matrix()?;
+        if m.shape() != v.shape() {
+            return Err(format!(
+                "moment shape mismatch: m {:?} vs v {:?}",
+                m.shape(),
+                v.shape()
+            ));
+        }
+        let t = r.u32()?;
+        let quant_group = r.opt_u64()?.map(|g| g as usize);
+        Ok(AdamMoments {
+            m,
+            v,
+            t,
+            quant_group,
+        })
     }
 }
 

@@ -73,7 +73,7 @@ impl Projector {
     /// Advances the step counter and refreshes the subspace when due.
     /// `g` is the current gradient (consulted only by the SVD kind).
     pub fn begin_step(&mut self, g: &Matrix) {
-        if self.step % self.update_freq == 0 {
+        if self.step.is_multiple_of(self.update_freq) {
             match self.kind {
                 ProjKind::Random => {
                     // Derive an independent new seed, exactly the
@@ -155,6 +155,44 @@ impl Projector {
         } else {
             r.matmul_transb(&b) // (m × r)·(r × n)ᵀ… (m × r)·(n × r)ᵀ = m × n
         }
+    }
+
+    pub(crate) fn save_into(&self, w: &mut crate::state::StateWriter) {
+        w.u8(match self.kind {
+            ProjKind::Random => 0,
+            ProjKind::Svd => 1,
+        });
+        w.u64(self.rank as u64);
+        w.u64(self.update_freq as u64);
+        w.u64(self.seed);
+        w.u64(self.step as u64);
+        w.opt_matrix(self.cached_basis.as_ref());
+    }
+
+    pub(crate) fn load_from(r: &mut crate::state::StateReader<'_>) -> Result<Self, String> {
+        let kind = match r.u8()? {
+            0 => ProjKind::Random,
+            1 => ProjKind::Svd,
+            other => return Err(format!("unknown projector kind tag {other}")),
+        };
+        let rank = r.len()?;
+        let update_freq = r.len()?;
+        if rank == 0 || update_freq == 0 {
+            return Err(format!(
+                "invalid projector state: rank {rank}, update_freq {update_freq}"
+            ));
+        }
+        let seed = r.u64()?;
+        let step = r.len()?;
+        let cached_basis = r.opt_matrix()?;
+        Ok(Projector {
+            kind,
+            rank,
+            update_freq,
+            seed,
+            step,
+            cached_basis,
+        })
     }
 
     /// Persisted state in f32-equivalents: the cached basis for SVD, nothing

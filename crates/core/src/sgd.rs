@@ -2,7 +2,8 @@
 
 use apollo_tensor::Matrix;
 
-use crate::{Optimizer, ParamUpdate};
+use crate::state::{StateReader, StateWriter};
+use crate::{check_state_header, save_state_header, Optimizer, ParamUpdate};
 
 /// Plain stochastic gradient descent with decoupled weight decay.
 ///
@@ -44,6 +45,20 @@ impl Optimizer for Sgd {
 
     fn state_elems(&self) -> usize {
         0
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        // Stateless, but still checkpointable: the header alone lets a
+        // resumed run verify the optimizer kind matches.
+        let mut w = StateWriter::new();
+        save_state_header(&mut w, &self.name());
+        Ok(w.into_bytes())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        check_state_header(&mut r, &self.name())?;
+        r.expect_exhausted()
     }
 }
 
@@ -101,6 +116,29 @@ impl Optimizer for SgdMomentum {
     fn reset_state(&mut self) {
         self.momenta.clear();
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, String> {
+        let mut w = StateWriter::new();
+        save_state_header(&mut w, &self.name());
+        w.u64(self.momenta.len() as u64);
+        for m in &self.momenta {
+            w.matrix(m);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_load(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        check_state_header(&mut r, &self.name())?;
+        let n = r.len()?;
+        let mut momenta = Vec::with_capacity(n);
+        for _ in 0..n {
+            momenta.push(r.matrix()?);
+        }
+        r.expect_exhausted()?;
+        self.momenta = momenta;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -140,9 +178,7 @@ mod tests {
     fn sgd_weight_decay_shrinks_weights() {
         let mut w = Matrix::full(1, 1, 1.0);
         let g = Matrix::zeros(1, 1);
-        let mut opt = Sgd {
-            weight_decay: 0.5,
-        };
+        let mut opt = Sgd { weight_decay: 0.5 };
         opt.step(
             &mut [ParamUpdate {
                 name: "w",

@@ -18,9 +18,7 @@ fn all_optimizers() -> Vec<Box<dyn Optimizer>> {
         Box::new(Apollo::new(4, 10)),
         Box::new(Apollo::new(4, 10).with_svd()),
         Box::new(Apollo::mini(10)),
-        Box::new(
-            Apollo::new(4, 10).with_granularity(ScaleGranularity::Tensor),
-        ),
+        Box::new(Apollo::new(4, 10).with_granularity(ScaleGranularity::Tensor)),
         Box::new(GaLore::new(4, 10)),
         Box::new(GaLore::new(4, 10).with_random_projection()),
         Box::new(GaLore::galore8bit(4, 10, 32)),
@@ -150,7 +148,11 @@ fn alternating_gradient_signs_remain_stable() {
             step_once(opt.as_mut(), &mut w, &g);
         }
         assert!(w.all_finite(), "{name}");
-        assert!(w.fro_norm() < 100.0, "{name}: runaway weights {}", w.fro_norm());
+        assert!(
+            w.fro_norm() < 100.0,
+            "{name}: runaway weights {}",
+            w.fro_norm()
+        );
     }
 }
 

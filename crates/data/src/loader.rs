@@ -43,6 +43,18 @@ impl LmBatcher {
         self.seq
     }
 
+    /// Current train-stream cursor: the id the next training batch draws
+    /// first. Saved into checkpoints so a resumed run replays the exact
+    /// data order an uninterrupted run would have seen.
+    pub fn cursor(&self) -> u64 {
+        self.next_stream
+    }
+
+    /// Restores the train-stream cursor from a checkpoint.
+    pub fn set_cursor(&mut self, cursor: u64) {
+        self.next_stream = cursor;
+    }
+
     /// Produces the next training batch: `(tokens, targets)`, each of length
     /// `batch · seq`, where `targets[i]` is the token following `tokens[i]`.
     pub fn next_batch(&mut self) -> (Vec<u32>, Vec<u32>) {
@@ -78,11 +90,7 @@ mod tests {
     use crate::corpus::CorpusConfig;
 
     fn batcher() -> LmBatcher {
-        LmBatcher::new(
-            SyntheticCorpus::new(CorpusConfig::with_vocab(64)),
-            4,
-            16,
-        )
+        LmBatcher::new(SyntheticCorpus::new(CorpusConfig::with_vocab(64)), 4, 16)
     }
 
     #[test]
@@ -116,6 +124,19 @@ mod tests {
         assert_eq!(n, 3);
         let (t, _) = b.next_batch();
         assert_ne!(&v1[..16], &t[..16]);
+    }
+
+    #[test]
+    fn cursor_roundtrip_replays_identical_batches() {
+        let mut a = batcher();
+        a.next_batch();
+        let saved = a.cursor();
+        let (t1, y1) = a.next_batch();
+        let mut b = batcher();
+        b.set_cursor(saved);
+        let (t2, y2) = b.next_batch();
+        assert_eq!(t1, t2);
+        assert_eq!(y1, y2);
     }
 
     #[test]

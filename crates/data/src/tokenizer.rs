@@ -228,7 +228,10 @@ mod tests {
     #[test]
     fn bpe_stops_when_no_pair_repeats() {
         let tok = BpeTokenizer::train(b"abcdefg", 10_000);
-        assert!(tok.vocab_size() < 300, "cannot invent merges without repeats");
+        assert!(
+            tok.vocab_size() < 300,
+            "cannot invent merges without repeats"
+        );
     }
 
     #[test]

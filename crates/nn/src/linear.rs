@@ -198,7 +198,10 @@ mod tests {
             "w",
             4,
             3,
-            LinearMode::LoRa { rank: 2, alpha: 8.0 },
+            LinearMode::LoRa {
+                rank: 2,
+                alpha: 8.0,
+            },
             &mut params,
             &mut rng,
         );
@@ -240,7 +243,10 @@ mod tests {
             "w",
             4,
             4,
-            LinearMode::LoRa { rank: 2, alpha: 4.0 },
+            LinearMode::LoRa {
+                rank: 2,
+                alpha: 4.0,
+            },
             &mut params,
             &mut rng,
         );
@@ -251,7 +257,10 @@ mod tests {
         lin.merge_adapter(&mut params, &mut rng);
         let after = forward_once(&lin, &params, &x);
         for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
-            assert!((a - b).abs() < 1e-4, "merge changed the function: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-4,
+                "merge changed the function: {a} vs {b}"
+            );
         }
         assert!(params[2].value.fro_norm() == 0.0, "B must reset to zero");
     }

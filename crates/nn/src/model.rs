@@ -61,13 +61,21 @@ impl LlamaModel {
         let mut layers = Vec::with_capacity(cfg.n_layers);
         for l in 0..cfg.n_layers {
             let p = |s: &str| format!("layers.{l}.{s}");
-            params.push(Param::new(p("attn_norm.gain"), Matrix::full(1, h, 1.0), ParamKind::Norm));
+            params.push(Param::new(
+                p("attn_norm.gain"),
+                Matrix::full(1, h, 1.0),
+                ParamKind::Norm,
+            ));
             let attn_norm = params.len() - 1;
             let wq = Linear::new(&p("attn.wq"), h, h, mode, &mut params, rng);
             let wk = Linear::new(&p("attn.wk"), h, h, mode, &mut params, rng);
             let wv = Linear::new(&p("attn.wv"), h, h, mode, &mut params, rng);
             let wo = Linear::new(&p("attn.wo"), h, h, mode, &mut params, rng);
-            params.push(Param::new(p("mlp_norm.gain"), Matrix::full(1, h, 1.0), ParamKind::Norm));
+            params.push(Param::new(
+                p("mlp_norm.gain"),
+                Matrix::full(1, h, 1.0),
+                ParamKind::Norm,
+            ));
             let mlp_norm = params.len() - 1;
             let gate = Linear::new(&p("mlp.gate"), h, cfg.intermediate, mode, &mut params, rng);
             let up = Linear::new(&p("mlp.up"), h, cfg.intermediate, mode, &mut params, rng);
@@ -113,6 +121,14 @@ impl LlamaModel {
         &self.cfg
     }
 
+    /// The [`LinearMode`] the attention/MLP layers were built with
+    /// ([`LinearMode::Dense`] for a model without layers).
+    pub fn mode(&self) -> LinearMode {
+        self.layers
+            .first()
+            .map_or(LinearMode::Dense, |l| l.wq.mode())
+    }
+
     /// Total trainable parameter count.
     pub fn num_trainable(&self) -> usize {
         self.params
@@ -126,7 +142,10 @@ impl LlamaModel {
     /// (`(batch·seq) × hidden`), returning the tape, the trunk output node,
     /// and one graph node per parameter.
     fn build_trunk(&self, tokens: &[u32], batch: usize) -> (Graph, NodeId, Vec<NodeId>) {
-        assert!(batch > 0 && tokens.len() % batch == 0, "tokens must split into batch rows");
+        assert!(
+            batch > 0 && tokens.len().is_multiple_of(batch),
+            "tokens must split into batch rows"
+        );
         let seq = tokens.len() / batch;
         let heads = self.cfg.n_heads;
         let mut g = Graph::new();
@@ -276,9 +295,7 @@ impl LlamaModel {
     /// Panics if this model is not dense.
     pub fn to_lora(&self, rank: usize, alpha: f32, rng: &mut Rng) -> LlamaModel {
         assert!(
-            self.layers
-                .iter()
-                .all(|l| l.wq.mode() == LinearMode::Dense),
+            self.layers.iter().all(|l| l.wq.mode() == LinearMode::Dense),
             "to_lora requires a dense source model"
         );
         let mut lora = LlamaModel::new(&self.cfg, LinearMode::LoRa { rank, alpha }, rng);
@@ -303,7 +320,13 @@ impl LlamaModel {
         let layers = self.layers.clone();
         for layer in &layers {
             for lin in [
-                &layer.wq, &layer.wk, &layer.wv, &layer.wo, &layer.gate, &layer.up, &layer.down,
+                &layer.wq,
+                &layer.wk,
+                &layer.wv,
+                &layer.wo,
+                &layer.gate,
+                &layer.up,
+                &layer.down,
             ] {
                 lin.merge_adapter(&mut self.params, rng);
             }
@@ -318,7 +341,10 @@ mod tests {
     fn toy_batch(cfg: &ModelConfig, batch: usize, rng: &mut Rng) -> (Vec<u32>, Vec<u32>) {
         let n = batch * cfg.max_seq;
         let tokens: Vec<u32> = (0..n).map(|_| rng.below(cfg.vocab_size) as u32).collect();
-        let targets: Vec<u32> = tokens.iter().map(|&t| (t + 1) % cfg.vocab_size as u32).collect();
+        let targets: Vec<u32> = tokens
+            .iter()
+            .map(|&t| (t + 1) % cfg.vocab_size as u32)
+            .collect();
         (tokens, targets)
     }
 
@@ -330,7 +356,10 @@ mod tests {
         let (tokens, targets) = toy_batch(&cfg, 2, &mut rng);
         let loss = model.eval_loss(&tokens, &targets, 2);
         let expected = (cfg.vocab_size as f32).ln();
-        assert!((loss - expected).abs() < 1.0, "loss {loss} vs ln V {expected}");
+        assert!(
+            (loss - expected).abs() < 1.0,
+            "loss {loss} vs ln V {expected}"
+        );
     }
 
     #[test]
@@ -376,7 +405,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(53);
         let mut model = LlamaModel::new(
             &cfg,
-            LinearMode::LoRa { rank: 2, alpha: 4.0 },
+            LinearMode::LoRa {
+                rank: 2,
+                alpha: 4.0,
+            },
             &mut rng,
         );
         let (tokens, targets) = toy_batch(&cfg, 1, &mut rng);
@@ -413,7 +445,10 @@ mod tests {
         let (tokens, targets) = toy_batch(&cfg, 2, &mut rng);
         let a = dense.eval_loss(&tokens, &targets, 2);
         let b = lora.eval_loss(&tokens, &targets, 2);
-        assert!((a - b).abs() < 1e-4, "LoRA-at-init must equal base: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-4,
+            "LoRA-at-init must equal base: {a} vs {b}"
+        );
         assert!(lora.num_trainable() < dense.num_trainable());
     }
 

@@ -48,7 +48,10 @@ fn position_matters_thanks_to_rope() {
     let t: Vec<u32> = a.iter().map(|&x| (x + 1) % 7).collect();
     let la = m.eval_loss(&a, &t, 1);
     let lr = m.eval_loss(&rotated, &t, 1);
-    assert!((la - lr).abs() > 1e-6, "rotation had no effect: {la} vs {lr}");
+    assert!(
+        (la - lr).abs() > 1e-6,
+        "rotation had no effect: {la} vs {lr}"
+    );
 }
 
 #[test]
@@ -56,7 +59,9 @@ fn classification_prediction_is_argmax_consistent() {
     // classify() must agree with the minimal-loss label.
     let (cfg, mut m) = model(4, LinearMode::Dense);
     let mut rng = Rng::seed_from_u64(5);
-    let tokens: Vec<u32> = (0..cfg.max_seq).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+    let tokens: Vec<u32> = (0..cfg.max_seq)
+        .map(|_| rng.below(cfg.vocab_size) as u32)
+        .collect();
     let pred = m.classify(&tokens, 1)[0];
     // Evaluate the class loss for a few labels: the predicted one can't be
     // beaten.
@@ -74,7 +79,10 @@ fn classification_prediction_is_argmax_consistent() {
 fn all_linear_modes_produce_finite_losses_and_grads() {
     for mode in [
         LinearMode::Dense,
-        LinearMode::LoRa { rank: 2, alpha: 4.0 },
+        LinearMode::LoRa {
+            rank: 2,
+            alpha: 4.0,
+        },
         LinearMode::Factored { rank: 2 },
     ] {
         let (cfg, mut m) = model(6, mode);
@@ -82,7 +90,10 @@ fn all_linear_modes_produce_finite_losses_and_grads() {
         let tokens: Vec<u32> = (0..2 * cfg.max_seq)
             .map(|_| rng.below(cfg.vocab_size) as u32)
             .collect();
-        let targets: Vec<u32> = tokens.iter().map(|&t| (t + 1) % cfg.vocab_size as u32).collect();
+        let targets: Vec<u32> = tokens
+            .iter()
+            .map(|&t| (t + 1) % cfg.vocab_size as u32)
+            .collect();
         let (loss, grads) = m.loss_and_grads(&tokens, &targets, 2);
         assert!(loss.is_finite(), "{mode:?}");
         for (p, g) in m.params.iter().zip(&grads) {

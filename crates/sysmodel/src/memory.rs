@@ -140,7 +140,11 @@ impl TrainingMemoryModel {
     /// The largest single tensor (the live gradient under layer-wise
     /// updates).
     fn max_tensor_elems(&self) -> usize {
-        self.shapes.iter().map(|&(r, c, _)| r * c).max().unwrap_or(0)
+        self.shapes
+            .iter()
+            .map(|&(r, c, _)| r * c)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Activation bytes (BF16) for one training step's live set.
@@ -177,8 +181,8 @@ impl TrainingMemoryModel {
             self.weight_elems()
         };
         let grads_bytes = grad_elems as f64 * 2.0; // gradients live in BF16
-        // BF16 states by default (the paper's accounting); INT8-moment
-        // methods store one byte per element either way.
+                                                   // BF16 states by default (the paper's accounting); INT8-moment
+                                                   // methods store one byte per element either way.
         let per_state_elem = method.bytes_per_state_elem().min(opts.state_bytes_per_elem);
         let optimizer_bytes = method.state_elems(&self.shapes) as f64 * per_state_elem;
         MemoryBreakdown {
@@ -254,8 +258,10 @@ mod tests {
             .breakdown(MethodSpec::Apollo { rank: 256 }, &opts)
             .total_gib();
         let mini = m.breakdown(MethodSpec::ApolloMini, &opts).total_gib();
-        assert!(adamw > galore && galore > apollo && apollo > mini,
-            "ordering: {adamw:.1} > {galore:.1} > {apollo:.1} > {mini:.1}");
+        assert!(
+            adamw > galore && galore > apollo && apollo > mini,
+            "ordering: {adamw:.1} > {galore:.1} > {apollo:.1} > {mini:.1}"
+        );
     }
 
     #[test]

@@ -304,8 +304,14 @@ mod tests {
             weights: WeightPrecision::Int8 { group: 128 },
             ..bf16
         };
-        let a = m.memory().breakdown(MethodSpec::ApolloMini, &bf16).total_gib();
-        let b = m.memory().breakdown(MethodSpec::ApolloMini, &int8).total_gib();
+        let a = m
+            .memory()
+            .breakdown(MethodSpec::ApolloMini, &bf16)
+            .total_gib();
+        let b = m
+            .memory()
+            .breakdown(MethodSpec::ApolloMini, &int8)
+            .total_gib();
         assert!(b < a * 0.7, "{b} vs {a}");
     }
 }

@@ -27,7 +27,11 @@ fn memory_is_monotone_in_model_size_for_every_method() {
     ] {
         let totals: Vec<f64> = geometries()
             .iter()
-            .map(|c| TrainingMemoryModel::new(c).breakdown(spec, &opts).total_gib())
+            .map(|c| {
+                TrainingMemoryModel::new(c)
+                    .breakdown(spec, &opts)
+                    .total_gib()
+            })
             .collect();
         assert!(
             totals.windows(2).all(|w| w[0] < w[1]),
@@ -45,8 +49,12 @@ fn method_ordering_is_preserved_at_every_size() {
         let mem = TrainingMemoryModel::new(&cfg);
         let rank = cfg.default_rank();
         let adamw = mem.breakdown(MethodSpec::AdamW, &opts).total_gib();
-        let galore = mem.breakdown(MethodSpec::GaLore { rank }, &opts).total_gib();
-        let apollo = mem.breakdown(MethodSpec::Apollo { rank }, &opts).total_gib();
+        let galore = mem
+            .breakdown(MethodSpec::GaLore { rank }, &opts)
+            .total_gib();
+        let apollo = mem
+            .breakdown(MethodSpec::Apollo { rank }, &opts)
+            .total_gib();
         let mini = mem.breakdown(MethodSpec::ApolloMini, &opts).total_gib();
         assert!(
             adamw > galore && galore > apollo && apollo > mini,

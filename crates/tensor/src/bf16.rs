@@ -43,7 +43,10 @@ pub fn bf16_pack(xs: &[f32]) -> Vec<u8> {
 ///
 /// Panics if `bytes.len()` is odd.
 pub fn bf16_unpack(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len() % 2 == 0, "bf16 data must be 2-byte aligned");
+    assert!(
+        bytes.len().is_multiple_of(2),
+        "bf16 data must be 2-byte aligned"
+    );
     bytes
         .chunks_exact(2)
         .map(|c| f32::from_bits((u16::from_le_bytes([c[0], c[1]]) as u32) << 16))

@@ -105,9 +105,7 @@ pub fn svd_jacobi(a: &Matrix) -> Svd {
 
     // Singular values are the column norms of the rotated A; U its
     // normalized columns.
-    let mut sig: Vec<(f64, usize)> = (0..n)
-        .map(|j| (col_dot(&w, j, j).sqrt(), j))
-        .collect();
+    let mut sig: Vec<(f64, usize)> = (0..n).map(|j| (col_dot(&w, j, j).sqrt(), j)).collect();
     sig.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
 
     let mut u = Matrix::zeros(m, n);

@@ -82,7 +82,12 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let data = parallel_rows(m, m * k * n, |lo, hi, out| band_matmul(a, b, lo, hi, out), n);
+    let data = parallel_rows(
+        m,
+        m * k * n,
+        |lo, hi, out| band_matmul(a, b, lo, hi, out),
+        n,
+    );
     Matrix::from_vec(m, n, data)
 }
 
@@ -178,7 +183,10 @@ mod tests {
     fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
         }
     }
 

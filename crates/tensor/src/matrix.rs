@@ -81,7 +81,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix with i.i.d. standard-normal entries.
@@ -213,7 +217,10 @@ impl Matrix {
     ///
     /// Panics if `lo > hi` or `hi > rows`.
     pub fn slice_rows(&self, lo: usize, hi: usize) -> Matrix {
-        assert!(lo <= hi && hi <= self.rows, "slice_rows: bad range {lo}..{hi}");
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "slice_rows: bad range {lo}..{hi}"
+        );
         Matrix {
             rows: hi - lo,
             cols: self.cols,
@@ -223,11 +230,13 @@ impl Matrix {
 
     /// Returns a new matrix of the columns `lo..hi`.
     pub fn slice_cols(&self, lo: usize, hi: usize) -> Matrix {
-        assert!(lo <= hi && hi <= self.cols, "slice_cols: bad range {lo}..{hi}");
+        assert!(
+            lo <= hi && hi <= self.cols,
+            "slice_cols: bad range {lo}..{hi}"
+        );
         let mut out = Matrix::zeros(self.rows, hi - lo);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[lo..hi]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[lo..hi]);
         }
         out
     }
@@ -374,8 +383,7 @@ impl Matrix {
     /// (`self ← diag(s) · self`).
     pub fn scale_rows(&mut self, s: &[f32]) {
         assert_eq!(s.len(), self.rows, "scale_rows: need one factor per row");
-        for r in 0..self.rows {
-            let f = s[r];
+        for (r, &f) in s.iter().enumerate() {
             for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
                 *v *= f;
             }
@@ -400,7 +408,11 @@ impl Matrix {
 
     /// Frobenius norm (`ℓ₂` norm of the flattened matrix).
     pub fn fro_norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// `ℓ₂` norm of each column (length-`cols` vector).
@@ -447,7 +459,31 @@ impl Matrix {
 
     /// Returns true if every element is finite.
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        !self.has_non_finite()
+    }
+
+    /// Returns true if any element is NaN or ±Inf.
+    ///
+    /// This is the step sentinel's hot path: it runs on every gradient
+    /// every step, so it is written as a branchless bitwise scan (a float
+    /// is non-finite iff its exponent bits are all ones, i.e. its
+    /// magnitude bits are ≥ `0x7F80_0000`) that reduces each chunk with
+    /// `max` — LLVM turns this into vector `umax` — and compares once per
+    /// chunk instead of once per element.
+    pub fn has_non_finite(&self) -> bool {
+        const EXP_MASK: u32 = 0x7F80_0000;
+        const ABS_MASK: u32 = 0x7FFF_FFFF;
+        let mut chunks = self.data.chunks_exact(32);
+        for chunk in &mut chunks {
+            let mut worst = 0u32;
+            for &x in chunk {
+                worst = worst.max(x.to_bits() & ABS_MASK);
+            }
+            if worst >= EXP_MASK {
+                return true;
+            }
+        }
+        chunks.remainder().iter().any(|x| !x.is_finite())
     }
 
     // ----- matmul front-ends (kernels live in `matmul.rs`) -------------------------
@@ -593,5 +629,24 @@ mod tests {
         assert!(m.all_finite());
         m.set(0, 1, f32::NAN);
         assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn has_non_finite_catches_every_position_and_kind() {
+        // 7x11 = 77 elements: exercises both the 32-wide chunked path and
+        // the remainder path, at every index.
+        for kind in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            for idx in 0..77 {
+                let mut m = Matrix::zeros(7, 11);
+                assert!(!m.has_non_finite());
+                m.as_mut_slice()[idx] = kind;
+                assert!(m.has_non_finite(), "missed {kind} at {idx}");
+            }
+        }
+        // Large finite magnitudes must not trip the exponent test.
+        let mut m = Matrix::zeros(7, 11);
+        m.as_mut_slice().fill(f32::MAX);
+        m.as_mut_slice()[3] = f32::MIN;
+        assert!(!m.has_non_finite());
     }
 }

@@ -49,10 +49,7 @@ impl Rng {
     /// Returns the next 64 uniformly random bits (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -112,6 +109,21 @@ impl Rng {
     /// matrix / data shard its own reproducible stream.
     pub fn fork(&mut self) -> Rng {
         Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Captures the full generator state for checkpointing: the 256-bit
+    /// xoshiro state plus the cached Box-Muller spare (bit-preserved).
+    pub fn state(&self) -> ([u64; 4], Option<u32>) {
+        (self.s, self.spare_gauss.map(f32::to_bits))
+    }
+
+    /// Rebuilds a generator from a [`Rng::state`] capture, continuing the
+    /// stream bit-exactly where it left off.
+    pub fn from_state(s: [u64; 4], spare_gauss_bits: Option<u32>) -> Self {
+        Rng {
+            s,
+            spare_gauss: spare_gauss_bits.map(f32::from_bits),
+        }
     }
 
     /// Fisher-Yates shuffles a slice in place.
@@ -197,6 +209,20 @@ mod tests {
         let mut a = root.fork();
         let mut b = root.fork();
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut rng = Rng::seed_from_u64(11);
+        // Park an odd number of gauss draws so the Box-Muller spare is live.
+        rng.gauss();
+        let (s, spare) = rng.state();
+        assert!(spare.is_some(), "spare should be cached after one draw");
+        let mut restored = Rng::from_state(s, spare);
+        for _ in 0..64 {
+            assert_eq!(rng.gauss().to_bits(), restored.gauss().to_bits());
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
     }
 
     #[test]

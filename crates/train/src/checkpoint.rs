@@ -1,22 +1,77 @@
-//! Model checkpointing: a compact binary format for saving and resuming
-//! trained models.
+//! Checkpointing: weight-only model snapshots (v1) and crash-safe full
+//! training-state checkpoints (v2).
 //!
-//! Layout: a JSON metadata header (magic, format version, [`ModelConfig`],
-//! [`LinearMode`], parameter manifest) followed by the raw little-endian
-//! f32 parameter data in manifest order. Loading reconstructs the model
-//! topology from the config/mode and fills parameters by name, validating
-//! every shape.
+//! Both versions share the same outer shape — a JSON metadata header
+//! (magic, format version, [`ModelConfig`], [`LinearMode`], parameter
+//! manifest) followed by raw little-endian f32 parameter data in manifest
+//! order — read and written in bulk, never element-at-a-time.
+//!
+//! **v2** additionally carries everything needed to resume a run
+//! *bit-exactly*: the full optimizer state (via
+//! [`apollo_optim::Optimizer::state_save`]), the data-loader cursor, the
+//! merge-RNG state, the LR backoff scale, the spike-detector window, and
+//! the cumulative [`ResilienceReport`]. Every v2 section (header, params,
+//! optimizer) ends with a CRC32, writes go through a temp file renamed
+//! into place (crash-safe: a torn write never shadows a good checkpoint),
+//! and [`latest_valid_checkpoint`] scans a directory skipping corrupt or
+//! truncated files until it finds one that validates.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_optim::state::{extend_f32_le, f32_from_le};
 use apollo_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 
+use crate::resilience::ResilienceReport;
+
 const MAGIC: &str = "apollo-checkpoint";
-const VERSION: u32 = 1;
+const V1: u32 = 1;
+const V2: u32 = 2;
+/// No sane JSON header exceeds this.
+const MAX_HEADER: u64 = 16 << 20;
+/// Upper bound for param/optimizer sections (guards `vec![0; len]` on
+/// garbage length prefixes).
+const MAX_SECTION: u64 = 4 << 30;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial), table-driven.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Headers.
 
 #[derive(Serialize, Deserialize)]
 struct Header {
@@ -28,72 +83,125 @@ struct Header {
     manifest: Vec<(String, usize, usize)>,
 }
 
-/// Saves a model to `path`.
-///
-/// # Errors
-///
-/// Returns any I/O error from creating or writing the file.
-pub fn save_model(model: &LlamaModel, mode: LinearMode, path: &Path) -> io::Result<()> {
-    let header = Header {
-        magic: MAGIC.to_string(),
-        version: VERSION,
-        config: model.config().clone(),
-        mode,
-        manifest: model
-            .params
-            .iter()
-            .map(|p| (p.name.clone(), p.value.rows(), p.value.cols()))
-            .collect(),
-    };
-    let mut w = BufWriter::new(File::create(path)?);
-    let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
-    w.write_all(&(head.len() as u64).to_le_bytes())?;
-    w.write_all(&head)?;
-    for p in &model.params {
-        for &x in p.value.as_slice() {
-            w.write_all(&x.to_le_bytes())?;
-        }
-    }
-    w.flush()
+#[derive(Serialize, Deserialize)]
+struct HeaderV2 {
+    magic: String,
+    version: u32,
+    config: ModelConfig,
+    mode: LinearMode,
+    manifest: Vec<(String, usize, usize)>,
+    train: TrainMeta,
 }
 
-/// Loads a model saved by [`save_model`].
-///
-/// # Errors
-///
-/// Returns an error if the file is unreadable, the magic/version mismatch,
-/// or any parameter is missing or has the wrong shape.
-pub fn load_model(path: &Path) -> io::Result<LlamaModel> {
-    let mut r = BufReader::new(File::open(path)?);
+/// Training-loop state carried by a v2 checkpoint alongside the weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainMeta {
+    /// The next optimizer step to execute on resume.
+    pub step: u64,
+    /// Data-loader cursor ([`apollo_data::LmBatcher::cursor`]).
+    pub data_cursor: u64,
+    /// xoshiro256++ state words of the ReLoRA merge RNG.
+    pub rng_state: Vec<u64>,
+    /// Cached spare Gaussian of the merge RNG, as f32 bits.
+    pub rng_spare: Option<u32>,
+    /// Cumulative LR scale from `RollbackAndRetry` backoffs.
+    pub lr_scale: f32,
+    /// Spike-detector rolling window, oldest first.
+    pub spike_window: Vec<f32>,
+    /// Resilience counters accumulated so far.
+    pub report: ResilienceReport,
+}
+
+/// A fully-loaded v2 checkpoint: model, topology mode, training metadata,
+/// and the serialized optimizer state.
+#[derive(Debug)]
+pub struct TrainState {
+    /// The reconstructed model with checkpointed weights.
+    pub model: LlamaModel,
+    /// Linear-layer mode the run was using.
+    pub mode: LinearMode,
+    /// Loop state (step, cursor, RNG, resilience counters).
+    pub meta: TrainMeta,
+    /// Opaque optimizer state for [`apollo_optim::Optimizer::state_load`].
+    pub optimizer: Vec<u8>,
+}
+
+// ---------------------------------------------------------------------------
+// Section framing (v2): u64 length | bytes | u32 crc.
+
+fn write_section(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(&(bytes.len() as u64).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.write_all(&crc32(bytes).to_le_bytes())
+}
+
+fn read_section(r: &mut impl Read, what: &str, max: u64) -> io::Result<Vec<u8>> {
     let mut len8 = [0u8; 8];
     r.read_exact(&mut len8)?;
-    let head_len = u64::from_le_bytes(len8) as usize;
-    // Guard against garbage files: no sane header exceeds a few MB.
-    if head_len > 16 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint"));
-    }
-    let mut head = vec![0u8; head_len];
-    r.read_exact(&mut head)?;
-    let header: Header = serde_json::from_slice(&head).map_err(io::Error::other)?;
-    if header.magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint"));
-    }
-    if header.version != VERSION {
+    let len = u64::from_le_bytes(len8);
+    if len > max {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {}", header.version),
+            format!("{what} section claims {len} bytes (limit {max})"),
         ));
     }
+    let mut bytes = vec![0u8; len as usize];
+    r.read_exact(&mut bytes)?;
+    let mut crc4 = [0u8; 4];
+    r.read_exact(&mut crc4)?;
+    let stored = u32::from_le_bytes(crc4);
+    let computed = crc32(&bytes);
+    if stored != computed {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{what} section checksum mismatch (stored {stored:08x}, computed {computed:08x})"
+            ),
+        ));
+    }
+    Ok(bytes)
+}
 
-    // Rebuild the topology, then overwrite values in manifest order.
-    let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
-    for (name, rows, cols) in &header.manifest {
-        let mut data = vec![0f32; rows * cols];
-        let mut buf = [0u8; 4];
-        for v in &mut data {
-            r.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
-        }
+fn manifest_of(model: &LlamaModel) -> Vec<(String, usize, usize)> {
+    model
+        .params
+        .iter()
+        .map(|p| (p.name.clone(), p.value.rows(), p.value.cols()))
+        .collect()
+}
+
+/// All parameters as one raw little-endian f32 buffer, manifest order.
+fn params_bytes(model: &LlamaModel) -> Vec<u8> {
+    let total: usize = model.params.iter().map(|p| p.value.len()).sum();
+    let mut out = Vec::with_capacity(total * 4);
+    for p in &model.params {
+        extend_f32_le(&mut out, p.value.as_slice());
+    }
+    out
+}
+
+/// Fills `model`'s parameters from `bytes` in `manifest` order, validating
+/// names and shapes.
+fn fill_params(
+    model: &mut LlamaModel,
+    manifest: &[(String, usize, usize)],
+    bytes: &[u8],
+) -> io::Result<()> {
+    let expected: usize = manifest.iter().map(|(_, r, c)| r * c * 4).sum();
+    if bytes.len() != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "parameter payload is {} bytes, manifest expects {expected}",
+                bytes.len()
+            ),
+        ));
+    }
+    let mut off = 0;
+    for (name, rows, cols) in manifest {
+        let n = rows * cols * 4;
+        let data = f32_from_le(&bytes[off..off + n]).map_err(io::Error::other)?;
+        off += n;
         let param = model
             .params
             .iter_mut()
@@ -109,18 +217,280 @@ pub fn load_model(path: &Path) -> io::Result<LlamaModel> {
         }
         param.value = Matrix::from_vec(*rows, *cols, data);
     }
+    Ok(())
+}
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written,
+/// flushed, and renamed into place, so a crash mid-write can never leave a
+/// torn file under the final name.
+fn atomic_write(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut w = BufWriter::new(File::create(&tmp)?);
+    write(&mut w)?;
+    w.flush()?;
+    w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// v1: weight-only snapshots.
+
+/// Saves a weight-only (v1) model snapshot to `path`, atomically.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_model(model: &LlamaModel, mode: LinearMode, path: &Path) -> io::Result<()> {
+    let header = Header {
+        magic: MAGIC.to_string(),
+        version: V1,
+        config: model.config().clone(),
+        mode,
+        manifest: manifest_of(model),
+    };
+    let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
+    let body = params_bytes(model);
+    atomic_write(path, |w| {
+        w.write_all(&(head.len() as u64).to_le_bytes())?;
+        w.write_all(&head)?;
+        w.write_all(&body)
+    })
+}
+
+/// Loads the model from a checkpoint saved by [`save_model`] (v1) **or**
+/// [`save_train_state`] (v2, optimizer state ignored).
+///
+/// # Errors
+///
+/// Returns an error if the file is unreadable, the magic/version/checksum
+/// mismatch, or any parameter is missing or has the wrong shape.
+pub fn load_model(path: &Path) -> io::Result<LlamaModel> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let head_len = u64::from_le_bytes(len8);
+    if head_len > MAX_HEADER {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a checkpoint",
+        ));
+    }
+    let mut head = vec![0u8; head_len as usize];
+    r.read_exact(&mut head)?;
+    let header: Header = serde_json::from_slice(&head).map_err(io::Error::other)?;
+    if header.magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a checkpoint",
+        ));
+    }
+    let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
+    match header.version {
+        V1 => {
+            // Raw params follow the header directly, no framing.
+            let total: usize = header.manifest.iter().map(|(_, r, c)| r * c * 4).sum();
+            let mut body = vec![0u8; total];
+            r.read_exact(&mut body)?;
+            fill_params(&mut model, &header.manifest, &body)?;
+        }
+        V2 => {
+            // The v2 header is itself CRC-framed; skip its trailing CRC,
+            // then read the checksummed params section.
+            let mut crc4 = [0u8; 4];
+            r.read_exact(&mut crc4)?;
+            if u32::from_le_bytes(crc4) != crc32(&head) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "header section checksum mismatch",
+                ));
+            }
+            let body = read_section(&mut r, "params", MAX_SECTION)?;
+            fill_params(&mut model, &header.manifest, &body)?;
+        }
+        v => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {v}"),
+            ));
+        }
+    }
     Ok(model)
+}
+
+// ---------------------------------------------------------------------------
+// v2: full training state.
+
+/// Saves a crash-safe full-state (v2) checkpoint: weights + optimizer
+/// state + loop metadata, every section CRC32-checksummed, written
+/// atomically via temp-file + rename.
+///
+/// # Errors
+///
+/// Returns any serialization or I/O error; on error the final `path` is
+/// untouched.
+pub fn save_train_state(
+    model: &LlamaModel,
+    mode: LinearMode,
+    meta: &TrainMeta,
+    optimizer: &[u8],
+    path: &Path,
+) -> io::Result<()> {
+    let header = HeaderV2 {
+        magic: MAGIC.to_string(),
+        version: V2,
+        config: model.config().clone(),
+        mode,
+        manifest: manifest_of(model),
+        train: meta.clone(),
+    };
+    let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
+    let body = params_bytes(model);
+    atomic_write(path, |w| {
+        write_section(w, &head)?;
+        write_section(w, &body)?;
+        write_section(w, optimizer)
+    })
+}
+
+/// Loads a full-state (v2) checkpoint saved by [`save_train_state`].
+///
+/// # Errors
+///
+/// Returns a descriptive error if the file is truncated, any section's
+/// checksum fails, the header is not v2, or the manifest is inconsistent.
+pub fn load_train_state(path: &Path) -> io::Result<TrainState> {
+    let mut r = BufReader::new(File::open(path)?);
+    let head = read_section(&mut r, "header", MAX_HEADER)?;
+    let header: HeaderV2 = serde_json::from_slice(&head).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("not a v2 checkpoint: {e}"),
+        )
+    })?;
+    if header.magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a checkpoint",
+        ));
+    }
+    if header.version != V2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected a v2 checkpoint, found version {}", header.version),
+        ));
+    }
+    let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
+    let body = read_section(&mut r, "params", MAX_SECTION)?;
+    fill_params(&mut model, &header.manifest, &body)?;
+    let optimizer = read_section(&mut r, "optimizer", MAX_SECTION)?;
+    Ok(TrainState {
+        model,
+        mode: header.mode,
+        meta: header.train,
+        optimizer,
+    })
+}
+
+/// The canonical file name for the checkpoint taken before `step`.
+pub fn checkpoint_file_name(step: u64) -> String {
+    format!("step-{step:08}.ckpt")
+}
+
+fn checkpoint_step(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("step-")?.strip_suffix(".ckpt")?;
+    digits.parse().ok()
+}
+
+/// Scans `dir` for `step-*.ckpt` files and loads the newest one that
+/// validates end-to-end, skipping corrupt or truncated candidates. Returns
+/// `Ok(None)` when the directory is missing or holds no valid checkpoint.
+///
+/// # Errors
+///
+/// Returns an error only when listing an *existing* directory fails.
+pub fn latest_valid_checkpoint(dir: &Path) -> io::Result<Option<(PathBuf, TrainState)>> {
+    if !dir.is_dir() {
+        return Ok(None);
+    }
+    let mut candidates: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| checkpoint_step(&p).map(|s| (s, p)))
+        .collect();
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, path) in candidates {
+        match load_train_state(&path) {
+            Ok(state) => return Ok(Some((path, state))),
+            Err(_) => continue, // corrupt/truncated: fall back to an older one
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes the oldest `step-*.ckpt` files in `dir` so at most `keep`
+/// remain. Returns how many were removed.
+///
+/// # Errors
+///
+/// Returns an error if the directory cannot be listed.
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> io::Result<usize> {
+    let mut candidates: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| checkpoint_step(&p).map(|s| (s, p)))
+        .collect();
+    if candidates.len() <= keep {
+        return Ok(0);
+    }
+    candidates.sort_by_key(|(s, _)| *s);
+    let excess = candidates.len() - keep;
+    let mut removed = 0;
+    for (_, path) in candidates.into_iter().take(excess) {
+        if std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use apollo_data::{CorpusConfig, LmBatcher, SyntheticCorpus};
+    use apollo_optim::{AdamW, Optimizer};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("apollo-ckpt-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("apollo-ckpt-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_meta(step: u64) -> TrainMeta {
+        TrainMeta {
+            step,
+            data_cursor: 41,
+            rng_state: vec![1, 2, 3, 4],
+            rng_spare: Some(0x3F80_0000),
+            lr_scale: 0.5,
+            spike_window: vec![1.25, 2.5],
+            report: ResilienceReport::default(),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -159,7 +529,10 @@ mod tests {
     fn lora_checkpoints_roundtrip() {
         let cfg = ModelConfig::test_tiny();
         let mut rng = Rng::seed_from_u64(202);
-        let mode = LinearMode::LoRa { rank: 2, alpha: 4.0 };
+        let mode = LinearMode::LoRa {
+            rank: 2,
+            alpha: 4.0,
+        };
         let model = LlamaModel::new(&cfg, mode, &mut rng);
         let path = tmp("lora.ckpt");
         save_model(&model, mode, &path).unwrap();
@@ -173,5 +546,121 @@ mod tests {
         let path = tmp("garbage.ckpt");
         std::fs::write(&path, b"not a checkpoint at all............").unwrap();
         assert!(load_model(&path).is_err());
+        assert!(load_train_state(&path).is_err());
+    }
+
+    #[test]
+    fn train_state_roundtrips_bit_exactly() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(203);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let opt_bytes = AdamW::new().state_save().unwrap();
+        let meta = test_meta(17);
+        let path = tmp("full.ckpt");
+        save_train_state(&model, LinearMode::Dense, &meta, &opt_bytes, &path).unwrap();
+        let state = load_train_state(&path).unwrap();
+        assert_eq!(state.meta, meta);
+        assert_eq!(state.optimizer, opt_bytes);
+        assert_eq!(state.mode, LinearMode::Dense);
+        for (a, b) in model.params.iter().zip(&state.model.params) {
+            assert_eq!(a.value, b.value, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn v1_loader_reads_v2_weights() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(204);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let path = tmp("v2-as-v1.ckpt");
+        save_train_state(&model, LinearMode::Dense, &test_meta(3), &[], &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        for (a, b) in model.params.iter().zip(&loaded.params) {
+            assert_eq!(a.value, b.value, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn v2_loader_rejects_v1_files_descriptively() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(205);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let path = tmp("v1-only.ckpt");
+        save_model(&model, LinearMode::Dense, &path).unwrap();
+        let err = load_train_state(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bit_flip_in_params_is_caught_by_checksum() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(206);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let path = tmp("flipped.ckpt");
+        save_train_state(&model, LinearMode::Dense, &test_meta(5), &[1, 2, 3], &path).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        // Flip a bit in the middle of the file (deep inside the params
+        // section for any non-trivial model).
+        crate::resilience::flip_bit(&path, len / 2, 3).unwrap();
+        let err = load_train_state(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_file_is_an_error_not_a_panic() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(207);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let path = tmp("truncated.ckpt");
+        save_train_state(&model, LinearMode::Dense, &test_meta(5), &[9; 64], &path).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        crate::resilience::truncate_file(&path, len - 40).unwrap();
+        assert!(load_train_state(&path).is_err());
+    }
+
+    #[test]
+    fn scanner_skips_corrupt_and_returns_newest_valid() {
+        let dir = tmp_dir("scan");
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(208);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        for step in [10u64, 20, 30] {
+            let path = dir.join(checkpoint_file_name(step));
+            save_train_state(&model, LinearMode::Dense, &test_meta(step), &[], &path).unwrap();
+        }
+        // Corrupt the newest, truncate the middle one: the scanner must
+        // fall back to step 10.
+        crate::resilience::flip_bit(&dir.join(checkpoint_file_name(30)), 100, 0).unwrap();
+        crate::resilience::truncate_file(&dir.join(checkpoint_file_name(20)), 64).unwrap();
+        let (path, state) = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(path, dir.join(checkpoint_file_name(10)));
+        assert_eq!(state.meta.step, 10);
+    }
+
+    #[test]
+    fn scanner_handles_missing_dir_and_empty_dir() {
+        let missing = std::env::temp_dir().join("apollo-ckpt-tests/definitely-not-here");
+        assert!(latest_valid_checkpoint(&missing).unwrap().is_none());
+        let empty = tmp_dir("empty");
+        assert!(latest_valid_checkpoint(&empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmp_dir("prune");
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(209);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        for step in [1u64, 2, 3, 4, 5] {
+            let path = dir.join(checkpoint_file_name(step));
+            save_train_state(&model, LinearMode::Dense, &test_meta(step), &[], &path).unwrap();
+        }
+        assert_eq!(prune_checkpoints(&dir, 2).unwrap(), 3);
+        let (path, _) = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(path, dir.join(checkpoint_file_name(5)));
+        assert!(!dir.join(checkpoint_file_name(3)).exists());
     }
 }

@@ -29,10 +29,17 @@
 
 mod checkpoint;
 mod finetune;
+pub mod resilience;
 mod schedule;
 mod trainer;
 
-pub use checkpoint::{load_model, save_model};
+pub use checkpoint::{
+    checkpoint_file_name, crc32, latest_valid_checkpoint, load_model, load_train_state,
+    prune_checkpoints, save_model, save_train_state, TrainMeta, TrainState,
+};
 pub use finetune::{finetune, FinetuneConfig, FinetuneResult};
+pub use resilience::{
+    FaultKind, FaultPlan, RecoveryPolicy, ResilienceConfig, ResilienceReport, SpikeDetector,
+};
 pub use schedule::LrSchedule;
-pub use trainer::{eval_perplexity, pretrain, RunLog, TrainConfig};
+pub use trainer::{eval_perplexity, pretrain, pretrain_resilient, RunLog, TrainConfig};

@@ -1,13 +1,21 @@
-//! The pre-training loop.
+//! The pre-training loop, with optional resilience: step sentinels,
+//! recovery policies, crash-safe checkpointing, and deterministic fault
+//! injection.
 
 use std::time::Instant;
 
 use apollo_data::LmBatcher;
 use apollo_nn::{LlamaModel, ParamKind};
 use apollo_optim::{Optimizer, ParamUpdate};
-use apollo_tensor::Matrix;
+use apollo_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{
+    checkpoint_file_name, latest_valid_checkpoint, prune_checkpoints, save_train_state, TrainMeta,
+};
+use crate::resilience::{
+    FaultKind, RecoveryPolicy, ResilienceConfig, ResilienceReport, SpikeDetector,
+};
 use crate::schedule::LrSchedule;
 
 /// Pre-training hyper-parameters.
@@ -81,6 +89,8 @@ pub struct RunLog {
     pub wall_secs: f64,
     /// Per-step wall-clock milliseconds (only when requested).
     pub step_times_ms: Vec<f32>,
+    /// Resilience audit: sentinel firings, recoveries, checkpoints.
+    pub resilience: ResilienceReport,
 }
 
 /// Validation perplexity of `model` on a fixed held-out set drawn from
@@ -123,9 +133,72 @@ fn clip_global_norm(grads: &mut [Option<Matrix>], max_norm: f32) {
     }
 }
 
+/// An in-memory restore point for [`RecoveryPolicy::RollbackAndRetry`].
+struct Snapshot {
+    step: usize,
+    params: Vec<Matrix>,
+    optimizer: Vec<u8>,
+    cursor: u64,
+    rng: ([u64; 4], Option<u32>),
+    window: Vec<f32>,
+}
+
+impl Snapshot {
+    fn take(
+        step: usize,
+        model: &LlamaModel,
+        opt: &dyn Optimizer,
+        batcher: &LmBatcher,
+        rng: &Rng,
+        detector: &SpikeDetector,
+    ) -> Option<Self> {
+        let optimizer = opt.state_save().ok()?;
+        Some(Snapshot {
+            step,
+            params: model.params.iter().map(|p| p.value.clone()).collect(),
+            optimizer,
+            cursor: batcher.cursor(),
+            rng: rng.state(),
+            window: detector.window(),
+        })
+    }
+
+    fn restore(
+        &self,
+        model: &mut LlamaModel,
+        opt: &mut dyn Optimizer,
+        batcher: &mut LmBatcher,
+        rng: &mut Rng,
+        detector: &mut SpikeDetector,
+    ) -> Result<(), String> {
+        opt.state_load(&self.optimizer)?;
+        for (p, saved) in model.params.iter_mut().zip(&self.params) {
+            p.value = saved.clone();
+        }
+        batcher.set_cursor(self.cursor);
+        *rng = Rng::from_state(self.rng.0, self.rng.1);
+        detector.restore(&self.window);
+        Ok(())
+    }
+}
+
+/// Zeroes every non-finite gradient entry (in place).
+fn sanitize_grads(grads: &mut [Option<Matrix>]) {
+    for g in grads.iter_mut().flatten() {
+        if g.has_non_finite() {
+            for x in g.as_mut_slice() {
+                if !x.is_finite() {
+                    *x = 0.0;
+                }
+            }
+        }
+    }
+}
+
 /// Runs the pre-training loop: warmup+cosine schedule, optional global
 /// clipping, optional ReLoRA merges, periodic validation-perplexity
-/// evaluation.
+/// evaluation. Equivalent to [`pretrain_resilient`] with every resilience
+/// feature off.
 ///
 /// # Panics
 ///
@@ -135,6 +208,28 @@ pub fn pretrain(
     opt: &mut dyn Optimizer,
     batcher: &mut LmBatcher,
     cfg: &TrainConfig,
+) -> RunLog {
+    pretrain_resilient(model, opt, batcher, cfg, &ResilienceConfig::default())
+}
+
+/// [`pretrain`] hardened with the resilience subsystem: per-step
+/// non-finite/spike sentinels handled by `res.policy`, crash-safe v2
+/// checkpoints every `res.checkpoint_every` steps (resumable bit-exactly
+/// with `res.resume`), and deterministic fault injection from
+/// `res.fault_plan`.
+///
+/// Under [`ResilienceConfig::default`] this is step-for-step identical to
+/// the plain loop.
+///
+/// # Panics
+///
+/// Panics if `cfg.steps == 0`.
+pub fn pretrain_resilient(
+    model: &mut LlamaModel,
+    opt: &mut dyn Optimizer,
+    batcher: &mut LmBatcher,
+    cfg: &TrainConfig,
+    res: &ResilienceConfig,
 ) -> RunLog {
     assert!(cfg.steps > 0, "need at least one step");
     let schedule = LrSchedule::paper_default(cfg.lr, cfg.steps);
@@ -148,13 +243,129 @@ pub fn pretrain(
         state_bytes: 0,
         wall_secs: 0.0,
         step_times_ms: Vec::new(),
+        resilience: ResilienceReport::default(),
     };
     let started = Instant::now();
     let loss_sample_every = (cfg.steps / 200).max(1);
-    let mut merge_rng = apollo_tensor::Rng::seed_from_u64(0x4E10);
+    let mut merge_rng = Rng::seed_from_u64(0x4E10);
+    let mut detector = SpikeDetector::new(res.spike_window, res.spike_factor);
+    let mut report = ResilienceReport::default();
+    let mut fault_plan = res.fault_plan.clone();
+    let mut lr_scale = 1.0f32;
+    let mut start_step = 0usize;
+
+    // Resume from the newest valid checkpoint, if asked to.
+    if res.resume {
+        if let Some(dir) = &res.checkpoint_dir {
+            if let Ok(Some((_, state))) = latest_valid_checkpoint(dir) {
+                for (p, saved) in model.params.iter_mut().zip(&state.model.params) {
+                    assert_eq!(p.name, saved.name, "checkpoint/model manifest mismatch");
+                    p.value = saved.value.clone();
+                }
+                if !state.optimizer.is_empty() {
+                    if let Err(e) = opt.state_load(&state.optimizer) {
+                        eprintln!("warning: optimizer state not restored ({e}); starting fresh");
+                    }
+                }
+                batcher.set_cursor(state.meta.data_cursor);
+                if state.meta.rng_state.len() == 4 {
+                    let mut s = [0u64; 4];
+                    s.copy_from_slice(&state.meta.rng_state);
+                    merge_rng = Rng::from_state(s, state.meta.rng_spare);
+                }
+                detector.restore(&state.meta.spike_window);
+                lr_scale = state.meta.lr_scale;
+                report = state.meta.report.clone();
+                report.resumed_from_step = Some(state.meta.step);
+                start_step = (state.meta.step as usize).min(cfg.steps);
+            }
+        }
+    }
+
+    // Writes the crash-safe checkpoint capturing "about to run `step`".
+    let write_checkpoint = |step: usize,
+                            model: &LlamaModel,
+                            opt: &dyn Optimizer,
+                            batcher: &LmBatcher,
+                            merge_rng: &Rng,
+                            detector: &SpikeDetector,
+                            lr_scale: f32,
+                            report: &mut ResilienceReport| {
+        let Some(dir) = &res.checkpoint_dir else {
+            return;
+        };
+        let optimizer = match opt.state_save() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("warning: checkpoint skipped ({e})");
+                report.checkpoint_errors += 1;
+                return;
+            }
+        };
+        let (rng_s, rng_spare) = merge_rng.state();
+        let meta = TrainMeta {
+            step: step as u64,
+            data_cursor: batcher.cursor(),
+            rng_state: rng_s.to_vec(),
+            rng_spare,
+            lr_scale,
+            spike_window: detector.window(),
+            report: report.clone(),
+        };
+        let result = std::fs::create_dir_all(dir).and_then(|()| {
+            save_train_state(
+                model,
+                model.mode(),
+                &meta,
+                &optimizer,
+                &dir.join(checkpoint_file_name(step as u64)),
+            )
+        });
+        match result {
+            Ok(()) => {
+                report.checkpoints_written += 1;
+                let _ = prune_checkpoints(dir, res.keep_last.max(1));
+            }
+            Err(e) => {
+                eprintln!("warning: checkpoint write failed ({e})");
+                report.checkpoint_errors += 1;
+            }
+        }
+    };
 
     let accum = cfg.grad_accum.max(1);
-    for step in 0..cfg.steps {
+    let mut snapshot: Option<Snapshot> = None;
+    let mut consecutive_faults = 0usize;
+    let mut step = start_step;
+    'train: while step < cfg.steps {
+        // Refresh the rollback restore point on its own cadence.
+        if matches!(res.policy, Some(RecoveryPolicy::RollbackAndRetry { .. })) {
+            let due = snapshot
+                .as_ref()
+                .is_none_or(|s| step >= s.step + res.snapshot_every.max(1));
+            if due {
+                snapshot = Snapshot::take(step, model, opt, batcher, &merge_rng, &detector);
+            }
+        }
+        // Periodic crash-safe checkpoint (skipped at the step we just
+        // resumed from — that file already exists).
+        if res.checkpoint_every > 0
+            && step > 0
+            && step != start_step
+            && step.is_multiple_of(res.checkpoint_every)
+        {
+            write_checkpoint(
+                step,
+                model,
+                opt,
+                batcher,
+                &merge_rng,
+                &detector,
+                lr_scale,
+                &mut report,
+            );
+        }
+
         let step_started = Instant::now();
         let (tokens, targets) = batcher.next_batch();
         let (mut loss, mut grads) = model.loss_and_grads(&tokens, &targets, batcher.batch());
@@ -175,10 +386,99 @@ pub fn pretrain(
                 g.scale_assign(inv);
             }
         }
+
+        // Deterministic fault injection (tests only; plans are empty in
+        // production configs). Faults are one-shot: a retried step passes.
+        match fault_plan.take_at(step) {
+            Some(FaultKind::NanGrad) => {
+                if let Some(g) = grads.iter_mut().flatten().next() {
+                    g.set(0, 0, f32::NAN);
+                }
+            }
+            Some(FaultKind::InfGrad) => {
+                if let Some(g) = grads.iter_mut().flatten().next() {
+                    g.set(0, 0, f32::INFINITY);
+                }
+            }
+            Some(FaultKind::LossSpike { factor }) => {
+                loss *= factor;
+                for g in grads.iter_mut().flatten() {
+                    g.scale_assign(factor);
+                }
+            }
+            Some(FaultKind::Crash) => {
+                // Simulated kill -9: no final eval, no final checkpoint.
+                report.crashed = true;
+                break 'train;
+            }
+            None => {}
+        }
+
+        // Step sentinels.
+        if let Some(policy) = res.policy {
+            let bad_loss = !loss.is_finite();
+            let bad_grads = grads.iter().flatten().any(Matrix::has_non_finite);
+            let spike = !bad_loss && detector.is_spike(loss);
+            if bad_loss {
+                report.non_finite_loss += 1;
+            }
+            if bad_grads {
+                report.non_finite_grads += 1;
+            }
+            if spike {
+                report.loss_spikes += 1;
+            }
+            if bad_loss || bad_grads || spike {
+                consecutive_faults += 1;
+                if consecutive_faults > res.max_consecutive_faults {
+                    report.aborted = true;
+                    break 'train;
+                }
+                match policy {
+                    RecoveryPolicy::SkipStep => {
+                        report.skipped_steps += 1;
+                        step += 1;
+                        continue 'train;
+                    }
+                    RecoveryPolicy::Abort => {
+                        report.aborted = true;
+                        break 'train;
+                    }
+                    RecoveryPolicy::ClipAndContinue => {
+                        sanitize_grads(&mut grads);
+                        clip_global_norm(&mut grads, res.clip_norm);
+                        report.clipped_steps += 1;
+                        // Fall through: apply the repaired update.
+                    }
+                    RecoveryPolicy::RollbackAndRetry { lr_backoff } => {
+                        if let Some(s) = &snapshot {
+                            if let Err(e) =
+                                s.restore(model, opt, batcher, &mut merge_rng, &mut detector)
+                            {
+                                eprintln!("warning: rollback failed ({e}); aborting");
+                                report.aborted = true;
+                                break 'train;
+                            }
+                            report.rollbacks += 1;
+                            lr_scale *= lr_backoff;
+                            step = s.step;
+                        } else {
+                            // Faulted before any snapshot existed.
+                            report.skipped_steps += 1;
+                            step += 1;
+                        }
+                        continue 'train;
+                    }
+                }
+            } else {
+                consecutive_faults = 0;
+            }
+        }
+
         if let Some(max_norm) = cfg.grad_clip {
             clip_global_norm(&mut grads, max_norm);
         }
-        let lr = schedule.lr_at(step);
+        let lr = schedule.lr_at(step) * lr_scale;
         {
             // Assemble the optimizer's view: trainable params with grads,
             // in stable declaration order.
@@ -203,29 +503,47 @@ pub fn pretrain(
             }
         }
         if let Some(every) = cfg.merge_every {
-            if every > 0 && (step + 1) % every == 0 {
+            if every > 0 && (step + 1).is_multiple_of(every) {
                 model.merge_adapters(&mut merge_rng);
                 opt.reset_state();
             }
         }
-        if step % loss_sample_every == 0 || step + 1 == cfg.steps {
+        detector.record(loss);
+        if step.is_multiple_of(loss_sample_every) || step + 1 == cfg.steps {
             log.train_losses.push((step, loss));
         }
         if cfg.record_step_times {
             log.step_times_ms
                 .push(step_started.elapsed().as_secs_f32() * 1e3);
         }
-        if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 && step + 1 != cfg.steps {
+        if cfg.eval_every > 0 && (step + 1).is_multiple_of(cfg.eval_every) && step + 1 != cfg.steps
+        {
             let ppl = eval_perplexity(model, batcher, cfg.eval_seqs);
             log.eval_ppls.push((step + 1, ppl));
         }
+        step += 1;
     }
 
-    log.final_ppl = eval_perplexity(model, batcher, cfg.eval_seqs);
-    log.eval_ppls.push((cfg.steps, log.final_ppl));
+    if !report.crashed {
+        log.final_ppl = eval_perplexity(model, batcher, cfg.eval_seqs);
+        log.eval_ppls.push((step, log.final_ppl));
+        if res.checkpoint_dir.is_some() && res.checkpoint_every > 0 && step != start_step {
+            write_checkpoint(
+                step,
+                model,
+                opt,
+                batcher,
+                &merge_rng,
+                &detector,
+                lr_scale,
+                &mut report,
+            );
+        }
+    }
     log.state_elems = opt.state_elems();
     log.state_bytes = opt.state_bytes();
     log.wall_secs = started.elapsed().as_secs_f64();
+    log.resilience = report;
     log
 }
 
@@ -346,7 +664,11 @@ mod tests {
             ..TrainConfig::quick(60)
         };
         let log = pretrain(&mut model, &mut opt, &mut batcher, &cfg);
-        assert!(log.final_ppl < before * 0.95, "{before} -> {}", log.final_ppl);
+        assert!(
+            log.final_ppl < before * 0.95,
+            "{before} -> {}",
+            log.final_ppl
+        );
         // Weights must sit exactly on their INT8 grid.
         for p in &model.params {
             if p.kind != apollo_nn::ParamKind::Norm {
@@ -368,7 +690,11 @@ mod tests {
             ..TrainConfig::quick(40)
         };
         let log = pretrain(&mut model, &mut opt, &mut batcher, &cfg);
-        assert!(log.final_ppl < before * 0.95, "{before} -> {}", log.final_ppl);
+        assert!(
+            log.final_ppl < before * 0.95,
+            "{before} -> {}",
+            log.final_ppl
+        );
     }
 
     #[test]
@@ -377,7 +703,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(101);
         let mut model = LlamaModel::new(
             &cfg,
-            LinearMode::LoRa { rank: 2, alpha: 4.0 },
+            LinearMode::LoRa {
+                rank: 2,
+                alpha: 4.0,
+            },
             &mut rng,
         );
         let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));

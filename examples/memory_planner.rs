@@ -11,10 +11,7 @@ use apollo_repro::sysmodel::{Gpu, MemoryOptions, TrainingMemoryModel, WeightPrec
 
 fn main() {
     let gpus = [Gpu::a100_80g(), Gpu::consumer_12g()];
-    let models = [
-        ModelConfig::llama_7b(),
-        ModelConfig::llama_13b(),
-    ];
+    let models = [ModelConfig::llama_7b(), ModelConfig::llama_13b()];
     let methods = [
         ("AdamW", MethodSpec::AdamW, false),
         ("GaLore r=1024", MethodSpec::GaLore { rank: 1024 }, false),
@@ -25,7 +22,10 @@ fn main() {
 
     for model_cfg in &models {
         let mem = TrainingMemoryModel::new(model_cfg);
-        println!("\n=== {} (batch 1, seq 256, layer-wise grads) ===", model_cfg.name);
+        println!(
+            "\n=== {} (batch 1, seq 256, layer-wise grads) ===",
+            model_cfg.name
+        );
         for (name, spec, int8) in methods {
             let opts = MemoryOptions {
                 weights: if int8 {
@@ -42,7 +42,11 @@ fn main() {
                     format!(
                         "{}: {}",
                         g.name,
-                        if b.total_gib() <= g.memory_gib { "fits" } else { "OOM" }
+                        if b.total_gib() <= g.memory_gib {
+                            "fits"
+                        } else {
+                            "OOM"
+                        }
                     )
                 })
                 .collect();

@@ -49,9 +49,7 @@ fn main() {
         scales.iter().cloned().fold(f32::MAX, f32::min),
         scales.iter().cloned().fold(0.0f32, f32::max),
     );
-    println!(
-        "Step 4  update = G·diag(s): per-column direction identical to raw G\n"
-    );
+    println!("Step 4  update = G·diag(s): per-column direction identical to raw G\n");
 
     let mut adamw = AdamW::new();
     let mut w_adamw = Matrix::zeros(m, n);

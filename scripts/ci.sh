@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full offline CI gate: formatting, lints, build, and every test in the
+# workspace (including the vendored dependency shims).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test (tier-1: root package)"
+cargo test -q
+
+echo "== cargo test --workspace"
+cargo test -q --workspace
+
+echo "CI green."

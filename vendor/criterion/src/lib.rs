@@ -1,0 +1,213 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness.
+//!
+//! No statistics, plots, or saved baselines — each `bench_function` warms
+//! up briefly, then times batches until the configured measurement window
+//! elapses and prints mean ns/iter. The API mirrors the subset the
+//! workspace's benches use (`benchmark_group`, `bench_function`,
+//! `criterion_group!`/`criterion_main!`, `black_box`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state and sampling profile.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the parent profile.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(
+            name,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm up and estimate per-iteration cost with growing batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up {
+        f(&mut b);
+        if b.elapsed < Duration::from_millis(1) {
+            b.iters = b.iters.saturating_mul(2);
+        }
+    }
+    let per_iter = (b.elapsed.as_nanos().max(1) / b.iters as u128).max(1);
+
+    // Size batches so `sample_size` samples roughly fill the window.
+    let budget_per_sample = measurement.as_nanos() / sample_size.max(1) as u128;
+    b.iters = ((budget_per_sample / per_iter).clamp(1, u64::MAX as u128)) as u64;
+
+    let mut total_ns: u128 = 0;
+    let mut total_iters: u64 = 0;
+    let run_start = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut b);
+        total_ns += b.elapsed.as_nanos();
+        total_iters += b.iters;
+        if run_start.elapsed() > measurement.saturating_mul(2) {
+            break; // routine much slower than estimated; stop early
+        }
+    }
+    let mean = total_ns / total_iters.max(1) as u128;
+    println!("  {name}: {mean} ns/iter ({total_iters} iters)");
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("add", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = quick();
+        targets = noop
+    }
+
+    fn noop(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 0u8));
+    }
+
+    #[test]
+    fn macro_group_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for plain (non-generic) structs with named fields and enums with unit
+//! or struct variants — exactly the shapes this workspace uses. Built on
+//! the compiler's `proc_macro` API alone (no `syn`/`quote`), generating
+//! impls of the shim `serde::Serialize`/`serde::Deserialize` traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Obj(__fields)\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__inner.push(({f:?}.to_string(), \
+                                     ::serde::Serialize::to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\n\
+                             ::serde::Value::Obj(vec![({v:?}.to_string(), \
+                             ::serde::Value::Obj(__inner))])\n\
+                             }},\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(__v.get_field({f:?})?)?,\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{\n{inits}\n}})\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fs)| fs.is_none())
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            let struct_tries: String = variants
+                .iter()
+                .filter_map(|(v, fs)| fs.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: String = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __inner.get_field({f:?})?)?,\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if let Ok(__inner) = __v.get_field({v:?}) {{\n\
+                         return Ok({name}::{v} {{\n{inits}\n}});\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if let ::serde::Value::Str(__s) = __v {{\n\
+                 return match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::DeError(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }};\n\
+                 }}\n\
+                 {struct_tries}\
+                 Err(::serde::DeError(format!(\
+                 \"cannot deserialize {name} from {{}}\", __v.kind())))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant, None)` for unit variants, `(variant, Some(fields))`
+        /// for struct variants.
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (doc comments arrive as `#[doc = "…"]`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic types are not supported ({name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no braced body found for {name}"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Extracts the field names of a `{ name: Type, … }` body, skipping
+/// attributes, visibility, and the type tokens (tracking `<…>` depth so
+/// commas inside generic arguments don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!(
+                        "serde_derive shim: expected `:` after field `{}`, found {other:?} \
+                         (tuple structs are not supported)",
+                        fields.last().unwrap()
+                    ),
+                }
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive shim: unexpected token in fields: {other}"),
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        variants.push((name, Some(parse_named_fields(g.stream()))));
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde_derive shim: tuple variant `{name}` is not supported; \
+                             use a struct variant"
+                        )
+                    }
+                    _ => variants.push((name, None)),
+                }
+            }
+            other => panic!("serde_derive shim: unexpected token in variants: {other}"),
+        }
+    }
+    variants
+}
