@@ -4,10 +4,16 @@
 //! Reproduction targets: (i) channel-wise matches (or slightly beats)
 //! element-wise AdamW; (ii) the limiter removes the early-training loss
 //! spikes of the structured rule.
+//!
+//! Each run streams a JSONL trace (`results/fig3_trace_<method>.jsonl`);
+//! the limiter-clip column and the sanity checks below are read back from
+//! those traces rather than recomputed in-process.
 
-use apollo_bench::{pretrain_run, print_table, scaled, write_json, Method};
+use apollo_bench::{pretrain_run_observed, print_table, results_dir, scaled, write_json, Method};
 use apollo_nn::ModelConfig;
+use apollo_obs::{read_trace, Obs, TraceEvent};
 use apollo_train::RunLog;
+use std::path::{Path, PathBuf};
 
 fn early_spike(log: &RunLog) -> f32 {
     // Largest upward jump between consecutive loss samples in the first
@@ -20,6 +26,50 @@ fn early_spike(log: &RunLog) -> f32 {
         .fold(0.0f32, f32::max)
 }
 
+fn trace_path(label: &str) -> PathBuf {
+    let slug: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    results_dir().join(format!("fig3_trace_{slug}.jsonl"))
+}
+
+/// Per-run facts recovered from the trace instead of the in-process log.
+struct TraceFacts {
+    limiter_clips: usize,
+    max_clip_ratio: f32,
+    sampled_steps: usize,
+}
+
+fn read_facts(path: &Path) -> TraceFacts {
+    let events = read_trace(path).expect("fig3 trace must parse");
+    let mut facts = TraceFacts {
+        limiter_clips: 0,
+        max_clip_ratio: 0.0,
+        sampled_steps: 0,
+    };
+    for e in &events {
+        match e {
+            TraceEvent::LimiterClip { ratio, .. } => {
+                facts.limiter_clips += 1;
+                facts.max_clip_ratio = facts.max_clip_ratio.max(*ratio);
+            }
+            TraceEvent::StepMetrics { loss, .. } => {
+                assert!(loss.is_finite(), "trace recorded a non-finite loss");
+                facts.sampled_steps += 1;
+            }
+            _ => {}
+        }
+    }
+    facts
+}
+
 fn main() {
     let cfg = ModelConfig::tiny_130m();
     let steps = scaled(400);
@@ -29,18 +79,29 @@ fn main() {
         Method::AdamWChannelwise { limiter: true },
     ];
     let mut logs = Vec::new();
+    let mut facts = Vec::new();
     for m in methods {
         eprintln!("[fig3] {} ...", m.label());
-        logs.push(pretrain_run(&cfg, m, steps, 4, 42, None));
+        let path = trace_path(m.label());
+        let obs = Obs::with_trace(&path, 1).expect("open fig3 trace");
+        logs.push(pretrain_run_observed(&cfg, m, steps, 4, 42, None, &obs));
+        drop(obs);
+        facts.push(read_facts(&path));
     }
     let rows: Vec<Vec<String>> = logs
         .iter()
-        .map(|l| {
+        .zip(&facts)
+        .map(|(l, f)| {
             vec![
                 l.optimizer.clone(),
                 format!("{:.2}", l.final_ppl),
                 format!("{:.3}", early_spike(l)),
                 format!("{:.2}", l.train_losses.last().unwrap().1),
+                if f.limiter_clips > 0 {
+                    format!("{} (max {:.2}x)", f.limiter_clips, f.max_clip_ratio)
+                } else {
+                    "0".to_string()
+                },
             ]
         })
         .collect();
@@ -54,9 +115,21 @@ fn main() {
             "Val ppl",
             "Max early loss jump",
             "Final train loss",
+            "Limiter clips",
         ],
         &rows,
     );
+    // The limiter column is only meaningful if the traces actually sampled
+    // every step; fail loudly if the probe went blind.
+    for (l, f) in logs.iter().zip(&facts) {
+        assert!(
+            f.sampled_steps >= steps,
+            "{}: trace sampled {} of {} steps",
+            l.optimizer,
+            f.sampled_steps,
+            steps
+        );
+    }
     println!(
         "\nPaper shape: channel-wise ≤ element-wise ppl; limiter suppresses the early spike \
          and improves further (24.11 < 24.43 < 25.08 at paper scale)."

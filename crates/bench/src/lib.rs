@@ -14,12 +14,13 @@ use std::path::PathBuf;
 
 use apollo_data::{CorpusConfig, LmBatcher, SyntheticCorpus};
 use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_obs::Obs;
 use apollo_optim::{
     AdamW, AdamWChannelwise, Apollo, Fira, Flora, GaLore, Optimizer, ScaleGranularity, Sgd,
     SgdMomentum,
 };
 use apollo_tensor::Rng;
-use apollo_train::{pretrain, RunLog, TrainConfig};
+use apollo_train::{pretrain, pretrain_observed, ResilienceConfig, RunLog, TrainConfig};
 
 /// The paper's subspace refresh period T.
 pub const UPDATE_FREQ: usize = 200;
@@ -310,6 +311,40 @@ pub fn pretrain_run(
         quantize_weights: None,
     });
     let mut log = pretrain(&mut model, opt.as_mut(), &mut batcher, &tc);
+    log.optimizer = method.label().to_string();
+    log
+}
+
+/// Like [`pretrain_run`], but threads an [`Obs`] handle through the loop so
+/// figure probes can read phase timings, channel-scale summaries, projector
+/// refreshes, and limiter clips from the JSONL trace afterwards.
+pub fn pretrain_run_observed(
+    cfg: &ModelConfig,
+    method: Method,
+    steps: usize,
+    batch: usize,
+    seed: u64,
+    train_overrides: Option<TrainConfig>,
+    obs: &Obs,
+) -> RunLog {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut model = LlamaModel::new(cfg, method.linear_mode(cfg), &mut rng);
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    let mut batcher = LmBatcher::new(corpus, batch, cfg.max_seq);
+    let mut opt = method.build(cfg);
+    let tc = train_overrides.unwrap_or(TrainConfig {
+        steps,
+        lr: method.default_lr(),
+        grad_clip: method.grad_clip(),
+        eval_every: 0,
+        eval_seqs: 32,
+        merge_every: method.merge_every(steps),
+        record_step_times: false,
+        grad_accum: 1,
+        quantize_weights: None,
+    });
+    let res = ResilienceConfig::default();
+    let mut log = pretrain_observed(&mut model, opt.as_mut(), &mut batcher, &tc, &res, obs);
     log.optimizer = method.label().to_string();
     log
 }

@@ -15,12 +15,13 @@ use std::process::ExitCode;
 
 use apollo_data::{commonsense_suite, mmlu_suite, CorpusConfig, LmBatcher, SyntheticCorpus};
 use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_obs::{read_trace, Obs, TraceEvent};
 use apollo_optim::memory::MethodSpec;
 use apollo_optim::{AdamMini, AdamW, Apollo, Fira, Flora, GaLore, Optimizer, Sgd, SgdMomentum};
 use apollo_sysmodel::{Gpu, MemoryOptions, TrainingMemoryModel};
 use apollo_tensor::Rng;
 use apollo_train::{
-    eval_perplexity, finetune, load_model, pretrain_resilient, save_model, FinetuneConfig,
+    eval_perplexity, finetune, load_model, pretrain_observed, save_model, FinetuneConfig,
     RecoveryPolicy, ResilienceConfig, ResilienceReport, TrainConfig,
 };
 use args::Args;
@@ -34,11 +35,22 @@ USAGE:
                   [--save PATH]
                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                   [--recovery POLICY] [--lr-backoff F] [--spike-factor F]
+                  [--trace-out PATH] [--metrics-every N] [--profile]
   apollo finetune --checkpoint PATH --task NAME [--optimizer NAME]
                   [--steps N] [--batch N] [--lr F] [--rank N]
   apollo eval     --checkpoint PATH [--seqs N]
   apollo memory   [--model NAME] [--method NAME] [--rank N] [--gpu NAME]
+  apollo trace-check --trace PATH
   apollo list
+
+OBSERVABILITY
+  --trace-out PATH   stream a JSONL trace (phase timings, loss/grad-norm/LR,
+                     per-layer APOLLO channel scales, projector refreshes,
+                     limiter clips, resilience sentinels)
+  --metrics-every N  sample StepMetrics/ScaleSummary every N steps (default 1)
+  --profile          print an end-of-run phase-time breakdown and counters
+  trace-check        validate a trace: every line parses and per-step phase
+                     times sum to (at most) the recorded step total
 
 MODELS     test-tiny tiny-60m tiny-130m tiny-350m tiny-1b tiny-7b
            llama-60m llama-130m llama-350m llama-1b llama-7b llama-13b
@@ -188,12 +200,27 @@ fn cmd_pretrain(a: &Args) -> Result<(), String> {
         ..TrainConfig::quick(steps)
     };
     let res = resilience_config(a)?;
+    let metrics_every = a.get_num("metrics-every", 1usize)?;
+    if metrics_every == 0 {
+        return Err("--metrics-every must be >= 1".into());
+    }
+    let obs = if a.has("trace-out") {
+        let path = PathBuf::from(a.require("trace-out")?);
+        let obs = Obs::with_trace(&path, metrics_every)
+            .map_err(|e| format!("cannot open trace {}: {e}", path.display()))?;
+        eprintln!("tracing to {}", path.display());
+        obs
+    } else if a.has("profile") {
+        Obs::enabled(metrics_every)
+    } else {
+        Obs::disabled()
+    };
     eprintln!(
         "pretraining {} with {} (rank {rank}, lr {lr}, {steps} steps, batch {batch})",
         cfg.name,
         opt.name()
     );
-    let log = pretrain_resilient(&mut model, opt.as_mut(), &mut batcher, &tc, &res);
+    let log = pretrain_observed(&mut model, opt.as_mut(), &mut batcher, &tc, &res, &obs);
     for (step, ppl) in &log.eval_ppls {
         println!("step {step:>6}  val ppl {ppl:.2}");
     }
@@ -202,6 +229,20 @@ fn cmd_pretrain(a: &Args) -> Result<(), String> {
         log.final_ppl, log.state_elems, log.state_bytes, log.wall_secs
     );
     print_resilience(&log.resilience);
+    if a.has("profile") {
+        if let Some(stats) = obs.phase_stats() {
+            println!("\nphase breakdown ({} steps):", stats.steps());
+            print!("{}", stats.render_table());
+        }
+        let metrics = obs.metrics().expect("profile implies an enabled handle");
+        let counters: Vec<(&str, u64)> = metrics.counters().collect();
+        if !counters.is_empty() {
+            println!("\ncounters:");
+            for (name, value) in counters {
+                println!("  {name:<24} {value}");
+            }
+        }
+    }
     if a.has("save") {
         let path = PathBuf::from(a.require("save")?);
         save_model(&model, LinearMode::Dense, &path).map_err(|e| e.to_string())?;
@@ -250,7 +291,9 @@ fn cmd_eval(a: &Args) -> Result<(), String> {
     let cfg = model.config();
     let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
     let batcher = LmBatcher::new(corpus, 4, cfg.max_seq);
-    let ppl = eval_perplexity(&model, &batcher, a.get_num("seqs", 64usize)?);
+    let Some(ppl) = eval_perplexity(&model, &batcher, a.get_num("seqs", 64usize)?) else {
+        return Err("eval requires --seqs >= 1".to_string());
+    };
     println!("{}: validation ppl {ppl:.2}", cfg.name);
     Ok(())
 }
@@ -303,6 +346,70 @@ fn cmd_memory(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Maximum tolerated per-step drift between the sum of phase times and the
+/// recorded total, as a fraction of the total (plus 0.5 ms absolute slack
+/// for timer granularity on sub-millisecond steps).
+const TRACE_PHASE_TOLERANCE: f32 = 0.05;
+
+fn cmd_trace_check(a: &Args) -> Result<(), String> {
+    let path = PathBuf::from(a.require("trace")?);
+    let events = read_trace(&path).map_err(|e| e.to_string())?;
+    if events.is_empty() {
+        return Err(format!("{}: trace is empty", path.display()));
+    }
+    let mut kinds: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    let mut steps_checked = 0usize;
+    for (idx, event) in events.iter().enumerate() {
+        *kinds.entry(event.kind()).or_default() += 1;
+        if let TraceEvent::StepPhases {
+            step,
+            batch_ms,
+            forward_ms,
+            backward_ms,
+            clip_ms,
+            optimizer_ms,
+            checkpoint_ms,
+            eval_ms,
+            total_ms,
+        } = event
+        {
+            let parts = batch_ms
+                + forward_ms
+                + backward_ms
+                + clip_ms
+                + optimizer_ms
+                + checkpoint_ms
+                + eval_ms;
+            if !parts.is_finite() || !total_ms.is_finite() {
+                return Err(format!(
+                    "line {}: step {step} has non-finite phase times",
+                    idx + 1
+                ));
+            }
+            if parts > total_ms * (1.0 + TRACE_PHASE_TOLERANCE) + 0.5 {
+                return Err(format!(
+                    "line {}: step {step} phase sum {parts:.3} ms exceeds step total {total_ms:.3} ms",
+                    idx + 1
+                ));
+            }
+            steps_checked += 1;
+        }
+    }
+    if steps_checked == 0 {
+        return Err(format!("{}: no StepPhases events", path.display()));
+    }
+    println!(
+        "{}: {} events OK, {} step phase breakdowns consistent",
+        path.display(),
+        events.len(),
+        steps_checked
+    );
+    for (kind, count) in kinds {
+        println!("  {kind:<18} {count}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
@@ -315,6 +422,7 @@ fn run() -> Result<(), String> {
         "finetune" => cmd_finetune(&a),
         "eval" => cmd_eval(&a),
         "memory" => cmd_memory(&a),
+        "trace-check" => cmd_trace_check(&a),
         "list" => {
             println!("{USAGE}");
             Ok(())

@@ -1,7 +1,9 @@
 //! AdamW (full-precision and 8-bit state variants) and the Section-3
 //! structured channel-wise AdamW used to motivate APOLLO.
 
-use crate::limiter::NormGrowthLimiter;
+use apollo_obs::{Obs, TraceEvent};
+
+use crate::limiter::{LimiterOutcome, NormGrowthLimiter};
 use crate::state::{StateReader, StateWriter};
 use crate::{
     check_state_header, norm_ratio_scales, save_state_header, AdamMoments, Optimizer, ParamUpdate,
@@ -153,6 +155,8 @@ pub struct AdamWChannelwise {
     /// Channel scaling factors of the last step, per parameter (empty for
     /// non-projectable tensors). Consumed by the Fig. 4 probe.
     pub last_scales: Vec<Vec<f32>>,
+    /// Observability handle; disabled (free) unless attached.
+    obs: Obs,
 }
 
 impl AdamWChannelwise {
@@ -167,6 +171,7 @@ impl AdamWChannelwise {
             states: Vec::new(),
             limiters: Vec::new(),
             last_scales: Vec::new(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -223,8 +228,39 @@ impl Optimizer for AdamWChannelwise {
                 update = gt;
                 self.last_scales[i].clear();
             }
+            if self.obs.sample_due() && self.obs.has_trace() {
+                if let Some(ev) =
+                    apollo_obs::scale_summary(self.obs.step(), p.name, &self.last_scales[i])
+                {
+                    self.obs.emit(|| ev);
+                }
+            }
             if self.use_limiter {
-                self.limiters[i].apply(&mut update);
+                let pre = if self.obs.has_trace() {
+                    update.fro_norm()
+                } else {
+                    0.0
+                };
+                match self.limiters[i].apply(&mut update) {
+                    LimiterOutcome::Clamped => {
+                        self.obs.counter("limiter_clips", 1);
+                        if self.obs.has_trace() {
+                            let post = update.fro_norm();
+                            let ratio = if post > 1e-30 { pre / post } else { 1.0 };
+                            let step = self.obs.step();
+                            let name = p.name;
+                            self.obs.emit(|| TraceEvent::LimiterClip {
+                                step,
+                                param: name.to_string(),
+                                ratio,
+                            });
+                        }
+                    }
+                    LimiterOutcome::NonFinite => {
+                        self.obs.counter("limiter_non_finite", 1);
+                    }
+                    LimiterOutcome::Passed => {}
+                }
             }
             if self.weight_decay > 0.0 {
                 p.value.scale_assign(1.0 - lr * self.weight_decay);
@@ -247,6 +283,10 @@ impl Optimizer for AdamWChannelwise {
         self.states.clear();
         self.limiters.clear();
         self.last_scales.clear();
+    }
+
+    fn attach_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn state_save(&self) -> Result<Vec<u8>, String> {

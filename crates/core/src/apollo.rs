@@ -1,6 +1,8 @@
 //! APOLLO and APOLLO-Mini (Algorithm 1 of the paper).
 
-use crate::limiter::NormGrowthLimiter;
+use apollo_obs::{Obs, TraceEvent};
+
+use crate::limiter::{LimiterOutcome, NormGrowthLimiter};
 use crate::projector::{ProjKind, Projector};
 use crate::state::{StateReader, StateWriter};
 use crate::{
@@ -81,6 +83,8 @@ pub struct Apollo {
     /// tensor granularity; empty for dense-fallback tensors). Consumed by
     /// the Fig. 4 probe.
     pub last_scales: Vec<Vec<f32>>,
+    /// Observability handle; disabled (free) unless attached.
+    obs: Obs,
 }
 
 impl Apollo {
@@ -100,6 +104,7 @@ impl Apollo {
             seed: 0xA90110,
             states: Vec::new(),
             last_scales: Vec::new(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -229,7 +234,19 @@ impl Optimizer for Apollo {
                     limiter,
                 } => {
                     // Step 1: project the gradient into the auxiliary space.
-                    projector.begin_step(p.grad);
+                    if projector.begin_step(p.grad) {
+                        self.obs.counter("projector_refresh", 1);
+                        let step = self.obs.step();
+                        let rank = projector.effective_rank(p.grad);
+                        let kind = projector.kind_label();
+                        let name = p.name;
+                        self.obs.emit(|| TraceEvent::ProjectorRefresh {
+                            step,
+                            param: name.to_string(),
+                            kind: kind.to_string(),
+                            rank,
+                        });
+                    }
                     let r = projector.project(p.grad);
                     // Step 2: low-rank AdamW moments.
                     let rt = moments.update(&r, self.beta1, self.beta2, self.eps);
@@ -257,10 +274,41 @@ impl Optimizer for Apollo {
                             self.last_scales[i] = vec![s];
                         }
                     }
+                    if self.obs.sample_due() && self.obs.has_trace() {
+                        if let Some(ev) =
+                            apollo_obs::scale_summary(self.obs.step(), p.name, &self.last_scales[i])
+                        {
+                            self.obs.emit(|| ev);
+                        }
+                    }
                     // Step 4: update in the original space.
                     update.scale_assign(self.alpha);
                     if self.use_limiter {
-                        limiter.apply(&mut update);
+                        let pre = if self.obs.has_trace() {
+                            update.fro_norm()
+                        } else {
+                            0.0
+                        };
+                        match limiter.apply(&mut update) {
+                            LimiterOutcome::Clamped => {
+                                self.obs.counter("limiter_clips", 1);
+                                if self.obs.has_trace() {
+                                    let post = update.fro_norm();
+                                    let ratio = if post > 1e-30 { pre / post } else { 1.0 };
+                                    let step = self.obs.step();
+                                    let name = p.name;
+                                    self.obs.emit(|| TraceEvent::LimiterClip {
+                                        step,
+                                        param: name.to_string(),
+                                        ratio,
+                                    });
+                                }
+                            }
+                            LimiterOutcome::NonFinite => {
+                                self.obs.counter("limiter_non_finite", 1);
+                            }
+                            LimiterOutcome::Passed => {}
+                        }
                     }
                     if self.weight_decay > 0.0 {
                         p.value.scale_assign(1.0 - lr * self.weight_decay);
@@ -295,6 +343,10 @@ impl Optimizer for Apollo {
     fn reset_state(&mut self) {
         self.states.clear();
         self.last_scales.clear();
+    }
+
+    fn attach_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn state_save(&self) -> Result<Vec<u8>, String> {

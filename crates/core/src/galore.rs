@@ -5,7 +5,9 @@
 //! *estimates scaling factors* there and applies them to the raw full-rank
 //! gradient.
 
-use crate::limiter::NormGrowthLimiter;
+use apollo_obs::{Obs, TraceEvent};
+
+use crate::limiter::{LimiterOutcome, NormGrowthLimiter};
 use crate::projector::{ProjKind, Projector};
 use crate::state::{StateReader, StateWriter};
 use crate::{
@@ -53,6 +55,9 @@ pub struct GaLore {
     seed: u64,
     states: Vec<LowRankState>,
     name_override: Option<&'static str>,
+    /// Observability handle; disabled (free) unless attached. Shared by
+    /// the Fira/Flora wrappers through their inner `GaLore`.
+    obs: Obs,
 }
 
 impl GaLore {
@@ -71,6 +76,7 @@ impl GaLore {
             seed: 0x6A10,
             states: Vec::new(),
             name_override: None,
+            obs: Obs::disabled(),
         }
     }
 
@@ -150,7 +156,19 @@ impl GaLore {
                     projector,
                     limiter,
                 } => {
-                    projector.begin_step(p.grad);
+                    if projector.begin_step(p.grad) {
+                        self.obs.counter("projector_refresh", 1);
+                        let step = self.obs.step();
+                        let rank = projector.effective_rank(p.grad);
+                        let kind = projector.kind_label();
+                        let name = p.name;
+                        self.obs.emit(|| TraceEvent::ProjectorRefresh {
+                            step,
+                            param: name.to_string(),
+                            kind: kind.to_string(),
+                            rank,
+                        });
+                    }
                     let r = projector.project(p.grad);
                     let nt = moments.update(&r, beta1, beta2, eps);
                     let mut back = projector.project_back(&nt, p.grad.shape());
@@ -167,8 +185,38 @@ impl GaLore {
                         } else {
                             residual.scale_rows(&s);
                         }
+                        if self.obs.sample_due() && self.obs.has_trace() {
+                            if let Some(ev) = apollo_obs::scale_summary(self.obs.step(), p.name, &s)
+                            {
+                                self.obs.emit(|| ev);
+                            }
+                        }
                         back.add_assign(&residual);
-                        limiter.apply(&mut back);
+                        let pre = if self.obs.has_trace() {
+                            back.fro_norm()
+                        } else {
+                            0.0
+                        };
+                        match limiter.apply(&mut back) {
+                            LimiterOutcome::Clamped => {
+                                self.obs.counter("limiter_clips", 1);
+                                if self.obs.has_trace() {
+                                    let post = back.fro_norm();
+                                    let ratio = if post > 1e-30 { pre / post } else { 1.0 };
+                                    let step = self.obs.step();
+                                    let name = p.name;
+                                    self.obs.emit(|| TraceEvent::LimiterClip {
+                                        step,
+                                        param: name.to_string(),
+                                        ratio,
+                                    });
+                                }
+                            }
+                            LimiterOutcome::NonFinite => {
+                                self.obs.counter("limiter_non_finite", 1);
+                            }
+                            LimiterOutcome::Passed => {}
+                        }
                     }
                     back
                 }
@@ -296,6 +344,10 @@ impl Optimizer for GaLore {
         self.states.clear();
     }
 
+    fn attach_observer(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     fn state_save(&self) -> Result<Vec<u8>, String> {
         self.state_save_inner(&self.name())
     }
@@ -357,6 +409,10 @@ impl Optimizer for Fira {
         self.0.states.clear();
     }
 
+    fn attach_observer(&mut self, obs: Obs) {
+        self.0.obs = obs;
+    }
+
     fn state_save(&self) -> Result<Vec<u8>, String> {
         self.0.state_save_inner(&self.name())
     }
@@ -405,6 +461,10 @@ impl Optimizer for Flora {
 
     fn reset_state(&mut self) {
         self.0.states.clear();
+    }
+
+    fn attach_observer(&mut self, obs: Obs) {
+        self.0.obs = obs;
     }
 
     fn state_save(&self) -> Result<Vec<u8>, String> {

@@ -140,6 +140,13 @@ pub trait Optimizer {
             self.name()
         ))
     }
+
+    /// Attaches an observability handle. Instrumented optimizers (APOLLO,
+    /// GaLore/Fira, channel-wise AdamW) keep the handle and emit
+    /// projector-refresh, limiter-clip, and channel-scale events through
+    /// it; the default implementation drops it, so plain optimizers pay
+    /// nothing. A disabled handle (`Obs::disabled()`) is equally free.
+    fn attach_observer(&mut self, _obs: apollo_obs::Obs) {}
 }
 
 /// Writes the shared `state_save` header: optimizer name + layout version.

@@ -70,10 +70,21 @@ impl Projector {
         self.kind
     }
 
+    /// Stable display label for the subspace kind (trace events).
+    pub fn kind_label(&self) -> &'static str {
+        match self.kind {
+            ProjKind::Random => "random",
+            ProjKind::Svd => "svd",
+        }
+    }
+
     /// Advances the step counter and refreshes the subspace when due.
     /// `g` is the current gradient (consulted only by the SVD kind).
-    pub fn begin_step(&mut self, g: &Matrix) {
-        if self.step.is_multiple_of(self.update_freq) {
+    /// Returns whether the subspace was refreshed this step, so callers
+    /// can surface refresh events to observability.
+    pub fn begin_step(&mut self, g: &Matrix) -> bool {
+        let refreshed = self.step.is_multiple_of(self.update_freq);
+        if refreshed {
             match self.kind {
                 ProjKind::Random => {
                     // Derive an independent new seed, exactly the
@@ -87,6 +98,7 @@ impl Projector {
             }
         }
         self.step += 1;
+        refreshed
     }
 
     fn compute_svd_basis(&self, g: &Matrix) -> Matrix {

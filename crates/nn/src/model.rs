@@ -270,7 +270,12 @@ impl LlamaModel {
             .collect()
     }
 
-    fn collect_grads(&self, g: &Graph, pnodes: &[NodeId]) -> Vec<Option<Matrix>> {
+    /// Collects per-parameter gradients from a backward-completed graph
+    /// (`None` for frozen or unused parameters). Public so training loops
+    /// can time the forward ([`LlamaModel::build_loss`]) and backward
+    /// passes separately instead of going through
+    /// [`LlamaModel::loss_and_grads`].
+    pub fn collect_grads(&self, g: &Graph, pnodes: &[NodeId]) -> Vec<Option<Matrix>> {
         self.params
             .iter()
             .zip(pnodes)

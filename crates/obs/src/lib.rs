@@ -1,0 +1,305 @@
+//! Lightweight training observability for the APOLLO reproduction.
+//!
+//! Three pieces, all reached through one cheap cloneable handle ([`Obs`]):
+//!
+//! - a [`MetricsRegistry`] of named counters / gauges / histograms;
+//! - per-step [`Phase`] timers feeding cumulative [`PhaseStats`] (the
+//!   `--profile` breakdown);
+//! - a buffered JSONL [`TraceWriter`] emitting self-describing
+//!   [`TraceEvent`] lines that the Fig. 3/9 bench probes and
+//!   `apollo trace-check` consume.
+//!
+//! # Design: disabled means free
+//!
+//! [`Obs::disabled`] (also [`Obs::default`]) carries no allocation — every
+//! method is a no-op behind one `Option` check, so production loops thread
+//! an `Obs` unconditionally and pay nothing unless the user opts in with
+//! `--trace-out` / `--profile`. The measured overhead of the disabled path
+//! is below the noise floor of a pretraining step (see DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use apollo_obs::{Obs, Phase, PhaseSample, TraceEvent};
+//!
+//! let obs = Obs::enabled(1); // in-memory metrics only, no trace file
+//! obs.set_step(0);
+//! let mut sample = PhaseSample::new();
+//! sample.time(Phase::Forward, || { /* forward pass */ });
+//! obs.record_step(&sample, sample.phase_total());
+//! obs.counter("demo", 1);
+//! obs.emit(|| TraceEvent::RunEnd { step: 1, wall_secs: 0.0 });
+//! assert_eq!(obs.counter_value("demo"), 1);
+//! ```
+
+mod metrics;
+mod phase;
+mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use phase::{Phase, PhaseSample, PhaseStats};
+pub use trace::{parse_line, read_trace, scale_summary, TraceEvent, TraceWriter};
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct Inner {
+    /// Current training step, published by the trainer so optimizer-side
+    /// emitters can stamp events without threading a step argument.
+    step: AtomicU64,
+    /// Sampling period for high-volume events (scale summaries, metrics).
+    metrics_every: u64,
+    metrics: Mutex<MetricsRegistry>,
+    phases: Mutex<PhaseStats>,
+    trace: Option<Mutex<TraceWriter>>,
+}
+
+/// Cheap cloneable observability handle; see the crate docs.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Obs {
+    /// The no-op handle: every method returns immediately.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// In-memory observability (metrics + phase stats), no trace file.
+    /// High-volume events are sampled every `metrics_every` steps
+    /// (clamped to ≥ 1).
+    pub fn enabled(metrics_every: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                step: AtomicU64::new(0),
+                metrics_every: metrics_every.max(1) as u64,
+                metrics: Mutex::new(MetricsRegistry::new()),
+                phases: Mutex::new(PhaseStats::new()),
+                trace: None,
+            })),
+        }
+    }
+
+    /// Full observability with a JSONL trace written to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the trace file.
+    pub fn with_trace(path: &Path, metrics_every: usize) -> std::io::Result<Self> {
+        let writer = TraceWriter::create(path)?;
+        Ok(Obs {
+            inner: Some(Arc::new(Inner {
+                step: AtomicU64::new(0),
+                metrics_every: metrics_every.max(1) as u64,
+                metrics: Mutex::new(MetricsRegistry::new()),
+                phases: Mutex::new(PhaseStats::new()),
+                trace: Some(Mutex::new(writer)),
+            })),
+        })
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether a JSONL trace is attached.
+    pub fn has_trace(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.trace.is_some())
+    }
+
+    /// Publishes the current training step (trainer-side, once per step).
+    pub fn set_step(&self, step: usize) {
+        if let Some(inner) = &self.inner {
+            inner.step.store(step as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The last published step (0 before training starts).
+    pub fn step(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.step.load(Ordering::Relaxed) as usize)
+    }
+
+    /// Whether high-volume emitters should sample the current step
+    /// (`step % metrics_every == 0`). Always false when disabled.
+    pub fn sample_due(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.step.load(Ordering::Relaxed) % inner.metrics_every == 0)
+    }
+
+    /// Emits one trace event. The event is built lazily so disabled
+    /// handles (and handles without a trace file) never pay for string
+    /// formatting.
+    pub fn emit(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            if let Some(trace) = &inner.trace {
+                trace.lock().expect("trace lock").write(&event());
+            }
+        }
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.lock().expect("metrics lock").inc(name, delta);
+        }
+    }
+
+    /// Sets a named gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .set_gauge(name, value);
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .observe(name, value);
+        }
+    }
+
+    /// Folds one step's phase sample into the cumulative statistics.
+    pub fn record_step(&self, sample: &PhaseSample, step_total_ms: f32) {
+        if let Some(inner) = &self.inner {
+            inner
+                .phases
+                .lock()
+                .expect("phases lock")
+                .record(sample, step_total_ms);
+        }
+    }
+
+    /// Snapshot of the cumulative phase statistics (None when disabled).
+    pub fn phase_stats(&self) -> Option<PhaseStats> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.phases.lock().expect("phases lock").clone())
+    }
+
+    /// Snapshot of the metrics registry (None when disabled).
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.metrics.lock().expect("metrics lock").clone())
+    }
+
+    /// Current value of a counter (0 when disabled or never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.metrics.lock().expect("metrics lock").counter(name)
+        })
+    }
+
+    /// Flushes the trace file, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns any buffered or flush-time I/O error.
+    pub fn flush(&self) -> std::io::Result<()> {
+        if let Some(inner) = &self.inner {
+            if let Some(trace) = &inner.trace {
+                return trace.lock().expect("trace lock").flush();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert!(!obs.has_trace());
+        assert!(!obs.sample_due());
+        obs.set_step(5);
+        assert_eq!(obs.step(), 0);
+        obs.counter("x", 1);
+        assert_eq!(obs.counter_value("x"), 0);
+        assert!(obs.phase_stats().is_none());
+        assert!(obs.metrics().is_none());
+        obs.emit(|| unreachable!("disabled handles must not build events"));
+        obs.flush().unwrap();
+    }
+
+    #[test]
+    fn enabled_handle_counts_and_samples() {
+        let obs = Obs::enabled(10);
+        assert!(obs.is_enabled());
+        assert!(!obs.has_trace());
+        obs.set_step(0);
+        assert!(obs.sample_due());
+        obs.set_step(5);
+        assert!(!obs.sample_due());
+        obs.set_step(20);
+        assert!(obs.sample_due());
+        assert_eq!(obs.step(), 20);
+        obs.counter("clips", 2);
+        obs.counter("clips", 1);
+        assert_eq!(obs.counter_value("clips"), 3);
+        obs.gauge("loss", 4.5);
+        obs.observe("step_ms", 2.0);
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.gauge("loss"), Some(4.5));
+        assert_eq!(m.histogram("step_ms").unwrap().count, 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled(1);
+        let clone = obs.clone();
+        clone.counter("shared", 1);
+        obs.set_step(7);
+        assert_eq!(obs.counter_value("shared"), 1);
+        assert_eq!(clone.step(), 7);
+    }
+
+    #[test]
+    fn trace_events_reach_the_file() {
+        let dir = std::env::temp_dir().join("apollo-obs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("handle.jsonl");
+        let obs = Obs::with_trace(&path, 1).unwrap();
+        assert!(obs.has_trace());
+        obs.emit(|| TraceEvent::RunEnd {
+            step: 3,
+            wall_secs: 0.5,
+        });
+        obs.flush().unwrap();
+        let events = read_trace(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].step(), 3);
+    }
+
+    #[test]
+    fn record_step_accumulates_phase_stats() {
+        let obs = Obs::enabled(1);
+        let mut s = PhaseSample::new();
+        s.add(Phase::Optimizer, 3.0);
+        obs.record_step(&s, 4.0);
+        let stats = obs.phase_stats().unwrap();
+        assert_eq!(stats.steps(), 1);
+        assert_eq!(stats.total_ms(Phase::Optimizer), 3.0);
+        assert_eq!(stats.total_step_ms(), 4.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! In-memory metrics registry: named counters, gauges, and histograms.
+//!
+//! The registry is deliberately tiny — `BTreeMap`s keyed by `&'static`-ish
+//! names, updated under the [`crate::Obs`] mutex — because at proxy scale a
+//! metric update happens a handful of times per multi-millisecond step.
+//! Deterministic iteration order (BTree) keeps rendered summaries stable
+//! across runs.
+
+use std::collections::BTreeMap;
+
+/// Streaming summary of an observed distribution: count, sum, min, max.
+///
+/// No buckets are kept — the JSONL trace carries the raw per-step values
+/// for anything that needs a real distribution, so the in-memory histogram
+/// only answers "how many, how big, what range".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Records one sample. Non-finite samples are dropped — a NaN must not
+    /// poison the running sum (the sentinel counters track those).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at 0).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to its latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Latest value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Summary of a histogram.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.get(name).copied()
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, Histogram)> {
+        self.histograms.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("steps", 1);
+        m.inc("steps", 2);
+        assert_eq!(m.counter("steps"), 3);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_latest() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("loss", 5.0);
+        m.set_gauge("loss", 4.0);
+        assert_eq!(m.gauge("loss"), Some(4.0));
+        assert_eq!(m.gauge("absent"), None);
+    }
+
+    #[test]
+    fn histogram_tracks_range_and_mean() {
+        let mut h = Histogram::default();
+        for v in [2.0, 4.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite() {
+        let mut h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count, 0);
+        h.record(1.0);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.mean(), 1.0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.inc("b", 1);
+        m.inc("a", 1);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Training-step phase timing: a per-step sample and cumulative statistics
+//! for the end-of-run `--profile` breakdown.
+
+use std::time::Instant;
+
+/// The phases of one optimizer step, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Drawing the next batch from the data loader.
+    BatchPrep,
+    /// Forward pass: graph build + loss.
+    Forward,
+    /// Backward pass + gradient collection.
+    Backward,
+    /// Global gradient-norm clipping.
+    Clip,
+    /// The optimizer update.
+    Optimizer,
+    /// Crash-safe checkpoint writes.
+    Checkpoint,
+    /// Periodic validation evaluation.
+    Eval,
+}
+
+impl Phase {
+    /// Every phase, in execution order.
+    pub const ALL: [Phase; 7] = [
+        Phase::BatchPrep,
+        Phase::Forward,
+        Phase::Backward,
+        Phase::Clip,
+        Phase::Optimizer,
+        Phase::Checkpoint,
+        Phase::Eval,
+    ];
+
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::BatchPrep => "batch",
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+            Phase::Clip => "clip",
+            Phase::Optimizer => "optimizer",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Eval => "eval",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::BatchPrep => 0,
+            Phase::Forward => 1,
+            Phase::Backward => 2,
+            Phase::Clip => 3,
+            Phase::Optimizer => 4,
+            Phase::Checkpoint => 5,
+            Phase::Eval => 6,
+        }
+    }
+}
+
+/// Wall-clock milliseconds per phase for one step. Accumulates, so a phase
+/// that runs twice within a step (gradient accumulation) sums both passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSample {
+    ms: [f32; Phase::ALL.len()],
+}
+
+impl PhaseSample {
+    /// An all-zero sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, charging its wall-clock to `phase`, and returns its value.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.add(phase, t.elapsed().as_secs_f32() * 1e3);
+        out
+    }
+
+    /// Adds pre-measured milliseconds to a phase.
+    pub fn add(&mut self, phase: Phase, ms: f32) {
+        self.ms[phase.index()] += ms;
+    }
+
+    /// Milliseconds charged to a phase so far.
+    pub fn get(&self, phase: Phase) -> f32 {
+        self.ms[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn phase_total(&self) -> f32 {
+        self.ms.iter().sum()
+    }
+}
+
+/// Cumulative per-phase totals across a run.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    totals_ms: [f64; Phase::ALL.len()],
+    total_step_ms: f64,
+    steps: usize,
+}
+
+impl PhaseStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one step's sample (and its whole-step time) into the totals.
+    pub fn record(&mut self, sample: &PhaseSample, step_total_ms: f32) {
+        for p in Phase::ALL {
+            self.totals_ms[p.index()] += f64::from(sample.get(p));
+        }
+        self.total_step_ms += f64::from(step_total_ms);
+        self.steps += 1;
+    }
+
+    /// Steps recorded.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Cumulative milliseconds charged to a phase.
+    pub fn total_ms(&self, phase: Phase) -> f64 {
+        self.totals_ms[phase.index()]
+    }
+
+    /// Cumulative whole-step milliseconds.
+    pub fn total_step_ms(&self) -> f64 {
+        self.total_step_ms
+    }
+
+    /// Renders the `--profile` breakdown: one line per phase with total,
+    /// mean, and share of the summed step time, plus an "other" line for
+    /// loop bookkeeping not attributed to any phase.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10} {:>7}\n",
+            "phase", "total ms", "mean ms", "share"
+        ));
+        let denom = if self.total_step_ms > 0.0 {
+            self.total_step_ms
+        } else {
+            1.0
+        };
+        let steps = self.steps.max(1) as f64;
+        let mut attributed = 0.0;
+        for p in Phase::ALL {
+            let t = self.totals_ms[p.index()];
+            attributed += t;
+            out.push_str(&format!(
+                "{:<12} {:>10.1} {:>10.2} {:>6.1}%\n",
+                p.label(),
+                t,
+                t / steps,
+                100.0 * t / denom
+            ));
+        }
+        let other = (self.total_step_ms - attributed).max(0.0);
+        out.push_str(&format!(
+            "{:<12} {:>10.1} {:>10.2} {:>6.1}%\n",
+            "other",
+            other,
+            other / steps,
+            100.0 * other / denom
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>10.1} {:>10.2} {:>6.1}%",
+            "total step",
+            self.total_step_ms,
+            self.total_step_ms / steps,
+            100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_charges_the_right_phase() {
+        let mut s = PhaseSample::new();
+        let v = s.time(Phase::Forward, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(s.get(Phase::Forward) >= 1.0);
+        assert_eq!(s.get(Phase::Backward), 0.0);
+        assert_eq!(s.phase_total(), s.get(Phase::Forward));
+    }
+
+    #[test]
+    fn phases_accumulate_within_a_step() {
+        let mut s = PhaseSample::new();
+        s.add(Phase::Forward, 2.0);
+        s.add(Phase::Forward, 3.0);
+        assert_eq!(s.get(Phase::Forward), 5.0);
+    }
+
+    #[test]
+    fn stats_fold_samples() {
+        let mut stats = PhaseStats::new();
+        let mut s = PhaseSample::new();
+        s.add(Phase::Forward, 4.0);
+        s.add(Phase::Optimizer, 1.0);
+        stats.record(&s, 6.0);
+        stats.record(&s, 6.0);
+        assert_eq!(stats.steps(), 2);
+        assert_eq!(stats.total_ms(Phase::Forward), 8.0);
+        assert_eq!(stats.total_step_ms(), 12.0);
+    }
+
+    #[test]
+    fn render_table_mentions_every_phase() {
+        let mut stats = PhaseStats::new();
+        let mut s = PhaseSample::new();
+        s.add(Phase::Backward, 10.0);
+        stats.record(&s, 12.0);
+        let table = stats.render_table();
+        for p in Phase::ALL {
+            assert!(table.contains(p.label()), "missing {}", p.label());
+        }
+        assert!(table.contains("other"));
+        assert!(table.contains("total step"));
+    }
+}

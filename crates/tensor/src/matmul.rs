@@ -7,15 +7,38 @@
 
 use crate::matrix::Matrix;
 
-/// Rows below this threshold are multiplied single-threaded; the spawn cost
-/// dominates for tiny matrices.
+/// Multiplications below this many FLOPs (`2 * m * k * n`) run
+/// single-threaded; the spawn cost dominates for tiny matrices.
 const PAR_MIN_FLOPS: usize = 1 << 20;
 
+/// Default thread cap when `APOLLO_NUM_THREADS` is unset: the kernels stop
+/// scaling well past 8 bands at proxy sizes.
+const DEFAULT_MAX_THREADS: usize = 8;
+
+/// Resolves the thread count from an optional `APOLLO_NUM_THREADS` override.
+///
+/// The override must parse as an integer ≥ 1 to take effect; anything else
+/// (unset, empty, `0`, garbage) falls back to `available / cap`. Kept as a
+/// pure function so it is unit-testable without mutating the environment.
+fn resolve_threads(over: Option<&str>, available: usize) -> usize {
+    match over.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => available.min(DEFAULT_MAX_THREADS),
+    }
+}
+
 fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        resolve_threads(
+            std::env::var("APOLLO_NUM_THREADS").ok().as_deref(),
+            available,
+        )
+    })
 }
 
 /// Computes one row band `c[lo..hi] = a[lo..hi] · b` into `out`.
@@ -238,5 +261,25 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn thread_override_parses_valid_values() {
+        assert_eq!(resolve_threads(Some("4"), 16), 4);
+        assert_eq!(resolve_threads(Some(" 12 "), 16), 12);
+        // The override may exceed the default cap.
+        assert_eq!(resolve_threads(Some("32"), 16), 32);
+        assert_eq!(resolve_threads(Some("1"), 16), 1);
+    }
+
+    #[test]
+    fn thread_override_rejects_invalid_values() {
+        assert_eq!(resolve_threads(None, 16), 8);
+        assert_eq!(resolve_threads(Some(""), 16), 8);
+        assert_eq!(resolve_threads(Some("0"), 16), 8);
+        assert_eq!(resolve_threads(Some("-2"), 16), 8);
+        assert_eq!(resolve_threads(Some("lots"), 16), 8);
+        assert_eq!(resolve_threads(Some("3.5"), 4), 4);
+        assert_eq!(resolve_threads(None, 2), 2);
     }
 }

@@ -42,4 +42,6 @@ pub use resilience::{
     FaultKind, FaultPlan, RecoveryPolicy, ResilienceConfig, ResilienceReport, SpikeDetector,
 };
 pub use schedule::LrSchedule;
-pub use trainer::{eval_perplexity, pretrain, pretrain_resilient, RunLog, TrainConfig};
+pub use trainer::{
+    eval_perplexity, pretrain, pretrain_observed, pretrain_resilient, RunLog, TrainConfig,
+};

@@ -102,6 +102,11 @@ pub struct ResilienceReport {
     pub loss_spikes: usize,
     /// Steps dropped by [`RecoveryPolicy::SkipStep`] (or degraded rollback).
     pub skipped_steps: usize,
+    /// Steps zeroed because the global gradient norm itself was NaN/Inf at
+    /// clip time (the latent-NaN path: `norm > max_norm` is false for NaN,
+    /// so the old code silently fed the poisoned gradients to the
+    /// optimizer).
+    pub clip_nonfinite_steps: usize,
     /// Steps repaired by [`RecoveryPolicy::ClipAndContinue`].
     pub clipped_steps: usize,
     /// Snapshot restores performed by [`RecoveryPolicy::RollbackAndRetry`].
@@ -125,6 +130,7 @@ impl ResilienceReport {
             && self.non_finite_loss == 0
             && self.loss_spikes == 0
             && self.skipped_steps == 0
+            && self.clip_nonfinite_steps == 0
             && self.clipped_steps == 0
             && self.rollbacks == 0
             && !self.aborted

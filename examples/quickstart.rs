@@ -20,7 +20,7 @@ fn main() {
         let mut rng = Rng::seed_from_u64(0);
         let mut model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
         let mut batcher = LmBatcher::new(corpus.clone(), 4, cfg.max_seq);
-        let before = eval_perplexity(&model, &batcher, 32);
+        let before = eval_perplexity(&model, &batcher, 32).expect("eval set is non-empty");
 
         let mut opt: Box<dyn Optimizer> = if use_apollo {
             // Rank = hidden/4, subspace re-seeded every 200 steps

@@ -19,4 +19,14 @@ cargo test -q
 echo "== cargo test --workspace"
 cargo test -q --workspace
 
+echo "== trace smoke run (pretrain --trace-out + trace-check)"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+./target/release/apollo pretrain --model test-tiny --optimizer apollo \
+    --steps 30 --batch 2 --seed 7 \
+    --trace-out "$TRACE_TMP/trace.jsonl" --profile
+# Every line must parse and each step's phase times must sum to (at most)
+# the recorded step total.
+./target/release/apollo trace-check --trace "$TRACE_TMP/trace.jsonl"
+
 echo "CI green."

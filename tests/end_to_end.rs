@@ -22,7 +22,7 @@ fn fresh(seed: u64) -> (LlamaModel, LmBatcher) {
 
 fn run(opt: &mut dyn Optimizer, lr: f32, steps: usize) -> (f32, f32) {
     let (mut model, mut batcher) = fresh(7);
-    let before = eval_perplexity(&model, &batcher, 16);
+    let before = eval_perplexity(&model, &batcher, 16).expect("eval set is non-empty");
     let tc = TrainConfig {
         lr,
         ..TrainConfig::quick(steps)
