@@ -382,7 +382,10 @@ impl Graph {
 
     fn grad_add(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
         match &mut grads[id.0] {
-            Some(g) => g.add_assign(&delta),
+            Some(g) => {
+                g.add_assign(&delta);
+                delta.recycle();
+            }
             slot @ None => *slot = Some(delta),
         }
     }
@@ -402,38 +405,41 @@ impl Graph {
         self.grads[output.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
         for idx in (0..self.ops.len()).rev() {
-            let Some(gout) = self.grads[idx].take() else {
+            // Every operand id is strictly smaller than the node's own id
+            // (the tape is define-by-run), so splitting at `idx` lets us
+            // borrow this node's gradient while mutating its operands' —
+            // no clone-and-reattach needed.
+            let (lower, upper) = self.grads.split_at_mut(idx);
+            let Some(gout) = upper[0].as_ref() else {
                 continue;
             };
-            // Reattach so callers can inspect intermediate grads too.
-            self.grads[idx] = Some(gout.clone());
             match &self.ops[idx] {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
                     let da = gout.matmul_transb(&self.vals[b.0]);
-                    let db = self.vals[a.0].matmul_transa(&gout);
-                    Self::grad_add(&mut self.grads, *a, da);
-                    Self::grad_add(&mut self.grads, *b, db);
+                    let db = self.vals[a.0].matmul_transa(gout);
+                    Self::grad_add(lower, *a, da);
+                    Self::grad_add(lower, *b, db);
                 }
                 Op::Add(a, b) => {
-                    Self::grad_add(&mut self.grads, *a, gout.clone());
-                    Self::grad_add(&mut self.grads, *b, gout);
+                    Self::grad_add(lower, *a, gout.clone());
+                    Self::grad_add(lower, *b, gout.clone());
                 }
                 Op::Mul(a, b) => {
                     let da = gout.hadamard(&self.vals[b.0]);
                     let db = gout.hadamard(&self.vals[a.0]);
-                    Self::grad_add(&mut self.grads, *a, da);
-                    Self::grad_add(&mut self.grads, *b, db);
+                    Self::grad_add(lower, *a, da);
+                    Self::grad_add(lower, *b, db);
                 }
                 Op::Scale(a, alpha) => {
-                    Self::grad_add(&mut self.grads, *a, gout.scale(*alpha));
+                    Self::grad_add(lower, *a, gout.scale(*alpha));
                 }
                 Op::Silu(a) => {
-                    let da = self.vals[a.0].zip_map(&gout, |x, g| {
+                    let da = self.vals[a.0].zip_map(gout, |x, g| {
                         let s = sigmoid(x);
                         g * s * (1.0 + x * (1.0 - s))
                     });
-                    Self::grad_add(&mut self.grads, *a, da);
+                    Self::grad_add(lower, *a, da);
                 }
                 Op::RmsNorm { x, gain, inv_rms } => {
                     let xm = &self.vals[x.0];
@@ -459,8 +465,8 @@ impl Graph {
                             dg.set(0, j, cur + grow[j] * xrow[j] * inv);
                         }
                     }
-                    Self::grad_add(&mut self.grads, *x, dx);
-                    Self::grad_add(&mut self.grads, *gain, dg);
+                    Self::grad_add(lower, *x, dx);
+                    Self::grad_add(lower, *gain, dg);
                 }
                 Op::Rope {
                     x,
@@ -471,7 +477,7 @@ impl Graph {
                     // Inverse rotation on the upstream gradient.
                     let mut dx = gout.clone();
                     rope_apply(&mut dx, *seq, *heads, *theta_base, true);
-                    Self::grad_add(&mut self.grads, *x, dx);
+                    Self::grad_add(lower, *x, dx);
                 }
                 Op::CausalAttention {
                     q,
@@ -494,7 +500,7 @@ impl Graph {
                             let qh = slice_head(qm, b, *seq, h, hd);
                             let kh = slice_head(km, b, *seq, h, hd);
                             let vh = slice_head(vm, b, *seq, h, hd);
-                            let doh = slice_head(&gout, b, *seq, h, hd);
+                            let doh = slice_head(gout, b, *seq, h, hd);
                             // dV = Pᵀ · dO
                             let dvh = p.matmul_transa(&doh);
                             // dP = dO · Vᵀ
@@ -519,11 +525,16 @@ impl Graph {
                             write_head(&mut dq, &dqh, b, *seq, h, hd);
                             write_head(&mut dk, &dkh, b, *seq, h, hd);
                             write_head(&mut dv, &dvh, b, *seq, h, hd);
+                            // Per-head temporaries recur with identical
+                            // shapes every (batch, head) pair — recycle.
+                            for m in [qh, kh, vh, doh, dvh, dp, ds, dqh, dkh] {
+                                m.recycle();
+                            }
                         }
                     }
-                    Self::grad_add(&mut self.grads, *q, dq);
-                    Self::grad_add(&mut self.grads, *k, dk);
-                    Self::grad_add(&mut self.grads, *v, dv);
+                    Self::grad_add(lower, *q, dq);
+                    Self::grad_add(lower, *k, dk);
+                    Self::grad_add(lower, *v, dv);
                 }
                 Op::Gather { table, ids } => {
                     let tm = &self.vals[table.0];
@@ -535,7 +546,7 @@ impl Graph {
                             *d += s;
                         }
                     }
-                    Self::grad_add(&mut self.grads, *table, dt);
+                    Self::grad_add(lower, *table, dt);
                 }
                 Op::CrossEntropy {
                     logits,
@@ -550,13 +561,37 @@ impl Graph {
                         dl.set(r, t as usize, cur - 1.0);
                     }
                     dl.scale_assign(upstream / n);
-                    Self::grad_add(&mut self.grads, *logits, dl);
+                    Self::grad_add(lower, *logits, dl);
                 }
                 Op::Sum(a) => {
                     let s = gout.get(0, 0);
                     let da = Matrix::full(self.vals[a.0].rows(), self.vals[a.0].cols(), s);
-                    Self::grad_add(&mut self.grads, *a, da);
+                    Self::grad_add(lower, *a, da);
                 }
+            }
+        }
+    }
+}
+
+impl Drop for Graph {
+    /// Returns every value, gradient, and activation-cache buffer to the
+    /// scratch pool. A fresh tape is built each training step with the same
+    /// node shapes, so this makes the steady-state allocation rate of the
+    /// forward+backward pass ~zero.
+    fn drop(&mut self) {
+        for m in self.vals.drain(..) {
+            m.recycle();
+        }
+        for g in self.grads.drain(..).flatten() {
+            g.recycle();
+        }
+        for op in self.ops.drain(..) {
+            match op {
+                Op::CausalAttention { probs, .. } => {
+                    probs.into_iter().for_each(Matrix::recycle);
+                }
+                Op::CrossEntropy { probs, .. } => probs.recycle(),
+                _ => {}
             }
         }
     }

@@ -1,0 +1,153 @@
+//! Perf-regression checker: compares a fresh `BENCH_kernels.json` /
+//! `BENCH_train.json` against the committed baseline at the repo root,
+//! prints a delta table, and exits non-zero if any matched entry regressed
+//! by more than the tolerance.
+//!
+//! Usage: `perf_check <fresh_dir> [baseline_dir]` (baseline defaults to
+//! `.`). Entries are matched on `(shape, kernel)` for kernels and on the
+//! optimizer label for training throughput; entries present on only one
+//! side are reported but never fail the check (so adding a shape or an
+//! optimizer does not require regenerating the baseline in the same PR).
+//!
+//! The tolerance is deliberately loose (30%) because the CI box is a noisy
+//! shared VM — the gate exists to catch order-of-magnitude regressions
+//! (a kernel falling off its fast path), not single-digit drift.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use apollo_bench::perf::{delta_pct, KernelReport, TrainReport};
+
+/// Regression tolerance in percent: fail when fresh < (1 - 30%) · baseline.
+const TOLERANCE_PCT: f64 = 30.0;
+
+fn load<T: serde::Deserialize>(dir: &str, name: &str) -> Option<T> {
+    let path = Path::new(dir).join(name);
+    let data = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_check: cannot read {}: {e}", path.display());
+            return None;
+        }
+    };
+    match serde_json::from_str(&data) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("perf_check: cannot parse {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Prints one delta row and returns whether it regressed past tolerance.
+fn check_row(label: &str, base: f64, fresh: f64, unit: &str) -> bool {
+    let delta = delta_pct(base, fresh);
+    let regressed = delta < -TOLERANCE_PCT;
+    let flag = if regressed { "  REGRESSED" } else { "" };
+    println!("{label:<32} {base:9.2} -> {fresh:9.2} {unit:<9} {delta:+7.1}%{flag}");
+    regressed
+}
+
+fn check_kernels(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
+    let (Some(base), Some(fresh)) = (
+        load::<KernelReport>(base_dir, "BENCH_kernels.json"),
+        load::<KernelReport>(fresh_dir, "BENCH_kernels.json"),
+    ) else {
+        return (0, 1);
+    };
+    println!(
+        "== kernels: baseline threads={} ({}), fresh threads={} ({}) ==",
+        base.threads, base.mode, fresh.threads, fresh.mode
+    );
+    let mut regressions = 0;
+    let mut matched = 0;
+    for b in &base.entries {
+        let Some(f) = fresh
+            .entries
+            .iter()
+            .find(|f| f.shape == b.shape && f.kernel == b.kernel)
+        else {
+            println!(
+                "{:<32} (missing from fresh run)",
+                format!("{}/{}", b.shape, b.kernel)
+            );
+            continue;
+        };
+        matched += 1;
+        let label = format!("{}/{}", b.shape, b.kernel);
+        if check_row(&label, b.gflops, f.gflops, "GFLOP/s") {
+            regressions += 1;
+        }
+    }
+    for f in &fresh.entries {
+        if !base
+            .entries
+            .iter()
+            .any(|b| b.shape == f.shape && b.kernel == f.kernel)
+        {
+            println!(
+                "{:<32} {:9.2} GFLOP/s (new, no baseline)",
+                format!("{}/{}", f.shape, f.kernel),
+                f.gflops
+            );
+        }
+    }
+    (matched, regressions)
+}
+
+fn check_train(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
+    let (Some(base), Some(fresh)) = (
+        load::<TrainReport>(base_dir, "BENCH_train.json"),
+        load::<TrainReport>(fresh_dir, "BENCH_train.json"),
+    ) else {
+        return (0, 1);
+    };
+    println!(
+        "== train ({}): baseline {} steps, fresh {} steps ==",
+        fresh.model, base.steps, fresh.steps
+    );
+    let mut regressions = 0;
+    let mut matched = 0;
+    for b in &base.entries {
+        let Some(f) = fresh.entries.iter().find(|f| f.optimizer == b.optimizer) else {
+            println!("{:<32} (missing from fresh run)", b.optimizer);
+            continue;
+        };
+        matched += 1;
+        if check_row(&b.optimizer, b.steps_per_sec, f.steps_per_sec, "steps/s") {
+            regressions += 1;
+        }
+    }
+    for f in &fresh.entries {
+        if !base.entries.iter().any(|b| b.optimizer == f.optimizer) {
+            println!(
+                "{:<32} {:9.2} steps/s (new, no baseline)",
+                f.optimizer, f.steps_per_sec
+            );
+        }
+    }
+    (matched, regressions)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_dir = args.first().map_or(".", String::as_str);
+    let base_dir = args.get(1).map_or(".", String::as_str);
+    let (km, kr) = check_kernels(fresh_dir, base_dir);
+    let (tm, tr) = check_train(fresh_dir, base_dir);
+    let matched = km + tm;
+    let regressions = kr + tr;
+    if matched == 0 {
+        eprintln!("perf_check: no comparable entries (missing or unparseable reports)");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "perf_check: {regressions} entr{} regressed beyond {TOLERANCE_PCT}% tolerance",
+            if regressions == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_check: {matched} entries within {TOLERANCE_PCT}% tolerance");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,138 @@
+//! Performance harness: matmul GFLOP/s at the Table-8 proxy shapes and
+//! steps/sec for a tiny-proxy pretrain per optimizer.
+//!
+//! Emits `BENCH_kernels.json` and `BENCH_train.json` into the output
+//! directory (first positional argument, default `.`). Run via
+//! `scripts/bench.sh`, which pins the thread count for reproducibility.
+//!
+//! Modes:
+//! - *(default)* full sweep: 5 timing reps per kernel/shape plus a
+//!   30-step pretrain per optimizer.
+//! - `--smoke`: shorter kernel timing reps, for CI (the pretrain keeps
+//!   its 30 steps so steps/sec stays comparable to the baseline).
+//! - `--losses`: prints the bit pattern of every training loss of a
+//!   fixed-seed APOLLO pretrain and exits — a before/after diff of this
+//!   output proves kernel changes kept training bit-identical.
+
+use apollo_bench::perf::{proxy_shapes, time_median, KernelEntry, KernelReport, TrainReport};
+use apollo_bench::{perf::TrainEntry, Method};
+use apollo_nn::ModelConfig;
+use apollo_tensor::{current_threads, Matrix, Rng};
+
+/// One named kernel closure in the per-shape sweep.
+type KernelCase<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+
+fn kernel_sweep(mode: &str) -> KernelReport {
+    let (reps, min_secs) = if mode == "smoke" {
+        (3, 0.005)
+    } else {
+        (5, 0.05)
+    };
+    let mut entries = Vec::new();
+    for (shape, m, k, n) in proxy_shapes() {
+        let mut rng = Rng::seed_from_u64(0xBE7C);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let flops = 2.0 * (m * k * n) as f64;
+        let kernels: [KernelCase; 3] = [
+            ("matmul", Box::new(|| drop(a.matmul(&b)))),
+            ("matmul_transb", Box::new(|| drop(a.matmul_transb(&bt)))),
+            ("matmul_transa", Box::new(|| drop(at.matmul_transa(&b)))),
+        ];
+        for (name, mut f) in kernels {
+            let secs = time_median(reps, min_secs, &mut f);
+            let gflops = flops / secs / 1e9;
+            eprintln!("[kernel] {shape:>10} {name:<14} {gflops:7.3} GFLOP/s");
+            entries.push(KernelEntry {
+                shape: shape.clone(),
+                kernel: name.to_string(),
+                m,
+                k,
+                n,
+                gflops,
+            });
+        }
+    }
+    KernelReport {
+        threads: current_threads(),
+        mode: mode.to_string(),
+        entries,
+    }
+}
+
+fn train_sweep() -> TrainReport {
+    let cfg = ModelConfig::tiny_60m();
+    // Same step count in both modes: steps/sec is only comparable at equal
+    // amortization of periodic work (GaLore's SVD refresh dominates short
+    // runs), and 30 steps is already cheap enough for the CI smoke stage.
+    let steps = 30;
+    let batch = 2;
+    let methods = [
+        Method::AdamW,
+        Method::Apollo,
+        Method::ApolloMini,
+        Method::GaLore,
+    ];
+    let mut entries = Vec::new();
+    for method in methods {
+        let log = apollo_bench::pretrain_run(&cfg, method, steps, batch, 42, None);
+        let final_loss = log.train_losses.last().map_or(f32::NAN, |&(_, l)| l);
+        let steps_per_sec = steps as f64 / log.wall_secs.max(1e-9);
+        eprintln!(
+            "[train] {:<14} {steps_per_sec:6.2} steps/s  final loss {final_loss:.4}",
+            method.label()
+        );
+        entries.push(TrainEntry {
+            optimizer: method.label().to_string(),
+            steps_per_sec,
+            wall_secs: log.wall_secs,
+            final_loss,
+        });
+    }
+    TrainReport {
+        model: cfg.name.to_string(),
+        steps,
+        batch,
+        threads: current_threads(),
+        entries,
+    }
+}
+
+/// Prints `step loss-bits` lines for a fixed-seed APOLLO pretrain; a diff
+/// of this output across code versions is the bit-identity check.
+fn print_loss_bits() {
+    let cfg = ModelConfig::tiny_60m();
+    let log = apollo_bench::pretrain_run(&cfg, Method::Apollo, 20, 2, 7, None);
+    for (step, loss) in &log.train_losses {
+        println!("{step} {:08x}", loss.to_bits());
+    }
+}
+
+fn main() {
+    let mut mode = "full".to_string();
+    let mut out_dir = ".".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => mode = "smoke".to_string(),
+            "--losses" => mode = "losses".to_string(),
+            other => out_dir = other.to_string(),
+        }
+    }
+    if mode == "losses" {
+        print_loss_bits();
+        return;
+    }
+    let kernels = kernel_sweep(&mode);
+    let train = train_sweep();
+    write_report(&out_dir, "BENCH_kernels.json", &kernels);
+    write_report(&out_dir, "BENCH_train.json", &train);
+}
+
+fn write_report(out_dir: &str, name: &str, value: &impl serde::Serialize) {
+    let path = std::path::Path::new(out_dir).join(name);
+    let data = serde_json::to_string_pretty(value).expect("serialize bench report");
+    std::fs::write(&path, data).expect("write bench json");
+    eprintln!("[saved {}]", path.display());
+}

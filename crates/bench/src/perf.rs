@@ -1,0 +1,118 @@
+//! Shared types and measurement helpers for the performance-regression
+//! harness (`perf_kernels` emits `BENCH_kernels.json` / `BENCH_train.json`,
+//! `perf_check` compares a fresh run against the committed baseline).
+//!
+//! The JSON schema is deliberately flat so the files diff cleanly in PRs
+//! and `jq` one-liners work: one entry per `(shape, kernel)` pair with the
+//! measured GFLOP/s, one entry per optimizer with measured steps/sec.
+
+use std::time::Instant;
+
+use apollo_nn::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One matmul micro-benchmark result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelEntry {
+    /// Proxy-shape label (e.g. `mlp-7b`).
+    pub shape: String,
+    /// Kernel variant: `matmul`, `matmul_transb`, or `matmul_transa`.
+    pub kernel: String,
+    /// Output rows.
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Median throughput in GFLOP/s (`2·m·k·n` FLOPs per call).
+    pub gflops: f64,
+}
+
+/// `BENCH_kernels.json`: matmul GFLOP/s at the Table-8 proxy shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel thread count the run used.
+    pub threads: usize,
+    /// `full` or `smoke` (fewer, shorter reps).
+    pub mode: String,
+    /// One entry per `(shape, kernel)` pair.
+    pub entries: Vec<KernelEntry>,
+}
+
+/// One optimizer's tiny-proxy pretrain throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainEntry {
+    /// Optimizer label (the `Method` registry label).
+    pub optimizer: String,
+    /// Optimizer steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Total wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Final training loss (sanity anchor: perf PRs must not move it).
+    pub final_loss: f32,
+}
+
+/// `BENCH_train.json`: steps/sec for a tiny-proxy pretrain per optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Proxy model name.
+    pub model: String,
+    /// Optimizer steps per run.
+    pub steps: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Kernel thread count the run used.
+    pub threads: usize,
+    /// One entry per optimizer.
+    pub entries: Vec<TrainEntry>,
+}
+
+/// The Table-8 proxy shapes the kernel microbench sweeps: per-layer weight
+/// shapes of the CPU proxy models driven by a `batch·seq = 128` activation
+/// panel, plus square hidden-dim shapes up to the llama-60m hidden size
+/// (512, the largest proxy shape — the ≥2× acceptance gate is measured
+/// there).
+pub fn proxy_shapes() -> Vec<(String, usize, usize, usize)> {
+    let rows = 2 * 64; // batch 2 · seq 64, the proxy activation panel
+    let mut shapes = Vec::new();
+    for cfg in [ModelConfig::tiny_60m(), ModelConfig::tiny_7b()] {
+        let tag = cfg.name.trim_start_matches("tiny-").to_string();
+        shapes.push((format!("attn-{tag}"), rows, cfg.hidden, cfg.hidden));
+        shapes.push((format!("mlp-{tag}"), rows, cfg.hidden, cfg.intermediate));
+        shapes.push((format!("lmhead-{tag}"), rows, cfg.hidden, cfg.vocab_size));
+    }
+    shapes.push(("sq-256".to_string(), 256, 256, 256));
+    shapes.push(("sq-512".to_string(), 512, 512, 512));
+    shapes
+}
+
+/// Times `f` (called repeatedly) and returns the median seconds-per-call
+/// over `reps` measurement repetitions, each at least `min_secs` long.
+pub fn time_median(reps: usize, min_secs: f64, mut f: impl FnMut()) -> f64 {
+    // Warmup.
+    f();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut iters = 0u32;
+        let start = Instant::now();
+        loop {
+            f();
+            iters += 1;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= min_secs {
+                samples.push(elapsed / f64::from(iters));
+                break;
+            }
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Relative change of `fresh` vs `base` in percent (positive = faster).
+pub fn delta_pct(base: f64, fresh: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (fresh / base - 1.0) * 100.0
+}

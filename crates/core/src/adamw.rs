@@ -2,6 +2,7 @@
 //! structured channel-wise AdamW used to motivate APOLLO.
 
 use apollo_obs::{Obs, TraceEvent};
+use apollo_tensor::Matrix;
 
 use crate::limiter::{LimiterOutcome, NormGrowthLimiter};
 use crate::state::{StateReader, StateWriter};
@@ -90,7 +91,7 @@ impl Optimizer for AdamW {
             if self.weight_decay > 0.0 {
                 p.value.scale_assign(1.0 - lr * self.weight_decay);
             }
-            p.value.axpy(-lr, &update);
+            p.value.axpy(-lr, update);
         }
     }
 
@@ -152,6 +153,10 @@ pub struct AdamWChannelwise {
     pub use_limiter: bool,
     states: Vec<AdamMoments>,
     limiters: Vec<NormGrowthLimiter>,
+    /// Per-param full-rank scratch for the scaled update — reused
+    /// allocations, not optimizer state (excluded from `state_elems` and
+    /// save/load).
+    bufs: Vec<Matrix>,
     /// Channel scaling factors of the last step, per parameter (empty for
     /// non-projectable tensors). Consumed by the Fig. 4 probe.
     pub last_scales: Vec<Vec<f32>>,
@@ -170,6 +175,7 @@ impl AdamWChannelwise {
             use_limiter: true,
             states: Vec::new(),
             limiters: Vec::new(),
+            bufs: Vec::new(),
             last_scales: Vec::new(),
             obs: Obs::disabled(),
         }
@@ -207,17 +213,20 @@ impl Optimizer for AdamWChannelwise {
                 .iter()
                 .map(|_| NormGrowthLimiter::paper_default())
                 .collect();
+            self.bufs = params.iter().map(|_| Matrix::zeros(0, 0)).collect();
             self.last_scales = vec![Vec::new(); params.len()];
         }
         assert_eq!(self.states.len(), params.len(), "parameter list changed");
         for (i, p) in params.iter_mut().enumerate() {
             let gt = self.states[i].update(p.grad, self.beta1, self.beta2, self.eps);
-            let mut update;
+            // Build the applied update in per-param scratch instead of
+            // cloning a full matrix every step.
+            let update = &mut self.bufs[i];
             if p.projectable && p.value.rows() > 1 && p.value.cols() > 1 {
                 // Channel along the larger dimension (Eq. 3).
                 let along_cols = p.value.rows() <= p.value.cols();
-                let s = norm_ratio_scales(&gt, p.grad, along_cols);
-                update = p.grad.clone();
+                let s = norm_ratio_scales(gt, p.grad, along_cols);
+                update.copy_from(p.grad);
                 if along_cols {
                     update.scale_cols(&s);
                 } else {
@@ -225,7 +234,7 @@ impl Optimizer for AdamWChannelwise {
                 }
                 self.last_scales[i] = s;
             } else {
-                update = gt;
+                update.copy_from(gt);
                 self.last_scales[i].clear();
             }
             if self.obs.sample_due() && self.obs.has_trace() {
@@ -241,7 +250,7 @@ impl Optimizer for AdamWChannelwise {
                 } else {
                     0.0
                 };
-                match self.limiters[i].apply(&mut update) {
+                match self.limiters[i].apply(update) {
                     LimiterOutcome::Clamped => {
                         self.obs.counter("limiter_clips", 1);
                         if self.obs.has_trace() {
@@ -265,7 +274,7 @@ impl Optimizer for AdamWChannelwise {
             if self.weight_decay > 0.0 {
                 p.value.scale_assign(1.0 - lr * self.weight_decay);
             }
-            p.value.axpy(-lr, &update);
+            p.value.axpy(-lr, update);
         }
     }
 
@@ -282,6 +291,7 @@ impl Optimizer for AdamWChannelwise {
     fn reset_state(&mut self) {
         self.states.clear();
         self.limiters.clear();
+        self.bufs.clear();
         self.last_scales.clear();
     }
 
@@ -329,6 +339,7 @@ impl Optimizer for AdamWChannelwise {
             last_scales.push(r.f32_slice()?);
         }
         r.expect_exhausted()?;
+        self.bufs = (0..states.len()).map(|_| Matrix::zeros(0, 0)).collect();
         self.states = states;
         self.limiters = limiters;
         self.last_scales = last_scales;
@@ -367,8 +378,11 @@ mod tests {
     fn adamw_converges_on_quadratic() {
         let mut w = Matrix::full(4, 4, 3.0);
         let mut opt = AdamW::new();
+        // Quadratic loss ½‖w‖² ⇒ gradient = w; refresh a reused buffer
+        // instead of cloning a fresh matrix every iteration.
+        let mut g = Matrix::zeros(4, 4);
         for _ in 0..300 {
-            let g = w.clone();
+            g.copy_from(&w);
             one_param_step(&mut opt, &mut w, &g, 0.05);
         }
         assert!(w.fro_norm() < 0.2, "‖w‖ = {}", w.fro_norm());
@@ -429,8 +443,9 @@ mod tests {
     fn channelwise_converges_on_quadratic() {
         let mut w = Matrix::full(4, 8, 3.0);
         let mut opt = AdamWChannelwise::new();
+        let mut g = Matrix::zeros(4, 8);
         for _ in 0..400 {
-            let g = w.clone();
+            g.copy_from(&w);
             one_param_step(&mut opt, &mut w, &g, 0.05);
         }
         assert!(w.fro_norm() < 0.5, "‖w‖ = {}", w.fro_norm());

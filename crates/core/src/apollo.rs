@@ -1,6 +1,7 @@
 //! APOLLO and APOLLO-Mini (Algorithm 1 of the paper).
 
 use apollo_obs::{Obs, TraceEvent};
+use apollo_tensor::Matrix;
 
 use crate::limiter::{LimiterOutcome, NormGrowthLimiter};
 use crate::projector::{ProjKind, Projector};
@@ -30,6 +31,9 @@ enum ApolloState {
         moments: AdamMoments,
         projector: Projector,
         limiter: NormGrowthLimiter,
+        /// Full-rank scratch for the scaled update — a reused allocation,
+        /// not optimizer state (excluded from `state_elems` and save/load).
+        update: Matrix,
     },
 }
 
@@ -185,6 +189,7 @@ impl Apollo {
                             self.seed.wrapping_add(i as u64),
                         ),
                         limiter: NormGrowthLimiter::paper_default(),
+                        update: Matrix::zeros(0, 0),
                     }
                 } else {
                     ApolloState::Dense(AdamMoments::new(r, c))
@@ -225,13 +230,14 @@ impl Optimizer for Apollo {
                     if self.weight_decay > 0.0 {
                         p.value.scale_assign(1.0 - lr * self.weight_decay);
                     }
-                    p.value.axpy(-lr, &update);
+                    p.value.axpy(-lr, update);
                     self.last_scales[i].clear();
                 }
                 ApolloState::LowRank {
                     moments,
                     projector,
                     limiter,
+                    update,
                 } => {
                     // Step 1: project the gradient into the auxiliary space.
                     if projector.begin_step(p.grad) {
@@ -250,12 +256,13 @@ impl Optimizer for Apollo {
                     let r = projector.project(p.grad);
                     // Step 2: low-rank AdamW moments.
                     let rt = moments.update(&r, self.beta1, self.beta2, self.eps);
-                    // Step 3: approximated gradient scaling factors.
-                    let mut update = p.grad.clone();
+                    // Step 3: approximated gradient scaling factors,
+                    // applied to the raw gradient in per-param scratch.
+                    update.copy_from(p.grad);
                     match self.granularity {
                         ScaleGranularity::Channel => {
                             let along_cols = p.grad.rows() <= p.grad.cols();
-                            let s = norm_ratio_scales(&rt, &r, along_cols);
+                            let s = norm_ratio_scales(rt, &r, along_cols);
                             if along_cols {
                                 update.scale_cols(&s);
                             } else {
@@ -289,7 +296,7 @@ impl Optimizer for Apollo {
                         } else {
                             0.0
                         };
-                        match limiter.apply(&mut update) {
+                        match limiter.apply(update) {
                             LimiterOutcome::Clamped => {
                                 self.obs.counter("limiter_clips", 1);
                                 if self.obs.has_trace() {
@@ -313,7 +320,8 @@ impl Optimizer for Apollo {
                     if self.weight_decay > 0.0 {
                         p.value.scale_assign(1.0 - lr * self.weight_decay);
                     }
-                    p.value.axpy(-lr, &update);
+                    p.value.axpy(-lr, update);
+                    r.recycle();
                 }
             }
         }
@@ -363,6 +371,7 @@ impl Optimizer for Apollo {
                     moments,
                     projector,
                     limiter,
+                    ..
                 } => {
                     w.u8(1);
                     moments.save_into(&mut w);
@@ -390,6 +399,7 @@ impl Optimizer for Apollo {
                     moments: AdamMoments::load_from(&mut r)?,
                     projector: Projector::load_from(&mut r)?,
                     limiter: NormGrowthLimiter::load_from(&mut r)?,
+                    update: Matrix::zeros(0, 0),
                 },
                 other => return Err(format!("unknown APOLLO state tag {other}")),
             });
@@ -452,8 +462,11 @@ mod tests {
         let mut rng = Rng::seed_from_u64(81);
         let mut w = Matrix::randn(8, 24, &mut rng).scale(3.0);
         let mut opt = Apollo::new(4, 50);
+        // Quadratic loss ½‖w‖² ⇒ gradient = w; refresh a reused buffer
+        // instead of cloning a fresh matrix every iteration.
+        let mut g = Matrix::zeros(8, 24);
         for _ in 0..500 {
-            let g = w.clone();
+            g.copy_from(&w);
             one_step(&mut opt, &mut w, &g, 0.05);
         }
         assert!(w.fro_norm() < 1.0, "‖w‖ = {}", w.fro_norm());
@@ -464,8 +477,9 @@ mod tests {
         let mut rng = Rng::seed_from_u64(82);
         let mut w = Matrix::randn(8, 24, &mut rng).scale(3.0);
         let mut opt = Apollo::mini(50).with_alpha(1.0);
+        let mut g = Matrix::zeros(8, 24);
         for _ in 0..500 {
-            let g = w.clone();
+            g.copy_from(&w);
             one_step(&mut opt, &mut w, &g, 0.05);
         }
         assert!(w.fro_norm() < 1.0, "‖w‖ = {}", w.fro_norm());

@@ -148,9 +148,19 @@ impl GaLore {
         }
         assert_eq!(self.states.len(), params.len(), "parameter list changed");
         let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
+        let decay = 1.0 - lr * self.weight_decay;
         for (p, st) in params.iter_mut().zip(&mut self.states) {
-            let update = match st {
-                LowRankState::Dense(moments) => moments.update(p.grad, beta1, beta2, eps),
+            // The two arms apply the update inline: the dense arm borrows
+            // the moments' scratch, the low-rank arm recycles its
+            // temporaries — neither clones a full matrix.
+            match st {
+                LowRankState::Dense(moments) => {
+                    let update = moments.update(p.grad, beta1, beta2, eps);
+                    if self.weight_decay > 0.0 {
+                        p.value.scale_assign(decay);
+                    }
+                    p.value.axpy(-lr, update);
+                }
                 LowRankState::LowRank {
                     moments,
                     projector,
@@ -171,7 +181,7 @@ impl GaLore {
                     }
                     let r = projector.project(p.grad);
                     let nt = moments.update(&r, beta1, beta2, eps);
-                    let mut back = projector.project_back(&nt, p.grad.shape());
+                    let mut back = projector.project_back(nt, p.grad.shape());
                     back.scale_assign(self.scale);
                     if fira_residual {
                         // Fira: add the residual (G − P·PᵀG), scaled
@@ -192,6 +202,8 @@ impl GaLore {
                             }
                         }
                         back.add_assign(&residual);
+                        low.recycle();
+                        residual.recycle();
                         let pre = if self.obs.has_trace() {
                             back.fro_norm()
                         } else {
@@ -218,13 +230,14 @@ impl GaLore {
                             LimiterOutcome::Passed => {}
                         }
                     }
-                    back
+                    if self.weight_decay > 0.0 {
+                        p.value.scale_assign(decay);
+                    }
+                    p.value.axpy(-lr, &back);
+                    back.recycle();
+                    r.recycle();
                 }
-            };
-            if self.weight_decay > 0.0 {
-                p.value.scale_assign(1.0 - lr * self.weight_decay);
             }
-            p.value.axpy(-lr, &update);
         }
     }
 
@@ -497,8 +510,11 @@ mod tests {
         let mut rng = Rng::seed_from_u64(90);
         let mut w = Matrix::randn(8, 24, &mut rng).scale(3.0);
         let mut opt = GaLore::new(4, 20).with_scale(1.0);
+        // Quadratic loss ½‖w‖² ⇒ gradient = w; refresh a reused buffer
+        // instead of cloning a fresh matrix every iteration.
+        let mut g = Matrix::zeros(8, 24);
         for _ in 0..600 {
-            let g = w.clone();
+            g.copy_from(&w);
             one_step(&mut opt, &mut w, &g, 0.05);
         }
         assert!(w.fro_norm() < 1.5, "‖w‖ = {}", w.fro_norm());
@@ -570,8 +586,9 @@ mod tests {
         let mut rng = Rng::seed_from_u64(93);
         let mut w = Matrix::randn(8, 24, &mut rng).scale(3.0);
         let mut opt = Fira::new(4, 20).with_scale(1.0);
+        let mut g = Matrix::zeros(8, 24);
         for _ in 0..600 {
-            let g = w.clone();
+            g.copy_from(&w);
             one_step(&mut opt, &mut w, &g, 0.05);
         }
         assert!(w.fro_norm() < 1.5, "‖w‖ = {}", w.fro_norm());

@@ -195,6 +195,10 @@ pub(crate) struct AdamMoments {
     t: u32,
     /// INT8 group size; `None` keeps full-precision state.
     quant_group: Option<usize>,
+    /// Scratch holding the most recent normalized update. Purely a reused
+    /// allocation — not optimizer state, so excluded from
+    /// [`AdamMoments::elems`]/[`AdamMoments::bytes`] and from save/load.
+    upd: Matrix,
 }
 
 impl AdamMoments {
@@ -204,6 +208,7 @@ impl AdamMoments {
             v: Matrix::zeros(rows, cols),
             t: 0,
             quant_group: None,
+            upd: Matrix::zeros(0, 0),
         }
     }
 
@@ -220,23 +225,26 @@ impl AdamMoments {
     /// Quantized variants round-trip the moments through INT8 after each
     /// update, so the persistent state is exactly what an 8-bit optimizer
     /// would hold.
-    pub(crate) fn update(&mut self, g: &Matrix, beta1: f32, beta2: f32, eps: f32) -> Matrix {
+    pub(crate) fn update(&mut self, g: &Matrix, beta1: f32, beta2: f32, eps: f32) -> &Matrix {
         self.t += 1;
         self.m.ema_assign(beta1, g);
         self.v.ema_square_assign(beta2, g);
         if let Some(group) = self.quant_group {
             // Companded (nonlinear) code, as real 8-bit optimizers use —
             // linear absmax INT8 would zero small second-moment entries.
-            self.m = apollo_quant::fake_quantize_companded(&self.m, group, 0.5);
+            let m = apollo_quant::fake_quantize_companded(&self.m, group, 0.5);
+            std::mem::replace(&mut self.m, m).recycle();
             let mut v = apollo_quant::fake_quantize_companded(&self.v, group, 0.25);
             // v is non-negative by construction; keep it that way.
             v.map_assign(|x| x.max(0.0));
-            self.v = v;
+            std::mem::replace(&mut self.v, v).recycle();
         }
         let bc1 = 1.0 - beta1.powi(self.t as i32);
         let bc2 = 1.0 - beta2.powi(self.t as i32);
-        self.m
-            .zip_map(&self.v, |m, v| (m / bc1) / ((v / bc2).sqrt() + eps))
+        self.upd.zip_map_from(&self.m, &self.v, |m, v| {
+            (m / bc1) / ((v / bc2).sqrt() + eps)
+        });
+        &self.upd
     }
 
     /// State footprint in f32-equivalent *elements*: the two moment tensors.
@@ -280,6 +288,7 @@ impl AdamMoments {
             v,
             t,
             quant_group,
+            upd: Matrix::zeros(0, 0),
         })
     }
 }

@@ -126,26 +126,40 @@ impl Projector {
         Matrix::randn_scaled(small_dim, r, (1.0 / r as f32).sqrt(), &mut rng)
     }
 
-    fn basis(&self, g: &Matrix) -> Matrix {
-        let small = g.rows().min(g.cols());
+    /// Resolves the basis as a borrow: the SVD kind lends its cached basis
+    /// (no clone), the random kind regenerates into `generated`, whose
+    /// storage the caller recycles.
+    fn basis<'a>(
+        &'a self,
+        generated: &'a mut Option<Matrix>,
+        small: usize,
+        rank: usize,
+        what: &str,
+    ) -> &'a Matrix {
         match self.kind {
-            ProjKind::Random => self.random_basis(small, self.effective_rank(g)),
+            ProjKind::Random => generated.insert(self.random_basis(small, rank)),
             ProjKind::Svd => self
                 .cached_basis
-                .clone()
-                .expect("begin_step must run before project for the SVD kind"),
+                .as_ref()
+                .unwrap_or_else(|| panic!("begin_step must run before {what} for the SVD kind")),
         }
     }
 
     /// Projects the gradient into the low-rank space: `r × n` when
     /// `rows ≤ cols`, `m × r` otherwise.
     pub fn project(&self, g: &Matrix) -> Matrix {
-        let b = self.basis(g); // small_dim × r
-        if g.rows() <= g.cols() {
+        let small = g.rows().min(g.cols());
+        let mut generated = None;
+        let b = self.basis(&mut generated, small, self.effective_rank(g), "project");
+        let out = if g.rows() <= g.cols() {
             b.matmul_transa(g) // (r × m)·(m × n) = r × n
         } else {
-            g.matmul(&b) // (m × n)·(n × r) = m × r
+            g.matmul(b) // (m × n)·(n × r) = m × r
+        };
+        if let Some(m) = generated {
+            m.recycle();
         }
+        out
     }
 
     /// Maps a low-rank tensor back to the full space (GaLore's
@@ -155,18 +169,17 @@ impl Projector {
         // Rebuild the basis for the full shape; `r` carries the other dim.
         let small = m.min(n);
         let rank = r.rows().min(r.cols()).min(self.rank);
-        let b = match self.kind {
-            ProjKind::Random => self.random_basis(small, rank),
-            ProjKind::Svd => self
-                .cached_basis
-                .clone()
-                .expect("begin_step must run before project_back for the SVD kind"),
-        };
-        if m <= n {
+        let mut generated = None;
+        let b = self.basis(&mut generated, small, rank, "project_back");
+        let out = if m <= n {
             b.matmul(r) // (m × r)·(r × n)
         } else {
-            r.matmul_transb(&b) // (m × r)·(r × n)ᵀ… (m × r)·(n × r)ᵀ = m × n
+            r.matmul_transb(b) // (m × r)·(r × n)ᵀ… (m × r)·(n × r)ᵀ = m × n
+        };
+        if let Some(g) = generated {
+            g.recycle();
         }
+        out
     }
 
     pub(crate) fn save_into(&self, w: &mut crate::state::StateWriter) {

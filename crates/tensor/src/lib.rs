@@ -26,7 +26,10 @@ mod matrix;
 mod rng;
 
 pub mod linalg;
+pub mod pool;
+pub mod scratch;
 
+pub use matmul::{current_threads, set_thread_override};
 pub use matrix::Matrix;
 pub use rng::Rng;
 

@@ -1,19 +1,51 @@
 //! Matrix-multiplication kernels.
 //!
-//! The kernels are cache-blocked over `k` and parallelised over row bands
-//! with scoped threads. They are deliberately simple — at the proxy scales
-//! of this reproduction (hidden dims ≤ 512) they are far from the
-//! bottleneck, but the threading keeps the larger pretraining sweeps snappy.
+//! The three kernels (`a·b`, `a·bᵀ`, `aᵀ·b`) share one register-tiled
+//! micro-kernel: outputs are computed in bands of [`NR`] columns whose
+//! accumulators live in registers for the whole `k` loop, so the per-`p`
+//! traffic is a handful of contiguous vector loads instead of a
+//! load+store sweep over the output row. Strided operands are packed into
+//! contiguous panels first (`aᵀ` column panels, `bᵀ` interleaved panels)
+//! via the scratch-buffer pool, which is what lets rustc autovectorize the
+//! inner loops.
+//!
+//! Numerics are deliberately pinned: every output element accumulates its
+//! `k` products in ascending-`p` order (with the same skip of exactly-zero
+//! `a` entries as the reference loop), so results are bit-identical to the
+//! naive serial kernel — and, because rows are computed independently,
+//! bit-identical across thread counts too.
+//!
+//! Parallel kernels run row bands on the persistent worker pool
+//! ([`crate::pool`]); the band partition depends only on `(rows, threads)`,
+//! never on pool scheduling.
 
 use crate::matrix::Matrix;
+use crate::{pool, scratch};
 
 /// Multiplications below this many FLOPs (`2 * m * k * n`) run
-/// single-threaded; the spawn cost dominates for tiny matrices.
+/// single-threaded; the dispatch cost dominates for tiny matrices.
 const PAR_MIN_FLOPS: usize = 1 << 20;
 
 /// Default thread cap when `APOLLO_NUM_THREADS` is unset: the kernels stop
 /// scaling well past 8 bands at proxy sizes.
 const DEFAULT_MAX_THREADS: usize = 8;
+
+/// Register-tile width (output columns per accumulator block). 32 f32
+/// accumulators fit the vector register file with room for operands on
+/// both SSE2 (8×4) and AVX2 (4×8) lowerings.
+const NR: usize = 32;
+
+/// FLOP count of an `m×k · k×n` multiplication (one multiply + one add per
+/// inner-product term), used for the [`PAR_MIN_FLOPS`] gate.
+fn matmul_flops(m: usize, k: usize, n: usize) -> usize {
+    2 * m * k * n
+}
+
+/// Whether an `m`-row kernel invocation of `flops` total FLOPs should run
+/// on the worker pool. Pure so the threshold boundary is unit-testable.
+fn should_parallelize(threads: usize, m: usize, flops: usize) -> bool {
+    threads > 1 && flops >= PAR_MIN_FLOPS && m >= 2 * threads
+}
 
 /// Resolves the thread count from an optional `APOLLO_NUM_THREADS` override.
 ///
@@ -27,7 +59,7 @@ fn resolve_threads(over: Option<&str>, available: usize) -> usize {
     }
 }
 
-fn num_threads() -> usize {
+fn env_threads() -> usize {
     use std::sync::OnceLock;
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
@@ -41,50 +73,250 @@ fn num_threads() -> usize {
     })
 }
 
-/// Computes one row band `c[lo..hi] = a[lo..hi] · b` into `out`.
-fn band_matmul(a: &Matrix, b: &Matrix, lo: usize, hi: usize, out: &mut [f32]) {
-    let (k, n) = (a.cols(), b.cols());
-    for (band_r, r) in (lo..hi).enumerate() {
-        let arow = a.row(r);
-        let crow = &mut out[band_r * n..(band_r + 1) * n];
-        crow.fill(0.0);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
+std::thread_local! {
+    /// Per-thread override of the kernel thread count, for tests and the
+    /// bench harness which need to sweep thread counts within one process
+    /// (the `APOLLO_NUM_THREADS` value is cached once per process).
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Overrides the kernel thread count for matmuls issued *from the calling
+/// thread* (`None` restores the `APOLLO_NUM_THREADS`/auto behaviour).
+///
+/// Results are bit-identical across thread counts by construction, so this
+/// only affects performance — it exists so tests and benches can sweep
+/// counts in-process.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.with(|c| c.set(n.map(|n| n.max(1))));
+}
+
+/// The kernel thread count that matmuls issued from the calling thread will
+/// use: the [`set_thread_override`] value if set, else `APOLLO_NUM_THREADS`,
+/// else `min(available_parallelism, 8)`.
+pub fn current_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(env_threads)
+}
+
+/// Register-tiled row-band kernel: `out[lo..hi] = a_rows[lo..hi] · b` where
+/// `a_rows` is row-major with stride `k` and `b` row-major with stride `n`.
+///
+/// Each [`NR`]-column block of an output row accumulates in a register
+/// array across the whole `k` loop; per `p` that costs one `a` broadcast
+/// plus `NR` contiguous `b` lanes. Accumulation per element is ascending-`p`
+/// with exactly-zero `a` entries skipped — the same order and skips as the
+/// reference loop, hence bit-identical results.
+/// Packs a row-major `k×n` operand (stride `n`) into column-band
+/// interleaved panels: the `w`-wide band at column `j0` is a contiguous
+/// `k×w` block at offset `j0·k` with `block[p·w + j] = src[p·n + j0 + j]`.
+///
+/// One accumulation step of the micro-kernel then loads its `NR` lanes
+/// from a single contiguous 128-byte run instead of a 4·n-strided strip —
+/// the strided form costs a TLB/prefetch stall per `p` once `n` spans
+/// hundreds of pages.
+fn pack_panels(src: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut panel = scratch::take_zeroed(k * n);
+    if k == 0 {
+        return panel;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        let block = &mut panel[j0 * k..(j0 + w) * k];
+        for (p, srow) in src.chunks_exact(n).enumerate() {
+            block[p * w..(p + 1) * w].copy_from_slice(&srow[j0..j0 + w]);
+        }
+        j0 += w;
+    }
+    panel
+}
+
+/// Packs the transpose of a row-major `n×k` operand into the same
+/// interleaved panel layout as [`pack_panels`]: `block[p·w + j] =
+/// src[(j0+j)·k + p]`, i.e. panel columns are `src` *rows* (the `a·bᵀ`
+/// case).
+fn pack_panels_transposed(src: &[f32], n: usize, k: usize) -> Vec<f32> {
+    let mut panel = scratch::take_zeroed(k * n);
+    if k == 0 {
+        return panel;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        let block = &mut panel[j0 * k..(j0 + w) * k];
+        for j in 0..w {
+            let srow = &src[(j0 + j) * k..(j0 + j + 1) * k];
+            for (p, &sv) in srow.iter().enumerate() {
+                block[p * w + j] = sv;
             }
         }
+        j0 += w;
+    }
+    panel
+}
+
+/// The shared band sweep: computes output rows `[lo, hi)` from row-major
+/// `a_rows` (stride `k`) against a packed panel of the second operand.
+/// Panel band outer, rows inner, so one `k×NR` block stays cache-hot
+/// across the whole row band.
+fn run_packed(
+    a_rows: &[f32],
+    k: usize,
+    panel: &[f32],
+    n: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    if k == 0 {
+        return; // out is pre-zeroed; an empty inner dim contributes nothing
+    }
+    let rows = &a_rows[lo * k..hi * k];
+    let n_rows = hi - lo;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        let block = &panel[j0 * k..(j0 + w) * k];
+        if w == NR {
+            // Rows in pairs: one block load feeds two accumulator sets,
+            // doubling FLOPs per byte of L1 traffic.
+            let mut band_r = 0;
+            while band_r + 2 <= n_rows {
+                let (o0, o1) = out[band_r * n + j0..].split_at_mut(n);
+                tile_packed2(
+                    &rows[band_r * k..(band_r + 1) * k],
+                    &rows[(band_r + 1) * k..(band_r + 2) * k],
+                    block,
+                    &mut o0[..NR],
+                    &mut o1[..NR],
+                );
+                band_r += 2;
+            }
+            if band_r < n_rows {
+                tile_packed(
+                    &rows[band_r * k..(band_r + 1) * k],
+                    block,
+                    &mut out[band_r * n + j0..band_r * n + j0 + NR],
+                );
+            }
+        } else {
+            for (band_r, arow) in rows.chunks_exact(k).enumerate() {
+                tile_packed_tail(
+                    arow,
+                    block,
+                    w,
+                    &mut out[band_r * n + j0..band_r * n + j0 + w],
+                );
+            }
+        }
+        j0 += w;
     }
 }
 
+/// Two-row register tile: identical per-element accumulation to
+/// [`tile_packed`] run on each row separately (the two accumulator sets
+/// are independent chains), but each packed block line is loaded once for
+/// both rows.
+#[inline]
+fn tile_packed2(arow0: &[f32], arow1: &[f32], block: &[f32], orow0: &mut [f32], orow1: &mut [f32]) {
+    let mut acc0 = [0.0f32; NR];
+    let mut acc1 = [0.0f32; NR];
+    for ((brow, &av0), &av1) in block.chunks_exact(NR).zip(arow0).zip(arow1) {
+        let brow: &[f32; NR] = brow.try_into().unwrap();
+        for ((a0, a1), &bv) in acc0.iter_mut().zip(acc1.iter_mut()).zip(brow) {
+            *a0 += av0 * bv;
+            *a1 += av1 * bv;
+        }
+    }
+    orow0.copy_from_slice(&acc0);
+    orow1.copy_from_slice(&acc1);
+}
+
+/// Full-width register tile: `orow[j] = Σ_p a[p] · block[p·NR + j]`, each
+/// output element accumulated in ascending-`p` order.
+///
+/// There is no skip of exactly-zero `a` entries (the reference loop's
+/// branch was dropped for vectorization): for finite operands adding
+/// `±0·bv` never changes an accumulator that starts at `+0.0`, so results
+/// stay bit-identical; only `0·∞`/`0·NaN` products differ, which training
+/// guards against upstream (`has_non_finite` sentinels).
+///
+/// Kept as its own function (one accumulator array per specialization) so
+/// LLVM promotes `acc` to vector registers for the whole `p` loop instead
+/// of sharing a stack slot with the tail path.
+#[inline]
+fn tile_packed(arow: &[f32], block: &[f32], orow: &mut [f32]) {
+    let mut acc = [0.0f32; NR];
+    for (brow, &av) in block.chunks_exact(NR).zip(arow) {
+        let brow: &[f32; NR] = brow.try_into().unwrap();
+        for (aj, &bv) in acc.iter_mut().zip(brow) {
+            *aj += av * bv;
+        }
+    }
+    orow.copy_from_slice(&acc);
+}
+
+/// Remainder tile (`w < NR` columns) of the packed-panel kernel.
+#[inline]
+fn tile_packed_tail(arow: &[f32], block: &[f32], w: usize, orow: &mut [f32]) {
+    let mut acc = [0.0f32; NR];
+    for (brow, &av) in block.chunks_exact(w).zip(arow) {
+        for (aj, &bv) in acc[..w].iter_mut().zip(brow) {
+            *aj += av * bv;
+        }
+    }
+    orow.copy_from_slice(&acc[..w]);
+}
+
+/// Raw output pointer shared across pool tasks; tasks write disjoint row
+/// bands.
+#[derive(Clone, Copy)]
+struct OutPtr(*mut f32);
+
+impl OutPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Sync` wrapper, not the raw pointer field.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+// SAFETY: tasks index disjoint bands, established by the band partition in
+// `parallel_rows`.
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+/// Runs `run(lo, hi, band_out)` over row bands of an `m × n_out` output,
+/// on the worker pool when the FLOP gate passes, serially otherwise.
+///
+/// The band partition is a pure function of `(m, threads)` and every row
+/// is computed independently, so the output is bit-identical for any
+/// thread count (including 1).
 fn parallel_rows(
     m: usize,
     flops: usize,
     run: impl Fn(usize, usize, &mut [f32]) + Sync,
     n_out: usize,
 ) -> Vec<f32> {
-    let threads = num_threads();
-    if threads <= 1 || flops < PAR_MIN_FLOPS || m < 2 * threads {
-        let mut out = vec![0.0; m * n_out];
+    let threads = current_threads();
+    let mut out = scratch::take_zeroed(m * n_out);
+    if !should_parallelize(threads, m, flops) {
         run(0, m, &mut out);
         return out;
     }
-    let mut out = vec![0.0; m * n_out];
     let band = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = out.as_mut_slice();
-        let mut lo = 0;
-        while lo < m {
-            let hi = (lo + band).min(m);
-            let (chunk, tail) = rest.split_at_mut((hi - lo) * n_out);
-            rest = tail;
-            let run = &run;
-            scope.spawn(move || run(lo, hi, chunk));
-            lo = hi;
-        }
+    let n_bands = m.div_ceil(band);
+    let ptr = OutPtr(out.as_mut_ptr());
+    let run = &run;
+    pool::Pool::run(threads, n_bands, &move |t| {
+        let lo = t * band;
+        let hi = ((t + 1) * band).min(m);
+        // SAFETY: bands are disjoint row ranges of `out`, and `out` outlives
+        // the blocking `Pool::run` call.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo * n_out), (hi - lo) * n_out) };
+        run(lo, hi, chunk);
     });
     out
 }
@@ -105,16 +337,42 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    // Packing costs k·n copies against 2·m·k·n FLOPs of compute; for a
+    // handful of rows the straight row-sweep wins.
+    if m < 4 {
+        let run = |lo: usize, hi: usize, out: &mut [f32]| {
+            for (band_r, r) in (lo..hi).enumerate() {
+                let arow = a.row(r);
+                let crow = &mut out[band_r * n..(band_r + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    let brow = b.row(p);
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        };
+        let data = parallel_rows(m, matmul_flops(m, k, n), run, n);
+        return Matrix::from_vec(m, n, data);
+    }
+    let panel = pack_panels(b.as_slice(), k, n);
     let data = parallel_rows(
         m,
-        m * k * n,
-        |lo, hi, out| band_matmul(a, b, lo, hi, out),
+        matmul_flops(m, k, n),
+        |lo, hi, out| run_packed(a.as_slice(), k, &panel, n, lo, hi, out),
         n,
     );
+    scratch::recycle(panel);
     Matrix::from_vec(m, n, data)
 }
 
 /// `a · bᵀ` without materializing the transpose.
+///
+/// `b`'s rows become output columns, so the kernel first packs `b` into
+/// column-interleaved panels (`panel[j0*k + p*w + j] = b[(j0+j)*k + p]` for
+/// the `w`-wide band at `j0`): the `NR` lanes of one accumulation step then
+/// load contiguously and each output element keeps its plain sequential
+/// dot-product order, bit-identical to the scalar loop.
 ///
 /// # Panics
 ///
@@ -130,24 +388,43 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    let run = |lo: usize, hi: usize, out: &mut [f32]| {
-        for (band_r, r) in (lo..hi).enumerate() {
-            let arow = a.row(r);
-            for c in 0..n {
-                let brow = b.row(c);
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += arow[p] * brow[p];
+    // Packing costs k·n writes against 2·m·k·n FLOPs of compute; below a
+    // few rows the scalar dot loop wins (and rank-1 projector products with
+    // k = 0 or n = 0 have nothing to pack).
+    if m < 4 || k == 0 || n == 0 {
+        let run = |lo: usize, hi: usize, out: &mut [f32]| {
+            for (band_r, r) in (lo..hi).enumerate() {
+                let arow = a.row(r);
+                for c in 0..n {
+                    let brow = b.row(c);
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += arow[p] * brow[p];
+                    }
+                    out[band_r * n + c] = acc;
                 }
-                out[band_r * n + c] = acc;
             }
-        }
-    };
-    let data = parallel_rows(m, m * k * n, run, n);
+        };
+        let data = parallel_rows(m, matmul_flops(m, k, n), run, n);
+        return Matrix::from_vec(m, n, data);
+    }
+    let panel = pack_panels_transposed(b.as_slice(), n, k);
+    let data = parallel_rows(
+        m,
+        matmul_flops(m, k, n),
+        |lo, hi, out| run_packed(a.as_slice(), k, &panel, n, lo, hi, out),
+        n,
+    );
+    scratch::recycle(panel);
     Matrix::from_vec(m, n, data)
 }
 
 /// `aᵀ · b` without materializing the transpose.
+///
+/// `a`'s columns are the output rows; the kernel packs `aᵀ` (a `k`-strided
+/// gather per column) into a contiguous row-major panel once, then reuses
+/// the shared register-tiled band kernel. Per-element accumulation stays
+/// ascending-`p` with the same zero skip as the reference loop.
 ///
 /// # Panics
 ///
@@ -163,24 +440,56 @@ pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    // out[r, c] = sum_p a[p, r] * b[p, c]. Iterate p outer for locality.
-    let run = |lo: usize, hi: usize, out: &mut [f32]| {
-        for p in 0..k {
-            let arow = a.row(p);
-            let brow = b.row(p);
-            for (band_r, r) in (lo..hi).enumerate() {
-                let av = arow[r];
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[band_r * n..(band_r + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
-                    *ov += av * bv;
+    if m * k * n < 4096 {
+        // Tiny products (projector rank-1 paths, tests): the transpose
+        // pack would rival the compute. out[r, c] = sum_p a[p, r]·b[p, c];
+        // p ascends per element, as in the tiled path.
+        let run = |lo: usize, hi: usize, out: &mut [f32]| {
+            for p in 0..k {
+                let arow = a.row(p);
+                let brow = b.row(p);
+                for (band_r, r) in (lo..hi).enumerate() {
+                    let av = arow[r];
+                    let orow = &mut out[band_r * n..(band_r + 1) * n];
+                    for (ov, &bv) in orow.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
                 }
             }
+        };
+        let data = parallel_rows(m, matmul_flops(m, k, n), run, n);
+        return Matrix::from_vec(m, n, data);
+    }
+    // Pack aᵀ row-major with a cache-blocked transpose (both the reads and
+    // the writes stay within a TB×TB tile that fits L1), then reuse the
+    // shared packed band sweep.
+    const TB: usize = 32;
+    let mut at = scratch::take_zeroed(m * k);
+    let mut pb = 0;
+    while pb < k {
+        let p_hi = (pb + TB).min(k);
+        let mut rb = 0;
+        while rb < m {
+            let r_hi = (rb + TB).min(m);
+            for p in pb..p_hi {
+                let arow = &a.row(p)[rb..r_hi];
+                for (r, &av) in arow.iter().enumerate() {
+                    at[(rb + r) * k + p] = av;
+                }
+            }
+            rb = r_hi;
         }
-    };
-    let data = parallel_rows(m, m * k * n, run, n);
+        pb = p_hi;
+    }
+    let panel = pack_panels(b.as_slice(), k, n);
+    let data = parallel_rows(
+        m,
+        matmul_flops(m, k, n),
+        |lo, hi, out| run_packed(&at, k, &panel, n, lo, hi, out),
+        n,
+    );
+    scratch::recycle(panel);
+    scratch::recycle(at);
     Matrix::from_vec(m, n, data)
 }
 
@@ -226,17 +535,21 @@ mod tests {
     #[test]
     fn matmul_transb_matches_explicit_transpose() {
         let mut rng = Rng::seed_from_u64(3);
-        let a = Matrix::randn(13, 7, &mut rng);
-        let b = Matrix::randn(11, 7, &mut rng);
-        assert_close(&matmul_transb(&a, &b), &matmul(&a, &b.transpose()), 1e-4);
+        for &(m, n) in &[(13, 11), (2, 11), (64, 40)] {
+            let a = Matrix::randn(m, 7, &mut rng);
+            let b = Matrix::randn(n, 7, &mut rng);
+            assert_close(&matmul_transb(&a, &b), &matmul(&a, &b.transpose()), 1e-4);
+        }
     }
 
     #[test]
     fn matmul_transa_matches_explicit_transpose() {
         let mut rng = Rng::seed_from_u64(4);
-        let a = Matrix::randn(7, 13, &mut rng);
-        let b = Matrix::randn(7, 11, &mut rng);
-        assert_close(&matmul_transa(&a, &b), &matmul(&a.transpose(), &b), 1e-4);
+        for &(m, n) in &[(13, 11), (40, 64)] {
+            let a = Matrix::randn(7, m, &mut rng);
+            let b = Matrix::randn(7, n, &mut rng);
+            assert_close(&matmul_transa(&a, &b), &matmul(&a.transpose(), &b), 1e-4);
+        }
     }
 
     #[test]
@@ -261,6 +574,30 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn flop_gate_counts_two_flops_per_term() {
+        // The doc contract for PAR_MIN_FLOPS is 2·m·k·n (one multiply + one
+        // add); this pins the kernels' gate argument to that convention.
+        assert_eq!(matmul_flops(3, 5, 7), 2 * 3 * 5 * 7);
+    }
+
+    #[test]
+    fn parallel_gate_boundary() {
+        // Exactly at the threshold parallelizes; one FLOP below does not.
+        let m = 4096;
+        assert!(should_parallelize(2, m, PAR_MIN_FLOPS));
+        assert!(!should_parallelize(2, m, PAR_MIN_FLOPS - 1));
+        // Too few rows or a single thread never parallelizes.
+        assert!(!should_parallelize(1, m, PAR_MIN_FLOPS));
+        assert!(!should_parallelize(8, 15, PAR_MIN_FLOPS));
+        // A shape whose 2·m·k·n crosses the gate while m·k·n does not:
+        // the off-by-2× this test guards against.
+        let (m, k, n) = (128, 64, 80);
+        assert!(matmul_flops(m, k, n) >= PAR_MIN_FLOPS);
+        assert!(m * k * n < PAR_MIN_FLOPS);
+        assert!(should_parallelize(2, m, matmul_flops(m, k, n)));
     }
 
     #[test]

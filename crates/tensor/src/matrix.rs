@@ -26,13 +26,29 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Creates a matrix filled with zeros.
+    /// Creates a matrix filled with zeros, reusing pooled scratch storage
+    /// when available (see [`crate::scratch`]).
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: crate::scratch::take_zeroed(rows * cols),
         }
+    }
+
+    /// Consumes the matrix and returns its storage to the scratch pool so
+    /// the next [`Matrix::zeros`] of a similar size reuses it.
+    pub fn recycle(self) {
+        crate::scratch::recycle(self.data);
+    }
+
+    /// Reshapes `self` to `src`'s shape and copies its contents, reusing
+    /// the existing storage (no allocation when capacity suffices).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Creates a matrix filled with a constant.
@@ -339,6 +355,22 @@ impl Matrix {
         for v in &mut self.data {
             *v = f(*v);
         }
+    }
+
+    /// Overwrites `self` (reshaping to match) with `f(a[i], b[i])`
+    /// elementwise. The allocation-free counterpart of [`Matrix::zip_map`]
+    /// for scratch buffers reused across steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in shape.
+    pub fn zip_map_from(&mut self, a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) {
+        a.assert_same_shape(b, "zip_map_from");
+        self.rows = a.rows;
+        self.cols = a.cols;
+        self.data.clear();
+        self.data
+            .extend(a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)));
     }
 
     /// Combines two same-shape matrices elementwise.

@@ -1,0 +1,279 @@
+//! Persistent worker pool for the matmul kernels.
+//!
+//! The previous kernels spawned fresh scoped threads (`std::thread::scope`)
+//! on every parallel matmul — at proxy scales the spawn/join cost rivals the
+//! kernel itself. This pool spawns workers once, parks them on a condvar
+//! between jobs, and hands out *tasks* (row bands) through a shared
+//! dispenser so a job finishes even if some workers are slow to wake.
+//!
+//! Determinism: the pool never decides *how* work is split — callers
+//! partition rows into bands purely from `(rows, requested_threads)` and
+//! each band writes a disjoint output slice with the same per-row
+//! accumulation order as the serial path. Which thread runs a band is
+//! therefore irrelevant to the result; outputs are bit-identical across
+//! pool sizes, wake ordering, and task-stealing interleavings.
+//!
+//! Jobs from concurrent submitter threads serialize on a submit lock; the
+//! submitting thread always participates in its own job, so a pool with
+//! zero spawned workers (thread count 1) degrades to the serial loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Type-erased pointer to a job's task closure.
+///
+/// The erased lifetime is sound because [`Pool::run`] blocks until every
+/// task of the job has completed, so the pointee outlives all uses.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread) and the
+// pool only dereferences it while the owning `run` call keeps it alive.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+#[derive(Clone, Copy)]
+struct Job {
+    task: TaskPtr,
+    n_tasks: usize,
+}
+
+struct State {
+    /// Currently published job, if any.
+    job: Option<Job>,
+    /// Bumped once per published job so parked workers can tell a fresh
+    /// job from the one they already drained.
+    generation: u64,
+    /// Next task index to hand out for the current job.
+    next_task: usize,
+    /// Completed task count for the current job.
+    completed: usize,
+    /// Number of spawned (persistent) workers.
+    workers: usize,
+}
+
+/// The process-wide worker pool. See the module docs for the design.
+pub struct Pool {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// Submitters park here while workers finish the tail of a job.
+    done_cv: Condvar,
+    /// Serializes concurrent submitters (one job in flight at a time).
+    submit: Mutex<()>,
+    jobs: AtomicU64,
+    worker_tasks: AtomicU64,
+}
+
+/// Counters for observability (`pool_*` metrics in `--profile` output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs dispatched to the pool (parallel kernel invocations).
+    pub jobs: u64,
+    /// Tasks executed by pooled workers (rest ran on the submitter).
+    pub worker_tasks: u64,
+    /// Persistent workers currently spawned.
+    pub workers: usize,
+}
+
+/// Hard cap on spawned workers, over and above the submitter itself.
+const MAX_WORKERS: usize = 63;
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                next_task: 0,
+                completed: 0,
+                workers: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submit: Mutex::new(()),
+            jobs: AtomicU64::new(0),
+            worker_tasks: AtomicU64::new(0),
+        })
+    }
+
+    /// Runs `f(t)` for every task `t in 0..n_tasks` using up to
+    /// `threads - 1` pooled workers plus the calling thread, returning once
+    /// all tasks completed. With `threads <= 1` (or a single task) this is
+    /// exactly the serial `for` loop — no pool, no locks.
+    pub fn run(threads: usize, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        let helpers = threads
+            .saturating_sub(1)
+            .min(n_tasks.saturating_sub(1))
+            .min(MAX_WORKERS);
+        if helpers == 0 {
+            for t in 0..n_tasks {
+                f(t);
+            }
+            return;
+        }
+        let pool = Self::global();
+        let _submit = pool.submit.lock().unwrap();
+        pool.jobs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: only the lifetime is erased; `run` blocks below until
+        // `completed == n_tasks`, so `f` outlives every dereference.
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const (dyn Fn(usize) + Sync))
+        });
+        {
+            let mut st = pool.state.lock().unwrap();
+            while st.workers < helpers {
+                st.workers += 1;
+                let id = st.workers;
+                std::thread::Builder::new()
+                    .name(format!("apollo-pool-{id}"))
+                    .spawn(move || Pool::worker_loop(Pool::global()))
+                    .expect("spawn pool worker");
+            }
+            st.job = Some(Job { task, n_tasks });
+            st.generation += 1;
+            st.next_task = 0;
+            st.completed = 0;
+            pool.work_cv.notify_all();
+        }
+        // The submitter works its own job rather than just waiting.
+        loop {
+            let t = {
+                let mut st = pool.state.lock().unwrap();
+                if st.next_task >= n_tasks {
+                    break;
+                }
+                let t = st.next_task;
+                st.next_task += 1;
+                t
+            };
+            f(t);
+            let mut st = pool.state.lock().unwrap();
+            st.completed += 1;
+            if st.completed == n_tasks {
+                st.job = None;
+                pool.done_cv.notify_all();
+            }
+        }
+        let mut st = pool.state.lock().unwrap();
+        while st.completed < n_tasks {
+            st = pool.done_cv.wait(st).unwrap();
+        }
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        let mut seen_gen = 0u64;
+        loop {
+            let (job, generation) = {
+                let mut st = pool.state.lock().unwrap();
+                loop {
+                    if let Some(job) = st.job {
+                        if st.generation != seen_gen && st.next_task < job.n_tasks {
+                            break (job, st.generation);
+                        }
+                    }
+                    st = pool.work_cv.wait(st).unwrap();
+                }
+            };
+            seen_gen = generation;
+            loop {
+                let t = {
+                    let mut st = pool.state.lock().unwrap();
+                    if st.generation != generation || st.next_task >= job.n_tasks {
+                        break;
+                    }
+                    let t = st.next_task;
+                    st.next_task += 1;
+                    t
+                };
+                // SAFETY: the submitter blocks in `run` until `completed ==
+                // n_tasks`, which includes this task, so the closure behind
+                // the erased pointer is still alive.
+                unsafe { (*job.task.0)(t) };
+                pool.worker_tasks.fetch_add(1, Ordering::Relaxed);
+                let mut st = pool.state.lock().unwrap();
+                st.completed += 1;
+                if st.generation == generation && st.completed == job.n_tasks {
+                    st.job = None;
+                    pool.done_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Snapshot of the global pool's counters.
+pub fn stats() -> PoolStats {
+    let pool = Pool::global();
+    let workers = pool.state.lock().unwrap().workers;
+    PoolStats {
+        jobs: pool.jobs.load(Ordering::Relaxed),
+        worker_tasks: pool.worker_tasks.load(Ordering::Relaxed),
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn serial_path_runs_all_tasks_in_order() {
+        let order = Mutex::new(Vec::new());
+        Pool::run(1, 5, &|t| order.lock().unwrap().push(t));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pooled_path_runs_each_task_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        Pool::run(4, hits.len(), &|t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn back_to_back_jobs_reuse_parked_workers() {
+        for round in 0..20 {
+            let sum = AtomicUsize::new(0);
+            let n = 3 + round % 5;
+            Pool::run(3, n, &|t| {
+                sum.fetch_add(t + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        }
+        let stats = stats();
+        assert!(stats.jobs >= 20);
+        assert!(stats.workers >= 1);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        Pool::run(8, 0, &|_| panic!("no tasks to run"));
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_cleanly() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        let sum = AtomicUsize::new(0);
+                        Pool::run(2, 8, &|t| {
+                            sum.fetch_add(t, Ordering::Relaxed);
+                        });
+                        assert_eq!(sum.load(Ordering::Relaxed), 28);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,127 @@
+//! Reusable scratch-buffer pool for `f32` workspaces.
+//!
+//! Training allocates the same handful of buffer sizes over and over:
+//! matmul outputs, autograd gradients, packed kernel panels, optimizer
+//! update vectors. Routing those through a thread-local freelist turns the
+//! steady-state allocation rate to ~zero — after the first step every
+//! `Matrix::zeros` is a warm, page-mapped buffer.
+//!
+//! The pool is thread-local (no locks); a `Vec<f32>`'s storage has no
+//! thread affinity, so buffers freed on one thread and reused on another
+//! would also be fine — they simply land in different freelists.
+//!
+//! Buffers are recycled explicitly ([`recycle`]) rather than via a `Drop`
+//! impl on `Matrix`, which would forbid moving the data out (`into_vec`)
+//! and would churn the pool on every temporary. The high-traffic recycle
+//! points are the autograd graph (dropped once per step) and the kernels'
+//! internal panels.
+
+use std::cell::RefCell;
+
+/// Retain at most this many free buffers per thread.
+const MAX_BUFS: usize = 64;
+
+/// Retain at most this many total f32 elements per thread (256 MiB).
+const MAX_ELEMS: usize = 64 << 20;
+
+thread_local! {
+    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a zeroed buffer of exactly `len` elements, reusing pooled storage
+/// when a large-enough buffer is available (best capacity fit).
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    let reused = FREE.with(|f| {
+        let mut free = f.borrow_mut();
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+                if cap == len {
+                    break;
+                }
+            }
+        }
+        best.map(|(i, _)| free.swap_remove(i))
+    });
+    match reused {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Returns a buffer's storage to the thread's freelist. Buffers beyond the
+/// count/byte caps are dropped (truly freed) instead.
+pub fn recycle(mut buf: Vec<f32>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    FREE.with(|f| {
+        let mut free = f.borrow_mut();
+        let held: usize = free.iter().map(Vec::capacity).sum();
+        if free.len() >= MAX_BUFS || held + buf.capacity() > MAX_ELEMS {
+            return;
+        }
+        buf.clear();
+        free.push(buf);
+    });
+}
+
+/// Number of buffers currently pooled on this thread (for tests/metrics).
+pub fn pooled_buffers() -> usize {
+    FREE.with(|f| f.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffer_of_exact_len() {
+        let buf = take_zeroed(17);
+        assert_eq!(buf.len(), 17);
+        assert!(buf.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn recycled_storage_is_reused_and_rezeroed() {
+        let mut buf = take_zeroed(100);
+        buf.iter_mut().for_each(|x| *x = 3.5);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        recycle(buf);
+        let again = take_zeroed(80);
+        assert_eq!(again.as_ptr(), ptr, "expected storage reuse");
+        assert_eq!(again.capacity(), cap);
+        assert!(again.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        recycle(Vec::with_capacity(1000));
+        recycle(Vec::with_capacity(50));
+        recycle(Vec::with_capacity(200));
+        let buf = take_zeroed(60);
+        assert_eq!(buf.capacity(), 200);
+        // Drain so later tests on this thread start clean.
+        while pooled_buffers() > 0 {
+            let _ = take_zeroed(1);
+        }
+    }
+
+    #[test]
+    fn pool_respects_count_cap() {
+        for _ in 0..(MAX_BUFS + 10) {
+            recycle(Vec::with_capacity(8));
+        }
+        assert!(pooled_buffers() <= MAX_BUFS);
+        while pooled_buffers() > 0 {
+            let _ = take_zeroed(1);
+        }
+    }
+}

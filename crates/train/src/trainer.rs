@@ -214,7 +214,8 @@ impl Snapshot {
     ) -> Result<(), String> {
         opt.state_load(&self.optimizer)?;
         for (p, saved) in model.params.iter_mut().zip(&self.params) {
-            p.value = saved.clone();
+            // Overwrite in place: the parameter keeps its allocation.
+            p.value.copy_from(saved);
         }
         batcher.set_cursor(self.cursor);
         *rng = Rng::from_state(self.rng.0, self.rng.1);
@@ -320,9 +321,16 @@ pub fn pretrain_observed(
     if res.resume {
         if let Some(dir) = &res.checkpoint_dir {
             if let Ok(Some((_, state))) = latest_valid_checkpoint(dir) {
-                for (p, saved) in model.params.iter_mut().zip(&state.model.params) {
+                let mut state = state;
+                for (p, saved) in model.params.iter_mut().zip(state.model.params.iter_mut()) {
                     assert_eq!(p.name, saved.name, "checkpoint/model manifest mismatch");
-                    p.value = saved.value.clone();
+                    // The checkpoint is owned here — move the tensor in
+                    // instead of cloning it, and recycle the replaced one.
+                    let old = std::mem::replace(
+                        &mut p.value,
+                        std::mem::replace(&mut saved.value, Matrix::zeros(0, 0)),
+                    );
+                    old.recycle();
                 }
                 if !state.optimizer.is_empty() {
                     if let Err(e) = opt.state_load(&state.optimizer) {
@@ -346,6 +354,8 @@ pub fn pretrain_observed(
 
     opt.attach_observer(obs.clone());
     obs.set_step(start_step);
+    // Baseline for the run-end pool counters (the pool is process-global).
+    let pool_at_start = apollo_tensor::pool::stats();
     obs.emit(|| TraceEvent::RunStart {
         step: start_step,
         optimizer: log.optimizer.clone(),
@@ -648,7 +658,8 @@ pub fn pretrain_observed(
         if let Some(group) = cfg.quantize_weights {
             for p in model.params.iter_mut() {
                 if p.kind != ParamKind::Norm {
-                    p.value = apollo_quant::fake_quantize(&p.value, group);
+                    let q = apollo_quant::fake_quantize(&p.value, group);
+                    std::mem::replace(&mut p.value, q).recycle();
                 }
             }
         }
@@ -712,6 +723,20 @@ pub fn pretrain_observed(
     log.state_bytes = opt.state_bytes();
     log.wall_secs = started.elapsed().as_secs_f64();
     log.resilience = report;
+    // Performance-runtime counters: thread-pool jobs/tasks this run and the
+    // scratch buffers currently pooled on this thread (printed by
+    // `--profile` alongside the sentinel counters).
+    let pool = apollo_tensor::pool::stats();
+    obs.counter("pool_jobs", pool.jobs.saturating_sub(pool_at_start.jobs));
+    obs.counter(
+        "pool_worker_tasks",
+        pool.worker_tasks.saturating_sub(pool_at_start.worker_tasks),
+    );
+    obs.counter("pool_workers", pool.workers as u64);
+    obs.counter(
+        "scratch_pooled_buffers",
+        apollo_tensor::scratch::pooled_buffers() as u64,
+    );
     obs.emit(|| TraceEvent::RunEnd {
         step,
         wall_secs: log.wall_secs,

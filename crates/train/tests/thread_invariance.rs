@@ -1,0 +1,55 @@
+//! End-to-end thread-count invariance: a short APOLLO pretrain must produce
+//! *bit-identical* losses and parameters at every kernel thread count.
+//!
+//! The matmul kernels accumulate each output element in a fixed
+//! ascending-`p` order and partition work by output rows only, so the
+//! worker pool must never change a single bit of the training trajectory —
+//! this is the repo-level determinism contract the perf work is built on.
+
+use apollo_data::{CorpusConfig, LmBatcher, SyntheticCorpus};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_optim::Apollo;
+use apollo_tensor::{set_thread_override, Rng};
+use apollo_train::{pretrain, TrainConfig};
+
+/// Runs a short APOLLO pretrain at the given kernel thread count and
+/// returns the loss bit patterns plus final parameter bits.
+fn run_at(threads: usize) -> (Vec<(usize, u32)>, Vec<Vec<u32>>) {
+    set_thread_override(Some(threads));
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(7);
+    let mut model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    let mut batcher = LmBatcher::new(corpus, 2, cfg.max_seq);
+    let mut opt = Apollo::new(4, 5);
+    let log = pretrain(&mut model, &mut opt, &mut batcher, &TrainConfig::quick(8));
+    set_thread_override(None);
+    let losses = log
+        .train_losses
+        .iter()
+        .map(|&(s, l)| (s, l.to_bits()))
+        .collect();
+    let params = model
+        .params
+        .iter()
+        .map(|p| p.value.as_slice().iter().map(|x| x.to_bits()).collect())
+        .collect();
+    (losses, params)
+}
+
+#[test]
+fn apollo_losses_are_bit_identical_across_thread_counts() {
+    let (base_losses, base_params) = run_at(1);
+    assert!(!base_losses.is_empty());
+    for threads in [2, 8] {
+        let (losses, params) = run_at(threads);
+        assert_eq!(
+            losses, base_losses,
+            "loss bits diverge between threads=1 and threads={threads}"
+        );
+        assert_eq!(
+            params, base_params,
+            "final parameter bits diverge between threads=1 and threads={threads}"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Reproducible performance benchmark: emits BENCH_kernels.json and
+# BENCH_train.json at the repo root.
+#
+# Usage: scripts/bench.sh [--smoke]
+#
+# The kernel thread count is pinned (default 1) so numbers are comparable
+# across machines and runs; override with APOLLO_NUM_THREADS=<n>.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}"
+
+cargo build --release -p apollo-bench --bin perf_kernels
+./target/release/perf_kernels "$@" .

@@ -29,4 +29,15 @@ trap 'rm -rf "$TRACE_TMP"' EXIT
 # the recorded step total.
 ./target/release/apollo trace-check --trace "$TRACE_TMP/trace.jsonl"
 
+echo "== bench smoke + perf regression check (vs committed baseline)"
+# Fresh smoke-mode numbers land in a temp dir and are compared against the
+# committed BENCH_*.json at the repo root; perf_check fails the gate on a
+# >30% throughput regression for any (shape, kernel) or optimizer entry.
+cargo build --release -p apollo-bench --bin perf_kernels --bin perf_check
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP" "$BENCH_TMP"' EXIT
+APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
+    ./target/release/perf_kernels --smoke "$BENCH_TMP"
+./target/release/perf_check "$BENCH_TMP" .
+
 echo "CI green."
