@@ -1,5 +1,6 @@
 //! Perf-regression checker: compares a fresh `BENCH_kernels.json` /
-//! `BENCH_train.json` against the committed baseline at the repo root,
+//! `BENCH_train.json` / `BENCH_infer.json` against the committed baseline
+//! at the repo root,
 //! prints a delta table, and exits non-zero if any matched entry regressed
 //! by more than the tolerance.
 //!
@@ -16,7 +17,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use apollo_bench::perf::{delta_pct, KernelReport, TrainReport};
+use apollo_bench::perf::{delta_pct, InferReport, KernelReport, TrainReport};
 
 /// Regression tolerance in percent: fail when fresh < (1 - 30%) · baseline.
 const TOLERANCE_PCT: f64 = 30.0;
@@ -129,14 +130,49 @@ fn check_train(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
     (matched, regressions)
 }
 
+fn check_infer(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
+    let (Some(base), Some(fresh)) = (
+        load::<InferReport>(base_dir, "BENCH_infer.json"),
+        load::<InferReport>(fresh_dir, "BENCH_infer.json"),
+    ) else {
+        return (0, 1);
+    };
+    println!(
+        "== infer ({}): baseline threads={} ({}), fresh threads={} ({}) ==",
+        fresh.model, base.threads, base.mode, fresh.threads, fresh.mode
+    );
+    let mut regressions = 0;
+    let mut matched = 0;
+    for b in &base.entries {
+        let Some(f) = fresh.entries.iter().find(|f| f.metric == b.metric) else {
+            println!("{:<32} (missing from fresh run)", b.metric);
+            continue;
+        };
+        matched += 1;
+        if check_row(&b.metric, b.value, f.value, &b.unit) {
+            regressions += 1;
+        }
+    }
+    for f in &fresh.entries {
+        if !base.entries.iter().any(|b| b.metric == f.metric) {
+            println!(
+                "{:<32} {:9.2} {} (new, no baseline)",
+                f.metric, f.value, f.unit
+            );
+        }
+    }
+    (matched, regressions)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fresh_dir = args.first().map_or(".", String::as_str);
     let base_dir = args.get(1).map_or(".", String::as_str);
     let (km, kr) = check_kernels(fresh_dir, base_dir);
     let (tm, tr) = check_train(fresh_dir, base_dir);
-    let matched = km + tm;
-    let regressions = kr + tr;
+    let (im, ir) = check_infer(fresh_dir, base_dir);
+    let matched = km + tm + im;
+    let regressions = kr + tr + ir;
     if matched == 0 {
         eprintln!("perf_check: no comparable entries (missing or unparseable reports)");
         return ExitCode::FAILURE;

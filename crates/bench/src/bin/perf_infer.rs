@@ -1,0 +1,268 @@
+//! Inference-throughput harness: prefill and decode tokens/sec on the
+//! tiny proxy, KV-cached decode vs naive full recompute, and continuous
+//! batching vs serial generation.
+//!
+//! Emits `BENCH_infer.json` into the output directory (first positional
+//! argument, default `.`). `--smoke` shortens timing reps for CI. Every
+//! measured path is also cross-checked for byte-identical tokens, so a
+//! throughput number can never come from a diverged implementation.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use apollo_bench::perf::{InferEntry, InferReport};
+use apollo_infer::{generate, sample, GenConfig, GenRequest, SchedConfig, Scheduler};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_obs::Obs;
+use apollo_tensor::{current_threads, Matrix, Rng};
+
+/// Single-sequence workload: 128-token prompt, 64 decoded tokens, so the
+/// naive-vs-KV comparison runs at sequence length ≥ 128 throughout.
+const PROMPT_TOKENS: usize = 128;
+const DECODE_TOKENS: usize = 64;
+/// Concurrent requests in the batched-vs-serial measurement.
+const BATCH_REQUESTS: usize = 8;
+
+/// Median seconds-per-invocation over `reps` samples, where `f` returns
+/// the seconds of the section it measures internally (setup excluded).
+/// Each sample loops `f` until at least `min_secs` of measured time has
+/// accumulated, so a sample is never a single noisy invocation.
+fn median_of(reps: usize, min_secs: f64, mut f: impl FnMut() -> f64) -> f64 {
+    f(); // warmup
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut total = 0.0;
+        let mut iters = 0u32;
+        loop {
+            total += f();
+            iters += 1;
+            if total >= min_secs {
+                break;
+            }
+        }
+        samples.push(total / f64::from(iters));
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Timing-loop parameters (per mode).
+#[derive(Clone, Copy)]
+struct Timing {
+    reps: usize,
+    min_secs: f64,
+}
+
+fn random_tokens(n: usize, vocab: usize, rng: &mut Rng) -> Vec<u32> {
+    (0..n).map(|_| rng.below(vocab) as u32).collect()
+}
+
+/// LM-head logits of the last hidden row.
+fn last_logits(model: &LlamaModel, hidden: &Matrix) -> Vec<f32> {
+    let mut row = Matrix::zeros(1, hidden.cols());
+    row.row_mut(0)
+        .copy_from_slice(hidden.row(hidden.rows() - 1));
+    model.lm_logits(&row).as_slice().to_vec()
+}
+
+/// Seconds per prefill of the whole prompt into a fresh cache.
+fn time_prefill(model: &LlamaModel, prompt: &[u32], t: Timing) -> f64 {
+    let rows: Vec<(usize, u32)> = prompt.iter().map(|&t| (0, t)).collect();
+    median_of(t.reps, t.min_secs, || {
+        let mut caches = vec![model.new_kv_cache(prompt.len())];
+        let t0 = Instant::now();
+        let hidden = model.forward_cached(&mut caches, &rows);
+        std::hint::black_box(hidden.as_slice()[0]);
+        t0.elapsed().as_secs_f64()
+    })
+}
+
+/// Greedy KV-cached decode: seconds per rep (prefill excluded) and the
+/// decoded tokens (identical across reps by determinism).
+fn time_kv_decode(model: &LlamaModel, prompt: &[u32], t: Timing) -> (f64, Vec<u32>) {
+    let greedy = GenConfig::default();
+    let rows: Vec<(usize, u32)> = prompt.iter().map(|&t| (0, t)).collect();
+    let mut out = Vec::new();
+    let secs = median_of(t.reps, t.min_secs, || {
+        let mut caches = vec![model.new_kv_cache(prompt.len() + DECODE_TOKENS)];
+        let hidden = model.forward_cached(&mut caches, &rows);
+        let mut logits = last_logits(model, &hidden);
+        let mut rng = Rng::seed_from_u64(0);
+        out.clear();
+        let t0 = Instant::now();
+        for _ in 0..DECODE_TOKENS {
+            let tok = sample(&logits, &greedy, &mut rng);
+            out.push(tok);
+            let hidden = model.forward_cached(&mut caches, &[(0, tok)]);
+            logits = last_logits(model, &hidden);
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    (secs, out)
+}
+
+/// Greedy decode recomputing the full forward over the whole sequence for
+/// every token — the no-KV-cache baseline.
+fn time_naive_decode(model: &LlamaModel, prompt: &[u32], t: Timing) -> (f64, Vec<u32>) {
+    let greedy = GenConfig::default();
+    let mut out = Vec::new();
+    let secs = median_of(t.reps, t.min_secs, || {
+        let mut tokens = prompt.to_vec();
+        let mut rng = Rng::seed_from_u64(0);
+        out.clear();
+        let t0 = Instant::now();
+        for _ in 0..DECODE_TOKENS {
+            let logits = model.full_logits(&tokens, 1);
+            let tok = sample(logits.row(tokens.len() - 1), &greedy, &mut rng);
+            out.push(tok);
+            tokens.push(tok);
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    (secs, out)
+}
+
+/// The batched-vs-serial request mix: distinct prompts and seeds.
+fn batch_requests(vocab: usize) -> Vec<GenRequest> {
+    let mut rng = Rng::seed_from_u64(0xBA7C);
+    (0..BATCH_REQUESTS)
+        .map(|i| GenRequest {
+            prompt: random_tokens(32, vocab, &mut rng),
+            cfg: GenConfig {
+                max_new_tokens: 32,
+                seed: i as u64,
+                ..GenConfig::default()
+            },
+            deadline: None,
+        })
+        .collect()
+}
+
+/// Seconds to serve all requests one at a time through the serial engine.
+fn time_serial(model: &LlamaModel, reqs: &[GenRequest], t: Timing) -> (f64, Vec<Vec<u32>>) {
+    let mut outs = Vec::new();
+    let secs = median_of(t.reps, t.min_secs, || {
+        outs.clear();
+        let t0 = Instant::now();
+        for r in reqs {
+            outs.push(generate(model, &r.prompt, &r.cfg, |_| {}));
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    (secs, outs)
+}
+
+/// Seconds to serve all requests concurrently through the scheduler.
+fn time_batched(model: &Arc<LlamaModel>, reqs: &[GenRequest], t: Timing) -> (f64, Vec<Vec<u32>>) {
+    let cfg = SchedConfig {
+        max_active: BATCH_REQUESTS,
+        queue_cap: BATCH_REQUESTS,
+        prefill_chunk: 16,
+        kv_capacity: 64,
+    };
+    let mut outs = Vec::new();
+    let secs = median_of(t.reps, t.min_secs, || {
+        let mut sched = Scheduler::new(Arc::clone(model), cfg.clone(), Obs::disabled());
+        let t0 = Instant::now();
+        for r in reqs {
+            sched
+                .submit(r.clone())
+                .expect("queue sized for all requests");
+        }
+        let mut results = sched.run_to_completion();
+        let secs = t0.elapsed().as_secs_f64();
+        results.sort_by_key(|r| r.id);
+        outs = results.into_iter().map(|r| r.tokens).collect();
+        secs
+    });
+    (secs, outs)
+}
+
+fn main() {
+    let mut mode = "full".to_string();
+    let mut out_dir = ".".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => mode = "smoke".to_string(),
+            other => out_dir = other.to_string(),
+        }
+    }
+    let t = if mode == "smoke" {
+        Timing {
+            reps: 3,
+            min_secs: 0.05,
+        }
+    } else {
+        Timing {
+            reps: 7,
+            min_secs: 0.2,
+        }
+    };
+
+    let cfg = ModelConfig::tiny_60m();
+    let mut rng = Rng::seed_from_u64(0x1FE2);
+    let model = Arc::new(LlamaModel::new(&cfg, LinearMode::Dense, &mut rng));
+    let prompt = random_tokens(PROMPT_TOKENS, cfg.vocab_size, &mut rng);
+
+    let prefill_secs = time_prefill(&model, &prompt, t);
+    let prefill_tps = PROMPT_TOKENS as f64 / prefill_secs;
+    eprintln!("[infer] prefill          {prefill_tps:9.1} tok/s ({PROMPT_TOKENS} tokens)");
+
+    let (kv_secs, kv_tokens) = time_kv_decode(&model, &prompt, t);
+    let kv_tps = DECODE_TOKENS as f64 / kv_secs;
+    eprintln!("[infer] kv decode        {kv_tps:9.1} tok/s ({DECODE_TOKENS} tokens)");
+
+    let (naive_secs, naive_tokens) = time_naive_decode(&model, &prompt, t);
+    let naive_tps = DECODE_TOKENS as f64 / naive_secs;
+    let kv_speedup = kv_tps / naive_tps;
+    eprintln!("[infer] naive decode     {naive_tps:9.1} tok/s  (kv speedup {kv_speedup:.2}x)");
+    assert_eq!(
+        kv_tokens, naive_tokens,
+        "KV-cached and full-recompute decode must emit identical tokens"
+    );
+
+    let reqs = batch_requests(cfg.vocab_size);
+    let total_tokens: usize = reqs.iter().map(|r| r.cfg.max_new_tokens).sum();
+    let (serial_secs, serial_outs) = time_serial(&model, &reqs, t);
+    let serial_tps = total_tokens as f64 / serial_secs;
+    let (batched_secs, batched_outs) = time_batched(&model, &reqs, t);
+    let batched_tps = total_tokens as f64 / batched_secs;
+    let batch_speedup = batched_tps / serial_tps;
+    eprintln!(
+        "[infer] serial gen       {serial_tps:9.1} tok/s ({BATCH_REQUESTS} requests x 32 tokens)"
+    );
+    eprintln!(
+        "[infer] batched gen      {batched_tps:9.1} tok/s  (batch speedup {batch_speedup:.2}x)"
+    );
+    assert_eq!(
+        batched_outs, serial_outs,
+        "continuous batching must emit byte-identical tokens to serial"
+    );
+
+    let entry = |metric: &str, value: f64, unit: &str| InferEntry {
+        metric: metric.to_string(),
+        value,
+        unit: unit.to_string(),
+    };
+    let report = InferReport {
+        model: cfg.name.to_string(),
+        threads: current_threads(),
+        mode,
+        prompt_tokens: PROMPT_TOKENS,
+        decode_tokens: DECODE_TOKENS,
+        batch_requests: BATCH_REQUESTS,
+        entries: vec![
+            entry("prefill_tok_per_sec", prefill_tps, "tok/s"),
+            entry("kv_decode_tok_per_sec", kv_tps, "tok/s"),
+            entry("naive_decode_tok_per_sec", naive_tps, "tok/s"),
+            entry("kv_speedup", kv_speedup, "x"),
+            entry("serial_gen_tok_per_sec", serial_tps, "tok/s"),
+            entry("batched_gen_tok_per_sec", batched_tps, "tok/s"),
+            entry("batch_speedup", batch_speedup, "x"),
+        ],
+    };
+    let path = std::path::Path::new(&out_dir).join("BENCH_infer.json");
+    let data = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&path, data).expect("write bench json");
+    eprintln!("[saved {}]", path.display());
+}

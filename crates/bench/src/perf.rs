@@ -67,6 +67,38 @@ pub struct TrainReport {
     pub entries: Vec<TrainEntry>,
 }
 
+/// One inference-throughput measurement, keyed by metric name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferEntry {
+    /// Metric key, e.g. `prefill_tok_per_sec` or `kv_speedup`.
+    pub metric: String,
+    /// Measured value (tokens/sec for throughputs, ratio for speedups).
+    pub value: f64,
+    /// `tok/s` or `x`.
+    pub unit: String,
+}
+
+/// `BENCH_infer.json`: generation throughput on the tiny proxy — prefill
+/// and KV-cached decode tokens/sec, the KV-vs-full-recompute speedup, and
+/// the continuous-batching-vs-serial speedup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferReport {
+    /// Proxy model name.
+    pub model: String,
+    /// Kernel thread count the run used.
+    pub threads: usize,
+    /// `full` or `smoke` (fewer timing reps).
+    pub mode: String,
+    /// Prompt length of the single-sequence measurements.
+    pub prompt_tokens: usize,
+    /// Decoded tokens per single-sequence measurement.
+    pub decode_tokens: usize,
+    /// Concurrent requests in the batched-vs-serial measurement.
+    pub batch_requests: usize,
+    /// One entry per metric.
+    pub entries: Vec<InferEntry>,
+}
+
 /// The Table-8 proxy shapes the kernel microbench sweeps: per-layer weight
 /// shapes of the CPU proxy models driven by a `batch·seq = 128` activation
 /// panel, plus square hidden-dim shapes up to the llama-60m hidden size

@@ -4,6 +4,7 @@
 //! apollo pretrain --model tiny-60m --optimizer apollo --steps 500 --save model.ckpt
 //! apollo finetune --checkpoint model.ckpt --task WG --optimizer apollo-mini
 //! apollo eval     --checkpoint model.ckpt
+//! apollo generate --resume model.ckpt --prompt "hello" --max-new-tokens 64
 //! apollo memory   --model llama-7b --method apollo --rank 256
 //! apollo list
 //! ```
@@ -13,7 +14,11 @@ mod args;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use apollo_data::{commonsense_suite, mmlu_suite, CorpusConfig, LmBatcher, SyntheticCorpus};
+use apollo_data::{
+    commonsense_suite, mmlu_suite, ByteTokenizer, CorpusConfig, DecodeStream, LmBatcher,
+    SyntheticCorpus, Tokenize,
+};
+use apollo_infer::GenConfig;
 use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
 use apollo_obs::{read_trace, Obs, TraceEvent};
 use apollo_optim::memory::MethodSpec;
@@ -39,6 +44,9 @@ USAGE:
   apollo finetune --checkpoint PATH --task NAME [--optimizer NAME]
                   [--steps N] [--batch N] [--lr F] [--rank N]
   apollo eval     --checkpoint PATH [--seqs N]
+  apollo generate --resume PATH (--prompt TEXT | --prompt-ids \"1,2,3\")
+                  [--max-new-tokens N] [--temperature F] [--top-k N]
+                  [--top-p F] [--seed N] [--stop-token N]
   apollo memory   [--model NAME] [--method NAME] [--rank N] [--gpu NAME]
   apollo trace-check --trace PATH
   apollo list
@@ -298,6 +306,94 @@ fn cmd_eval(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_generate(a: &Args) -> Result<(), String> {
+    use std::io::Write;
+    let path = PathBuf::from(a.require("resume")?);
+    let model = load_model(&path).map_err(|e| e.to_string())?;
+    let cfg = model.config();
+    let vocab = cfg.vocab_size;
+    // Text prompts go through the byte tokenizer, which needs the model's
+    // vocabulary to cover all 256 byte values; smaller vocabularies (the
+    // synthetic-corpus models) take raw token ids instead.
+    let tok = ByteTokenizer;
+    let text_io = vocab >= tok.vocab_size();
+    let prompt: Vec<u32> = if a.has("prompt-ids") {
+        a.require("prompt-ids")?
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("--prompt-ids: cannot parse `{s}`"))
+            })
+            .collect::<Result<_, _>>()?
+    } else if a.has("prompt") {
+        if !text_io {
+            return Err(format!(
+                "{} has vocab {vocab} < 256: text prompts need a byte-covering \
+                 vocabulary, pass --prompt-ids instead",
+                cfg.name
+            ));
+        }
+        tok.encode(a.require("prompt")?.as_bytes())
+    } else {
+        return Err("generate needs --prompt or --prompt-ids".into());
+    };
+    if prompt.is_empty() {
+        return Err("empty prompt".into());
+    }
+    if let Some(&bad) = prompt.iter().find(|&&t| t as usize >= vocab) {
+        return Err(format!("prompt token {bad} out of vocab (size {vocab})"));
+    }
+
+    let gen = GenConfig {
+        max_new_tokens: a.get_num("max-new-tokens", 64usize)?,
+        temperature: a.get_num("temperature", 0.0f32)?,
+        top_k: a.get_num("top-k", 0usize)?,
+        top_p: a.get_num("top-p", 1.0f32)?,
+        seed: a.get_num("seed", 0u64)?,
+        stop_token: if a.has("stop-token") {
+            Some(a.get_num("stop-token", 0u32)?)
+        } else {
+            None
+        },
+    };
+    eprintln!(
+        "generating up to {} tokens from {} ({} prompt tokens, temperature {}, seed {})",
+        gen.max_new_tokens,
+        cfg.name,
+        prompt.len(),
+        gen.temperature,
+        gen.seed
+    );
+
+    // Stream tokens as they are decided: decoded text for byte-covering
+    // vocabularies, space-separated token ids otherwise.
+    let mut stream = DecodeStream::new(&tok);
+    let mut stdout = std::io::stdout();
+    let t0 = std::time::Instant::now();
+    let out = apollo_infer::generate(&model, &prompt, &gen, |t| {
+        if text_io {
+            let chunk = stream.push(t);
+            print!("{chunk}");
+        } else {
+            print!("{t} ");
+        }
+        let _ = stdout.flush();
+    });
+    if text_io {
+        print!("{}", stream.finish());
+    }
+    println!();
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "{} tokens in {:.2}s ({:.1} tok/s)",
+        out.len(),
+        secs,
+        out.len() as f64 / secs
+    );
+    Ok(())
+}
+
 fn cmd_memory(a: &Args) -> Result<(), String> {
     let cfg = model_config(&a.get("model", "llama-7b"))?;
     let rank = a.get_num("rank", cfg.default_rank())?;
@@ -421,6 +517,7 @@ fn run() -> Result<(), String> {
         "pretrain" => cmd_pretrain(&a),
         "finetune" => cmd_finetune(&a),
         "eval" => cmd_eval(&a),
+        "generate" => cmd_generate(&a),
         "memory" => cmd_memory(&a),
         "trace-check" => cmd_trace_check(&a),
         "list" => {

@@ -19,10 +19,12 @@
 
 mod corpus;
 mod loader;
+mod stream;
 mod tasks;
 mod tokenizer;
 
 pub use corpus::{CorpusConfig, SyntheticCorpus};
 pub use loader::LmBatcher;
+pub use stream::DecodeStream;
 pub use tasks::{commonsense_suite, mmlu_suite, TaskConfig, TaskGen};
 pub use tokenizer::{tokenize_file, BpeTokenizer, ByteTokenizer, Tokenize};

@@ -84,3 +84,52 @@ fn different_streams_cover_the_vocabulary() {
     let covered = seen.iter().filter(|&&s| s).count();
     assert!(covered >= 24, "only {covered}/32 tokens ever appear");
 }
+
+use apollo_data::DecodeStream;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chunked_decode_stream_equals_whole_sequence_decode(
+        sample in proptest::collection::vec(any::<u8>(), 8..256),
+        text in proptest::collection::vec(any::<u8>(), 0..128),
+        extra in 0usize..64,
+    ) {
+        // Arbitrary bytes (so invalid UTF-8 is well covered), decoded one
+        // token at a time: the pushed pieces plus the final flush must
+        // equal the lossy decode of the whole token sequence at once.
+        let tok = BpeTokenizer::train(&sample, 256 + extra);
+        let tokens = tok.encode(&text);
+        let whole = String::from_utf8_lossy(&tok.decode(&tokens)).into_owned();
+        let mut stream = DecodeStream::new(&tok);
+        let mut chunked = String::new();
+        for &t in &tokens {
+            chunked.push_str(&stream.push(t));
+            // An incomplete UTF-8 sequence is at most 3 bytes; the stream
+            // never hoards more than that plus one token's worth of bytes.
+            prop_assert!(stream.pending_len() <= 3, "held back {} bytes", stream.pending_len());
+        }
+        chunked.push_str(&stream.finish());
+        prop_assert_eq!(chunked, whole);
+    }
+
+    #[test]
+    fn decode_stream_emits_valid_text_for_valid_input(
+        picks in proptest::collection::vec(0usize..8, 0..60),
+    ) {
+        // Valid UTF-8 in (1- to 4-byte characters), byte tokens out one at
+        // a time: the concatenation reproduces the text exactly (no
+        // replacement chars, no breakage).
+        const PALETTE: [char; 8] = ['a', 'Z', ' ', 'é', 'ß', '日', '語', '🦀'];
+        let text: String = picks.iter().map(|&i| PALETTE[i]).collect();
+        let tok = ByteTokenizer;
+        let mut stream = DecodeStream::new(&tok);
+        let mut out = String::new();
+        for t in tok.encode(text.as_bytes()) {
+            out.push_str(&stream.push(t));
+        }
+        out.push_str(&stream.finish());
+        prop_assert_eq!(out, text);
+    }
+}

@@ -1,0 +1,59 @@
+//! Serial generation: one request, one KV cache, token-at-a-time decode.
+//!
+//! This is both the simplest way to sample from a checkpoint (the CLI
+//! `generate` subcommand) and the byte-identity reference the
+//! continuous-batching scheduler is tested against.
+
+use apollo_nn::LlamaModel;
+use apollo_tensor::{Matrix, Rng};
+
+use crate::sample::{sample, GenConfig};
+
+/// Generates up to `cfg.max_new_tokens` tokens after `prompt`, invoking
+/// `on_token` as each token is decided (for streaming output). Returns all
+/// generated tokens, including a trailing stop token if one fired.
+///
+/// Deterministic: the per-request [`Rng`] is seeded from `cfg.seed`, and
+/// the KV-cached forward is bit-identical across thread counts, so equal
+/// `(model, prompt, cfg)` always yields equal tokens.
+///
+/// # Panics
+///
+/// Panics if the prompt is empty or a token is out of vocabulary.
+pub fn generate(
+    model: &LlamaModel,
+    prompt: &[u32],
+    cfg: &GenConfig,
+    mut on_token: impl FnMut(u32),
+) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "generate: empty prompt");
+    let mut caches = vec![model.new_kv_cache(prompt.len() + cfg.max_new_tokens)];
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.max_new_tokens);
+
+    // Prefill the whole prompt in one call; only the last row's logits are
+    // needed (chunking would give bit-identical logits either way).
+    let rows: Vec<(usize, u32)> = prompt.iter().map(|&t| (0, t)).collect();
+    let hidden = model.forward_cached(&mut caches, &rows);
+    let mut last = last_row_logits(model, &hidden);
+
+    while out.len() < cfg.max_new_tokens {
+        let tok = sample(&last, cfg, &mut rng);
+        out.push(tok);
+        on_token(tok);
+        if cfg.stop_token == Some(tok) || out.len() == cfg.max_new_tokens {
+            break;
+        }
+        let hidden = model.forward_cached(&mut caches, &[(0, tok)]);
+        last = last_row_logits(model, &hidden);
+    }
+    out
+}
+
+/// LM-head logits of the last hidden row only.
+fn last_row_logits(model: &LlamaModel, hidden: &Matrix) -> Vec<f32> {
+    let mut row = Matrix::zeros(1, hidden.cols());
+    row.row_mut(0)
+        .copy_from_slice(hidden.row(hidden.rows() - 1));
+    model.lm_logits(&row).as_slice().to_vec()
+}

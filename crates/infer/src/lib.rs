@@ -1,0 +1,32 @@
+//! `apollo-infer` — KV-cached generation engine with a continuous-batching
+//! serving loop.
+//!
+//! Layers, bottom to top:
+//!
+//! - [`sample`] / [`GenConfig`]: deterministic greedy / temperature /
+//!   top-k / top-p next-token sampling over LM-head logits.
+//! - [`generate`]: serial token-at-a-time decoding through
+//!   [`apollo_nn::KvCache`] — the byte-identity reference for everything
+//!   above it.
+//! - [`Scheduler`]: single-threaded continuous-batching core. Admits
+//!   [`GenRequest`]s into a fixed set of slots, batches prefill and decode
+//!   rows across in-flight sequences each [`Scheduler::tick`], retires
+//!   finished sequences, and back-fills freed slots.
+//! - [`Server`]: a worker thread driving the scheduler, with non-blocking
+//!   bounded admission ([`Server::submit`]) and per-request [`GenHandle`]s.
+//!
+//! The central invariant, pinned by `tests/scheduler.rs`: because the
+//! KV-cached forward computes every batch row independently and
+//! bit-identically to the serial path, and sampling state is per-request,
+//! tokens produced under continuous batching are **byte-identical** to
+//! running each request alone through [`generate`].
+
+mod engine;
+mod sample;
+mod scheduler;
+mod server;
+
+pub use engine::generate;
+pub use sample::{sample, GenConfig};
+pub use scheduler::{GenRequest, GenResult, Outcome, SchedConfig, Scheduler, SubmitError};
+pub use server::{GenHandle, Server};

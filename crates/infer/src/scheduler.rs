@@ -1,0 +1,430 @@
+//! The continuous-batching scheduler.
+//!
+//! A fixed number of *slots* hold in-flight sequences, each with its own
+//! reusable [`KvCache`]. Every [`Scheduler::tick`] admits queued requests
+//! into free slots, runs one batched prefill pass (up to `prefill_chunk`
+//! prompt rows per sequence) and one batched decode pass (one row per
+//! decoding sequence) through [`LlamaModel::forward_cached`], samples with
+//! each request's own [`Rng`], retires finished sequences, and back-fills
+//! the freed slots on the next tick.
+//!
+//! Because every row of the batched forward is bit-identical to the same
+//! row computed alone, and sampling state is per-request, the tokens a
+//! request receives are byte-identical to running it serially through
+//! [`crate::engine::generate`] — regardless of what else shares the batch.
+//! `tests/scheduler.rs` pins this.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use apollo_nn::{KvCache, LlamaModel};
+use apollo_obs::{Obs, TraceEvent};
+use apollo_tensor::{Matrix, Rng};
+
+use crate::sample::{sample, GenConfig};
+
+/// Scheduler sizing and batching policy.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Number of slots (sequences decoded concurrently).
+    pub max_active: usize,
+    /// Bound of the admission queue; [`Scheduler::submit`] rejects beyond it.
+    pub queue_cap: usize,
+    /// Maximum prompt rows prefilled per sequence per tick. Caps the
+    /// latency a long prompt can impose on already-decoding sequences.
+    pub prefill_chunk: usize,
+    /// KV capacity per slot (longest prompt + generation it can hold).
+    pub kv_capacity: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            max_active: 4,
+            queue_cap: 64,
+            prefill_chunk: 16,
+            kv_capacity: 512,
+        }
+    }
+}
+
+/// One generation request.
+#[derive(Debug, Clone)]
+pub struct GenRequest {
+    /// Prompt token ids (must be non-empty and fit the slot KV capacity
+    /// together with `cfg.max_new_tokens`).
+    pub prompt: Vec<u32>,
+    /// Sampling and stopping settings.
+    pub cfg: GenConfig,
+    /// Optional deadline measured from admission into a slot; a sequence
+    /// still running past it is retired with [`Outcome::Deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// Why a request retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Generated `max_new_tokens`.
+    Done,
+    /// Emitted the configured stop token.
+    StopToken,
+    /// Exceeded its deadline.
+    Deadline,
+    /// Filled its slot's KV cache before finishing.
+    CacheFull,
+}
+
+impl Outcome {
+    /// Stable label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Done => "done",
+            Outcome::StopToken => "stop_token",
+            Outcome::Deadline => "deadline",
+            Outcome::CacheFull => "cache_full",
+        }
+    }
+}
+
+/// A retired request's output.
+#[derive(Debug, Clone)]
+pub struct GenResult {
+    /// Id returned by [`Scheduler::submit`] (admission order).
+    pub id: u64,
+    /// Generated tokens (may be partial for deadline/cache retirement).
+    pub tokens: Vec<u32>,
+    /// Why the request retired.
+    pub outcome: Outcome,
+}
+
+/// Rejection reasons for [`Scheduler::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at `queue_cap`.
+    QueueFull,
+    /// The prompt alone exceeds the per-slot KV capacity.
+    PromptTooLong,
+    /// The prompt is empty.
+    EmptyPrompt,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue full"),
+            SubmitError::PromptTooLong => write!(f, "prompt exceeds KV capacity"),
+            SubmitError::EmptyPrompt => write!(f, "empty prompt"),
+        }
+    }
+}
+
+/// A queued, not-yet-admitted request.
+struct Pending {
+    id: u64,
+    req: GenRequest,
+}
+
+/// An in-flight sequence occupying a slot.
+struct Active {
+    id: u64,
+    prompt: Vec<u32>,
+    cfg: GenConfig,
+    deadline: Option<Duration>,
+    admitted: Instant,
+    /// Prompt tokens fed to the cache so far.
+    fed: usize,
+    /// Sampled tokens; the last one is the next decode input.
+    generated: Vec<u32>,
+    rng: Rng,
+    /// Set when the sequence finished this tick.
+    outcome: Option<Outcome>,
+}
+
+impl Active {
+    fn prefilling(&self) -> bool {
+        self.fed < self.prompt.len()
+    }
+}
+
+/// Deterministic continuous-batching core. Single-threaded: the caller
+/// drives it by calling [`Scheduler::tick`] (the threaded [`crate::Server`]
+/// wraps it in a worker loop).
+pub struct Scheduler {
+    model: Arc<LlamaModel>,
+    cfg: SchedConfig,
+    obs: Obs,
+    queue: VecDeque<Pending>,
+    slots: Vec<Option<Active>>,
+    caches: Vec<KvCache>,
+    finished: Vec<GenResult>,
+    tick: usize,
+    next_id: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with one KV cache per slot.
+    pub fn new(model: Arc<LlamaModel>, cfg: SchedConfig, obs: Obs) -> Self {
+        assert!(cfg.max_active > 0, "scheduler needs at least one slot");
+        assert!(cfg.prefill_chunk > 0, "prefill_chunk must be positive");
+        let caches = (0..cfg.max_active)
+            .map(|_| model.new_kv_cache(cfg.kv_capacity))
+            .collect();
+        Scheduler {
+            model,
+            slots: (0..cfg.max_active).map(|_| None).collect(),
+            caches,
+            cfg,
+            obs,
+            queue: VecDeque::new(),
+            finished: Vec::new(),
+            tick: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Enqueues a request, returning its id, or rejects it without side
+    /// effects when the queue is full or the request cannot ever fit.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at `queue_cap` pending requests,
+    /// [`SubmitError::EmptyPrompt`] / [`SubmitError::PromptTooLong`] for
+    /// requests that could never run.
+    pub fn submit(&mut self, req: GenRequest) -> Result<u64, SubmitError> {
+        if req.prompt.is_empty() {
+            return Err(SubmitError::EmptyPrompt);
+        }
+        if req.prompt.len() > self.cfg.kv_capacity {
+            return Err(SubmitError::PromptTooLong);
+        }
+        if self.queue.len() >= self.cfg.queue_cap {
+            return Err(SubmitError::QueueFull);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending { id, req });
+        Ok(id)
+    }
+
+    /// Pending (not yet admitted) request count.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sequences currently occupying slots.
+    pub fn active(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no work remains (no queued or in-flight sequences).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active() == 0
+    }
+
+    /// Takes every result retired since the last call, in retirement order.
+    pub fn take_finished(&mut self) -> Vec<GenResult> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Runs one scheduling step: admit → prefill pass → decode pass →
+    /// retire → back-fill. Returns how many results retired this tick.
+    pub fn tick(&mut self) -> usize {
+        let t0 = Instant::now();
+        let retired_before = self.finished.len();
+        self.admit();
+        self.expire_deadlines();
+
+        // --- batched prefill -------------------------------------------------
+        let mut prefill_rows: Vec<(usize, u32)> = Vec::new();
+        let mut sample_after_prefill: Vec<(usize, usize)> = Vec::new(); // (slot, row)
+        for (slot, act) in self.slots.iter_mut().enumerate() {
+            let Some(act) = act else { continue };
+            if !act.prefilling() || act.outcome.is_some() {
+                continue;
+            }
+            let take = self.cfg.prefill_chunk.min(act.prompt.len() - act.fed);
+            for i in 0..take {
+                prefill_rows.push((slot, act.prompt[act.fed + i]));
+            }
+            act.fed += take;
+            if !act.prefilling() {
+                // Prefill completes this tick: the last prompt row's logits
+                // seed the first sampled token.
+                sample_after_prefill.push((slot, prefill_rows.len() - 1));
+            }
+        }
+        let p0 = Instant::now();
+        if !prefill_rows.is_empty() {
+            let hidden = self.model.forward_cached(&mut self.caches, &prefill_rows);
+            let picked = gather_rows(&hidden, sample_after_prefill.iter().map(|&(_, r)| r));
+            let logits = self.model.lm_logits(&picked);
+            for (i, &(slot, _)) in sample_after_prefill.iter().enumerate() {
+                self.sample_into_slot(slot, logits.row(i));
+            }
+        }
+        let prefill_ms = ms_since(p0);
+
+        // --- batched decode --------------------------------------------------
+        let mut decode_rows: Vec<(usize, u32)> = Vec::new();
+        let mut decode_slots: Vec<usize> = Vec::new();
+        for (slot, act) in self.slots.iter().enumerate() {
+            let Some(act) = act else { continue };
+            if act.prefilling() || act.outcome.is_some() {
+                continue;
+            }
+            let Some(&last) = act.generated.last() else {
+                continue;
+            };
+            if self.caches[slot].remaining() == 0 {
+                continue; // retired as CacheFull below
+            }
+            decode_rows.push((slot, last));
+            decode_slots.push(slot);
+        }
+        let d0 = Instant::now();
+        if !decode_rows.is_empty() {
+            let hidden = self.model.forward_cached(&mut self.caches, &decode_rows);
+            let logits = self.model.lm_logits(&hidden);
+            for (i, &slot) in decode_slots.iter().enumerate() {
+                self.sample_into_slot(slot, logits.row(i));
+            }
+        }
+        let decode_ms = ms_since(d0);
+
+        self.retire();
+        let retired = self.finished.len() - retired_before;
+
+        self.tick += 1;
+        self.obs.set_step(self.tick);
+        self.obs
+            .counter("infer.prefill_tokens", prefill_rows.len() as u64);
+        self.obs
+            .counter("infer.decode_tokens", decode_rows.len() as u64);
+        self.obs.gauge("infer.queue_depth", self.queue.len() as f64);
+        self.obs.gauge("infer.active", self.active() as f64);
+        let (tick, queue_depth, active) = (self.tick, self.queue.len(), self.active());
+        let (n_prefill, n_decode) = (prefill_rows.len(), decode_rows.len());
+        self.obs.emit(|| TraceEvent::InferStep {
+            step: tick,
+            prefill_rows: n_prefill,
+            decode_rows: n_decode,
+            queue_depth,
+            active,
+            prefill_ms,
+            decode_ms,
+            total_ms: ms_since(t0),
+        });
+        retired
+    }
+
+    /// Runs ticks until all queued and in-flight work retires, returning
+    /// every result. Intended for tests and batch (non-server) use.
+    pub fn run_to_completion(&mut self) -> Vec<GenResult> {
+        let mut out = Vec::new();
+        while !self.is_idle() {
+            self.tick();
+            out.append(&mut self.finished);
+        }
+        out
+    }
+
+    /// Moves queued requests into free slots (cheap bookkeeping only; the
+    /// actual prefill happens on subsequent ticks).
+    fn admit(&mut self) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].is_some() {
+                continue;
+            }
+            let Some(Pending { id, req }) = self.queue.pop_front() else {
+                break;
+            };
+            self.caches[slot].clear();
+            self.slots[slot] = Some(Active {
+                id,
+                rng: Rng::seed_from_u64(req.cfg.seed),
+                prompt: req.prompt,
+                cfg: req.cfg,
+                deadline: req.deadline,
+                admitted: Instant::now(),
+                fed: 0,
+                generated: Vec::new(),
+                outcome: None,
+            });
+        }
+    }
+
+    /// Marks sequences past their deadline for retirement.
+    fn expire_deadlines(&mut self) {
+        for act in self.slots.iter_mut().flatten() {
+            if act.outcome.is_none() {
+                if let Some(d) = act.deadline {
+                    if act.admitted.elapsed() >= d {
+                        act.outcome = Some(Outcome::Deadline);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Samples the next token for `slot` from one logits row and updates
+    /// its terminal state.
+    fn sample_into_slot(&mut self, slot: usize, logits: &[f32]) {
+        let act = self.slots[slot].as_mut().expect("sampling an empty slot");
+        let tok = sample(logits, &act.cfg, &mut act.rng);
+        act.generated.push(tok);
+        if act.cfg.stop_token == Some(tok) {
+            act.outcome = Some(Outcome::StopToken);
+        } else if act.generated.len() >= act.cfg.max_new_tokens {
+            act.outcome = Some(Outcome::Done);
+        } else if self.caches[slot].remaining() == 0 {
+            act.outcome = Some(Outcome::CacheFull);
+        }
+    }
+
+    /// Frees slots whose sequences finished, pushing their results.
+    fn retire(&mut self) {
+        for slot in 0..self.slots.len() {
+            let done = matches!(&self.slots[slot], Some(a) if a.outcome.is_some());
+            if !done {
+                continue;
+            }
+            let act = self.slots[slot].take().expect("checked above");
+            let outcome = act.outcome.expect("checked above");
+            let secs = act.admitted.elapsed().as_secs_f64().max(1e-9);
+            let tokens_per_sec = act.generated.len() as f64 / secs;
+            self.obs.counter("infer.requests_retired", 1);
+            self.obs.gauge("infer.tokens_per_sec", tokens_per_sec);
+            let (tick, id) = (self.tick, act.id);
+            let (prompt_tokens, new_tokens) = (act.prompt.len(), act.generated.len());
+            self.obs.emit(|| TraceEvent::InferRequest {
+                step: tick,
+                id,
+                prompt_tokens,
+                new_tokens,
+                tokens_per_sec,
+                outcome: outcome.label().to_string(),
+            });
+            self.finished.push(GenResult {
+                id: act.id,
+                tokens: act.generated,
+                outcome,
+            });
+        }
+    }
+}
+
+/// Copies the given rows of `src` into a new dense matrix, in order.
+fn gather_rows(src: &Matrix, rows: impl Iterator<Item = usize>) -> Matrix {
+    let idx: Vec<usize> = rows.collect();
+    let mut out = Matrix::zeros(idx.len(), src.cols());
+    for (i, &r) in idx.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(src.row(r));
+    }
+    out
+}
+
+/// Elapsed milliseconds since `t0` as `f32`.
+fn ms_since(t0: Instant) -> f32 {
+    t0.elapsed().as_secs_f64() as f32 * 1e3
+}

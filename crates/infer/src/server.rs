@@ -1,0 +1,144 @@
+//! Threaded serving loop around the deterministic [`Scheduler`].
+//!
+//! A [`Server`] owns one worker thread that drains an admission channel
+//! into the scheduler, ticks it while work is in flight, and routes each
+//! retired [`GenResult`] back to the submitting caller through a
+//! per-request channel. Callers hold a [`GenHandle`] and block on
+//! [`GenHandle::wait`] whenever they want the result.
+//!
+//! Admission is bounded twice: the crossbeam-free `mpsc::sync_channel`
+//! bounds in-transit submissions, and the scheduler's own `queue_cap`
+//! bounds accepted-but-not-admitted requests. [`Server::submit`] never
+//! blocks — a full channel is reported as [`SubmitError::QueueFull`].
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use apollo_nn::LlamaModel;
+use apollo_obs::Obs;
+
+use crate::scheduler::{GenRequest, GenResult, SchedConfig, Scheduler, SubmitError};
+
+/// One submission in transit to the worker.
+struct Envelope {
+    req: GenRequest,
+    reply: mpsc::Sender<GenResult>,
+}
+
+/// Receives the result of one submitted request.
+pub struct GenHandle {
+    rx: Receiver<GenResult>,
+}
+
+impl GenHandle {
+    /// Blocks until the request retires. Returns `None` only if the server
+    /// was dropped before the request could finish.
+    pub fn wait(self) -> Option<GenResult> {
+        self.rx.recv().ok()
+    }
+}
+
+/// A running generation server. Dropping it finishes all accepted requests
+/// and joins the worker thread.
+pub struct Server {
+    tx: Option<SyncSender<Envelope>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the worker thread around a fresh [`Scheduler`].
+    pub fn start(model: Arc<LlamaModel>, cfg: SchedConfig, obs: Obs) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(cfg.queue_cap.max(1));
+        let worker = std::thread::Builder::new()
+            .name("apollo-infer-server".to_string())
+            .spawn(move || serve(Scheduler::new(model, cfg, obs), rx))
+            .expect("spawn inference server thread");
+        Server {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the admission channel is at
+    /// capacity (graceful rejection: the caller may retry later).
+    pub fn submit(&self, req: GenRequest) -> Result<GenHandle, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        let env = Envelope { req, reply };
+        match self.tx.as_ref().expect("server running").try_send(env) {
+            Ok(()) => Ok(GenHandle { rx }),
+            Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+                Err(SubmitError::QueueFull)
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Closing the channel tells the worker to finish in-flight work
+        // and exit; join so results are flushed before we return.
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker loop: drain submissions, tick while busy, park while idle.
+fn serve(mut sched: Scheduler, rx: Receiver<Envelope>) {
+    let mut replies: HashMap<u64, mpsc::Sender<GenResult>> = HashMap::new();
+    let mut open = true;
+    while open || !sched.is_idle() {
+        // Admit as many in-transit submissions as the scheduler queue takes.
+        // Block only when there is nothing to tick; otherwise just drain.
+        loop {
+            let env = if open && sched.is_idle() {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            } else {
+                match rx.try_recv() {
+                    Ok(env) => env,
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            };
+            match sched.submit(env.req) {
+                Ok(id) => {
+                    replies.insert(id, env.reply);
+                }
+                Err(_) => {
+                    // Scheduler-side rejection (over-long/empty prompt, or a
+                    // queue burst beyond queue_cap): drop the reply sender so
+                    // the handle's `wait()` returns `None`.
+                    drop(env.reply);
+                    break;
+                }
+            }
+        }
+        if sched.is_idle() {
+            continue;
+        }
+        sched.tick();
+        for result in sched.take_finished() {
+            if let Some(reply) = replies.remove(&result.id) {
+                let _ = reply.send(result);
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Continuous-batching correctness: tokens produced under interleaved
+//! scheduling are byte-identical to serial generation, admission is
+//! bounded with graceful rejection, and deadline / cache-full retirement
+//! fire with partial output intact.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use apollo_infer::{
+    generate, GenConfig, GenRequest, Outcome, SchedConfig, Scheduler, Server, SubmitError,
+};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_obs::Obs;
+use apollo_tensor::Rng;
+
+fn tiny_model(seed: u64) -> Arc<LlamaModel> {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(seed);
+    Arc::new(LlamaModel::new(&cfg, LinearMode::Dense, &mut rng))
+}
+
+/// A spread of prompts, lengths, seeds, and sampling settings. Request `i`
+/// is fully determined by `i`, so the serial reference is reproducible.
+fn mixed_requests(model: &LlamaModel, n: usize) -> Vec<GenRequest> {
+    let vocab = model.config().vocab_size;
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    (0..n)
+        .map(|i| {
+            let prompt_len = 1 + (i * 3) % 9;
+            let prompt: Vec<u32> = (0..prompt_len).map(|_| rng.below(vocab) as u32).collect();
+            GenRequest {
+                prompt,
+                cfg: GenConfig {
+                    max_new_tokens: 6 + (i % 5) * 4,
+                    temperature: if i % 2 == 0 { 0.0 } else { 0.9 },
+                    top_k: if i % 3 == 0 { 0 } else { 8 },
+                    top_p: if i % 4 == 0 { 1.0 } else { 0.95 },
+                    seed: 1000 + i as u64,
+                    stop_token: None,
+                },
+                deadline: None,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn interleaved_scheduling_is_byte_identical_to_serial() {
+    let model = tiny_model(0x1F);
+    let reqs = mixed_requests(&model, 6);
+    // Serial reference: each request alone through the engine.
+    let serial: Vec<Vec<u32>> = reqs
+        .iter()
+        .map(|r| generate(&model, &r.prompt, &r.cfg, |_| {}))
+        .collect();
+
+    let cfg = SchedConfig {
+        max_active: 4,
+        queue_cap: 16,
+        prefill_chunk: 3, // long prompts prefill over several ticks
+        kv_capacity: 64,
+    };
+    let mut sched = Scheduler::new(Arc::clone(&model), cfg, Obs::disabled());
+    let ids: Vec<u64> = reqs
+        .iter()
+        .map(|r| sched.submit(r.clone()).expect("queue has room"))
+        .collect();
+
+    let mut results = Vec::new();
+    let mut max_active = 0;
+    while !sched.is_idle() {
+        sched.tick();
+        max_active = max_active.max(sched.active());
+        results.extend(sched.take_finished());
+    }
+    assert!(
+        max_active >= 4,
+        "test must exercise real concurrency, saw at most {max_active} active"
+    );
+    assert_eq!(results.len(), reqs.len());
+    for res in results {
+        let idx = ids.iter().position(|&id| id == res.id).expect("known id");
+        assert_eq!(
+            res.tokens, serial[idx],
+            "request {idx} diverged from serial generation"
+        );
+        assert_eq!(res.outcome, Outcome::Done);
+    }
+}
+
+#[test]
+fn stop_token_retires_early_and_matches_serial() {
+    let model = tiny_model(0x2F);
+    let prompt: Vec<u32> = vec![3, 1, 4, 1, 5];
+    let mut cfg = GenConfig {
+        max_new_tokens: 24,
+        temperature: 0.8,
+        seed: 7,
+        ..GenConfig::default()
+    };
+    // Pick a token the sampler actually emits, then make it the stop token.
+    let free_run = generate(&model, &prompt, &cfg, |_| {});
+    cfg.stop_token = Some(free_run[2]);
+    let serial = generate(&model, &prompt, &cfg, |_| {});
+    assert_eq!(*serial.last().expect("nonempty"), free_run[2]);
+
+    let mut sched = Scheduler::new(Arc::clone(&model), SchedConfig::default(), Obs::disabled());
+    sched
+        .submit(GenRequest {
+            prompt,
+            cfg,
+            deadline: None,
+        })
+        .expect("queue has room");
+    let results = sched.run_to_completion();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].tokens, serial);
+    assert_eq!(results[0].outcome, Outcome::StopToken);
+}
+
+#[test]
+fn admission_is_bounded_and_rejects_gracefully() {
+    let model = tiny_model(0x3F);
+    let cfg = SchedConfig {
+        max_active: 2,
+        queue_cap: 3,
+        prefill_chunk: 4,
+        kv_capacity: 16,
+    };
+    let mut sched = Scheduler::new(model, cfg, Obs::disabled());
+    let ok_req = GenRequest {
+        prompt: vec![1, 2, 3],
+        cfg: GenConfig {
+            max_new_tokens: 4,
+            ..GenConfig::default()
+        },
+        deadline: None,
+    };
+    for _ in 0..3 {
+        sched.submit(ok_req.clone()).expect("under queue_cap");
+    }
+    assert_eq!(
+        sched.submit(ok_req.clone()),
+        Err(SubmitError::QueueFull),
+        "fourth request must be rejected, not queued"
+    );
+    assert_eq!(sched.queue_depth(), 3);
+
+    // Invalid requests are rejected regardless of queue room.
+    let mut fresh = Scheduler::new(tiny_model(0x3F), SchedConfig::default(), Obs::disabled());
+    assert_eq!(
+        fresh.submit(GenRequest {
+            prompt: vec![],
+            ..ok_req.clone()
+        }),
+        Err(SubmitError::EmptyPrompt)
+    );
+    assert_eq!(
+        fresh.submit(GenRequest {
+            prompt: vec![0; 513],
+            ..ok_req.clone()
+        }),
+        Err(SubmitError::PromptTooLong)
+    );
+
+    // The full queue drains normally and rejected work can be resubmitted.
+    let drained = sched.run_to_completion();
+    assert_eq!(drained.len(), 3);
+    sched.submit(ok_req).expect("room again after draining");
+    assert_eq!(sched.run_to_completion().len(), 1);
+}
+
+#[test]
+fn deadline_expiry_retires_with_partial_output() {
+    let model = tiny_model(0x4F);
+    let mut sched = Scheduler::new(Arc::clone(&model), SchedConfig::default(), Obs::disabled());
+    // A zero deadline expires on the admission tick, before any decode.
+    sched
+        .submit(GenRequest {
+            prompt: vec![1, 2],
+            cfg: GenConfig::default(),
+            deadline: Some(Duration::ZERO),
+        })
+        .expect("queue has room");
+    // A generous deadline never fires.
+    sched
+        .submit(GenRequest {
+            prompt: vec![1, 2],
+            cfg: GenConfig {
+                max_new_tokens: 4,
+                ..GenConfig::default()
+            },
+            deadline: Some(Duration::from_secs(3600)),
+        })
+        .expect("queue has room");
+    let mut results = sched.run_to_completion();
+    results.sort_by_key(|r| r.id);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].outcome, Outcome::Deadline);
+    assert!(results[0].tokens.is_empty(), "expired before decoding");
+    assert_eq!(results[1].outcome, Outcome::Done);
+    assert_eq!(results[1].tokens.len(), 4);
+}
+
+#[test]
+fn cache_exhaustion_retires_with_cache_full() {
+    let model = tiny_model(0x5F);
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 4,
+        prefill_chunk: 8,
+        kv_capacity: 6,
+    };
+    let mut sched = Scheduler::new(Arc::clone(&model), cfg, Obs::disabled());
+    sched
+        .submit(GenRequest {
+            prompt: vec![1, 2, 3, 4],
+            cfg: GenConfig {
+                max_new_tokens: 100, // cannot fit: only 2 decode feeds remain
+                ..GenConfig::default()
+            },
+            deadline: None,
+        })
+        .expect("queue has room");
+    let results = sched.run_to_completion();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].outcome, Outcome::CacheFull);
+    // 4 prompt rows fill 4 slots; 2 more decode feeds fit, and each of the
+    // 3 samples happens before its token would need feeding.
+    assert_eq!(results[0].tokens.len(), 3);
+    // The partial prefix still matches serial generation.
+    let serial = generate(
+        &model,
+        &[1, 2, 3, 4],
+        &GenConfig {
+            max_new_tokens: 3,
+            ..GenConfig::default()
+        },
+        |_| {},
+    );
+    assert_eq!(results[0].tokens, serial);
+}
+
+#[test]
+fn scheduler_emits_retirement_metrics() {
+    let model = tiny_model(0x6F);
+    let obs = Obs::enabled(1);
+    let mut sched = Scheduler::new(model, SchedConfig::default(), obs.clone());
+    sched
+        .submit(GenRequest {
+            prompt: vec![1, 2, 3],
+            cfg: GenConfig {
+                max_new_tokens: 5,
+                ..GenConfig::default()
+            },
+            deadline: None,
+        })
+        .expect("queue has room");
+    sched.run_to_completion();
+    assert_eq!(obs.counter_value("infer.requests_retired"), 1);
+    assert_eq!(obs.counter_value("infer.prefill_tokens"), 3);
+    assert_eq!(obs.counter_value("infer.decode_tokens"), 4);
+}
+
+#[test]
+fn server_concurrent_submissions_match_serial() {
+    let model = tiny_model(0x7F);
+    let reqs = mixed_requests(&model, 5);
+    let serial: Vec<Vec<u32>> = reqs
+        .iter()
+        .map(|r| generate(&model, &r.prompt, &r.cfg, |_| {}))
+        .collect();
+
+    let cfg = SchedConfig {
+        max_active: 4,
+        queue_cap: 8,
+        prefill_chunk: 4,
+        kv_capacity: 64,
+    };
+    let server = Server::start(Arc::clone(&model), cfg, Obs::disabled());
+    let handles: Vec<_> = reqs
+        .iter()
+        .map(|r| server.submit(r.clone()).expect("queue has room"))
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let res = h.wait().expect("server completes accepted work");
+        assert_eq!(res.tokens, serial[i], "request {i} diverged under serving");
+        assert_eq!(res.outcome, Outcome::Done);
+    }
+    drop(server); // joins the worker
+}

@@ -1,0 +1,274 @@
+//! Tape-free incremental decoding with per-layer KV caches.
+//!
+//! [`LlamaModel::forward_cached`] runs the transformer trunk over a handful
+//! of new token rows without recording an autograd tape, reading and
+//! extending per-sequence [`KvCache`]s so one decode step costs O(seq)
+//! instead of the O(seq²) of re-running the full forward.
+//!
+//! # Bit-equivalence contract
+//!
+//! The cached forward is *bit-identical* to the graph forward
+//! ([`LlamaModel::full_logits`]), not merely close. Every float operation
+//! here replicates the graph op's accumulation order exactly:
+//!
+//! - matmuls go through the same [`Matrix`] kernels, which accumulate every
+//!   output element in ascending inner-dimension order at any thread count;
+//! - RMSNorm, SiLU, and RoPE reproduce the graph's per-element expressions
+//!   (same sums, same `powf`/`sin_cos` calls, same left-associativity);
+//! - attention scores, the running softmax max/denominator, and the
+//!   probability-weighted value sum all ascend over cache positions exactly
+//!   like the graph's per-row loops — the graph's `probs · V` product
+//!   includes zero-probability future positions, but `±0 · finite` never
+//!   changes an accumulator, so summing only positions `0..=pos` is
+//!   bit-identical.
+//!
+//! `nn/tests/decode_equivalence.rs` pins this contract across adversarial
+//! sequence lengths, prefill chunkings, and interleaved batches.
+
+use apollo_tensor::Matrix;
+
+use crate::model::LlamaModel;
+
+/// Per-sequence attention cache: one post-RoPE key matrix and one value
+/// matrix per layer, each `capacity × hidden`, where row `t` holds the
+/// projection of the token at absolute position `t`.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    /// Per-layer keys (RoPE already applied).
+    k: Vec<Matrix>,
+    /// Per-layer values.
+    v: Vec<Matrix>,
+    /// Number of positions filled so far (shared by all layers).
+    len: usize,
+}
+
+impl KvCache {
+    /// Positions filled so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no positions have been filled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of positions the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.k.first().map_or(0, Matrix::rows)
+    }
+
+    /// Positions still available before the cache is full.
+    pub fn remaining(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// Resets the cache for a new sequence. Rows past `len` are never read,
+    /// so the buffers need no clearing.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+/// `1 / (1 + e^{-x})`, matching the graph's SiLU forward expression.
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Row-wise RMSNorm with learned gain, replicating the float-op order of
+/// the graph's `rmsnorm` forward (ascending-`j` mean-square sum, then
+/// `v · inv · g` per element).
+fn rmsnorm_rows(x: &Matrix, gain: &Matrix) -> Matrix {
+    let n = x.cols() as f32;
+    let mut y = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let ms = row.iter().map(|&v| v * v).sum::<f32>() / n;
+        let inv = 1.0 / (ms + 1e-5).sqrt();
+        let out = y.row_mut(r);
+        for (j, (&v, &g)) in row.iter().zip(gain.row(0)).enumerate() {
+            out[j] = v * inv * g;
+        }
+    }
+    y
+}
+
+/// Rotates one `heads · head_dim` row in place at absolute position `pos`,
+/// replicating the graph's `rope_apply` per-pair expressions (the graph
+/// multiplies `theta` by a `sign` of `1.0` in the forward direction, which
+/// is exact, so omitting it here preserves bit-identity).
+fn rope_row(row: &mut [f32], pos: usize, heads: usize, hd: usize, theta_base: f32) {
+    let half = hd / 2;
+    let posf = pos as f32;
+    for h in 0..heads {
+        let base = h * hd;
+        for i in 0..half {
+            let theta = posf * theta_base.powf(-2.0 * i as f32 / hd as f32);
+            let (sin, cos) = theta.sin_cos();
+            let a = row[base + 2 * i];
+            let b = row[base + 2 * i + 1];
+            row[base + 2 * i] = a * cos - b * sin;
+            row[base + 2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+impl LlamaModel {
+    /// Allocates a fresh [`KvCache`] able to hold `capacity` positions.
+    pub fn new_kv_cache(&self, capacity: usize) -> KvCache {
+        let h = self.cfg.hidden;
+        KvCache {
+            k: (0..self.layers.len())
+                .map(|_| Matrix::zeros(capacity, h))
+                .collect(),
+            v: (0..self.layers.len())
+                .map(|_| Matrix::zeros(capacity, h))
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Runs the trunk over a batch of new token rows without a tape,
+    /// extending the referenced caches, and returns the final-norm hidden
+    /// states (`rows.len() × hidden`, one row per input row, in order).
+    ///
+    /// Each row is `(cache_index, token)`: its absolute position is the
+    /// cache's current length plus the number of earlier rows in this call
+    /// that reference the same cache, so a prefill chunk is simply several
+    /// consecutive rows with one cache index, and a continuous-batching
+    /// decode step is one row per active sequence. Rows attend to every
+    /// earlier position of their own cache — including positions written
+    /// earlier in the same call — and never to other caches. All caches'
+    /// lengths advance only after every layer has run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache index or token is out of range, or a row's
+    /// position would exceed its cache's capacity.
+    pub fn forward_cached(&self, caches: &mut [KvCache], rows: &[(usize, u32)]) -> Matrix {
+        let h = self.cfg.hidden;
+        let heads = self.cfg.n_heads;
+        let hd = self.cfg.head_dim();
+        let n_rows = rows.len();
+        assert!(n_rows > 0, "forward_cached: no rows");
+
+        // Absolute position per row: cache length + in-call offset.
+        let mut next_len: Vec<usize> = caches.iter().map(|c| c.len).collect();
+        let positions: Vec<usize> = rows
+            .iter()
+            .map(|&(c, tok)| {
+                assert!(
+                    (tok as usize) < self.cfg.vocab_size,
+                    "forward_cached: token {tok} out of vocab"
+                );
+                let pos = next_len[c];
+                assert!(
+                    pos < caches[c].capacity(),
+                    "forward_cached: cache {c} full at position {pos}"
+                );
+                next_len[c] += 1;
+                pos
+            })
+            .collect();
+
+        let embed = &self.params[self.embed].value;
+        let mut x = Matrix::zeros(n_rows, h);
+        for (r, &(_, tok)) in rows.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(embed.row(tok as usize));
+        }
+
+        let scale = 1.0 / (hd as f32).sqrt();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let hn = rmsnorm_rows(&x, &self.params[layer.attn_norm].value);
+            let mut q = layer.wq.forward_nograd(&hn, &self.params);
+            let mut k = layer.wk.forward_nograd(&hn, &self.params);
+            let v = layer.wv.forward_nograd(&hn, &self.params);
+            for (r, &pos) in positions.iter().enumerate() {
+                rope_row(q.row_mut(r), pos, heads, hd, self.cfg.rope_theta);
+                rope_row(k.row_mut(r), pos, heads, hd, self.cfg.rope_theta);
+            }
+            // Keys/values land in the caches first so that later rows of the
+            // same call attend to earlier ones, as in the full forward.
+            for (r, &(c, _)) in rows.iter().enumerate() {
+                caches[c].k[l]
+                    .row_mut(positions[r])
+                    .copy_from_slice(k.row(r));
+                caches[c].v[l]
+                    .row_mut(positions[r])
+                    .copy_from_slice(v.row(r));
+            }
+            let mut att = Matrix::zeros(n_rows, h);
+            let mut s = Vec::new();
+            for (r, &(c, _)) in rows.iter().enumerate() {
+                let pos = positions[r];
+                let kc = &caches[c].k[l];
+                let vc = &caches[c].v[l];
+                let qrow = q.row(r);
+                let orow = att.row_mut(r);
+                for hh in 0..heads {
+                    let lanes = hh * hd..(hh + 1) * hd;
+                    let qh = &qrow[lanes.clone()];
+                    // Scaled scores against every cached position: the same
+                    // ascending-dimension dot and per-element scale as the
+                    // graph's `q·kᵀ` / `scale_assign`.
+                    s.clear();
+                    for j in 0..=pos {
+                        let kh = &kc.row(j)[lanes.clone()];
+                        let mut acc = 0.0f32;
+                        for (&qv, &kv) in qh.iter().zip(kh) {
+                            acc += qv * kv;
+                        }
+                        s.push(acc * scale);
+                    }
+                    // Softmax over 0..=pos in the graph's exact order.
+                    let maxv = s.iter().cloned().fold(f32::MIN, f32::max);
+                    let mut denom = 0.0f32;
+                    for e in s.iter_mut() {
+                        *e = (*e - maxv).exp();
+                        denom += *e;
+                    }
+                    for e in s.iter_mut() {
+                        *e /= denom;
+                    }
+                    // probs · V, ascending positions per output element.
+                    let oh = &mut orow[lanes];
+                    for (j, &pj) in s.iter().enumerate() {
+                        let vh = &vc.row(j)[hh * hd..(hh + 1) * hd];
+                        for (ov, &vv) in oh.iter_mut().zip(vh) {
+                            *ov += pj * vv;
+                        }
+                    }
+                }
+            }
+            let o = layer.wo.forward_nograd(&att, &self.params);
+            x = x.add(&o);
+
+            let mn = rmsnorm_rows(&x, &self.params[layer.mlp_norm].value);
+            let gate = layer.gate.forward_nograd(&mn, &self.params);
+            let gate = gate.map(|v| v * sigmoid(v));
+            let up = layer.up.forward_nograd(&mn, &self.params);
+            let act = gate.hadamard(&up);
+            let mlp = layer.down.forward_nograd(&act, &self.params);
+            x = x.add(&mlp);
+        }
+        for (c, len) in next_len.into_iter().enumerate() {
+            caches[c].len = len;
+        }
+        rmsnorm_rows(&x, &self.params[self.final_norm].value)
+    }
+
+    /// Decodes final-norm hidden rows (as returned by
+    /// [`LlamaModel::forward_cached`]) through the LM head.
+    pub fn lm_logits(&self, hidden: &Matrix) -> Matrix {
+        hidden.matmul(&self.params[self.head].value)
+    }
+
+    /// Reference logits from the full graph forward (`(batch·seq) × vocab`),
+    /// the baseline the cached forward must match bit-for-bit. Also the
+    /// "naive full-recompute" generation path `perf_infer` benches against.
+    pub fn full_logits(&self, tokens: &[u32], batch: usize) -> Matrix {
+        let (mut g, trunk, pnodes) = self.build_trunk(tokens, batch);
+        let logits = g.matmul(trunk, pnodes[self.head]);
+        g.value(logits).clone()
+    }
+}

@@ -34,11 +34,13 @@
 //! ```
 
 mod config;
+mod decode;
 mod linear;
 mod model;
 mod param;
 
 pub use config::ModelConfig;
+pub use decode::KvCache;
 pub use linear::{Linear, LinearMode};
 pub use model::LlamaModel;
 pub use param::{Param, ParamKind};

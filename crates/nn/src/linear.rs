@@ -135,6 +135,27 @@ impl Linear {
         }
     }
 
+    /// Tape-free forward `y = x·W_effective` against the raw parameter
+    /// values, for the incremental decode path. Performs the same matrix
+    /// products in the same order as [`Linear::forward`], so the result is
+    /// bit-identical to the graph forward on the same rows.
+    pub(crate) fn forward_nograd(&self, x: &Matrix, params: &[Param]) -> Matrix {
+        match self.mode {
+            LinearMode::Dense => x.matmul(&params[self.w0.unwrap()].value),
+            LinearMode::LoRa { rank, alpha } => {
+                let base = x.matmul(&params[self.w0.unwrap()].value);
+                let xa = x.matmul(&params[self.a.unwrap()].value);
+                let xab = xa.matmul(&params[self.b.unwrap()].value);
+                let scaled = xab.scale(alpha / rank as f32);
+                base.add(&scaled)
+            }
+            LinearMode::Factored { .. } => {
+                let xu = x.matmul(&params[self.a.unwrap()].value);
+                xu.matmul(&params[self.b.unwrap()].value)
+            }
+        }
+    }
+
     /// Merges the LoRA adapter into the backbone and re-initializes the
     /// adapter (ReLoRA's periodic merge). No-op for other modes.
     pub fn merge_adapter(&self, params: &mut [Param], rng: &mut Rng) {

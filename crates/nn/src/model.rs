@@ -7,18 +7,19 @@ use crate::config::ModelConfig;
 use crate::linear::{Linear, LinearMode};
 use crate::param::{Param, ParamKind};
 
-/// Parameter indices of one transformer layer.
+/// Parameter indices of one transformer layer. `pub(crate)` so the
+/// tape-free decode path ([`crate::decode`]) can walk the same layout.
 #[derive(Debug, Clone)]
-struct Layer {
-    attn_norm: usize,
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    mlp_norm: usize,
-    gate: Linear,
-    up: Linear,
-    down: Linear,
+pub(crate) struct Layer {
+    pub(crate) attn_norm: usize,
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) mlp_norm: usize,
+    pub(crate) gate: Linear,
+    pub(crate) up: Linear,
+    pub(crate) down: Linear,
 }
 
 /// A decoder-only transformer: embedding → N × (attention + SwiGLU) →
@@ -28,13 +29,13 @@ struct Layer {
 /// them uniformly; see the crate docs for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct LlamaModel {
-    cfg: ModelConfig,
+    pub(crate) cfg: ModelConfig,
     /// Flat parameter list (embedding, per-layer weights, final norm, head).
     pub params: Vec<Param>,
-    layers: Vec<Layer>,
-    embed: usize,
-    final_norm: usize,
-    head: usize,
+    pub(crate) layers: Vec<Layer>,
+    pub(crate) embed: usize,
+    pub(crate) final_norm: usize,
+    pub(crate) head: usize,
 }
 
 impl LlamaModel {
@@ -141,7 +142,7 @@ impl LlamaModel {
     /// Builds the transformer trunk up to the final RMSNorm output
     /// (`(batch·seq) × hidden`), returning the tape, the trunk output node,
     /// and one graph node per parameter.
-    fn build_trunk(&self, tokens: &[u32], batch: usize) -> (Graph, NodeId, Vec<NodeId>) {
+    pub(crate) fn build_trunk(&self, tokens: &[u32], batch: usize) -> (Graph, NodeId, Vec<NodeId>) {
         assert!(
             batch > 0 && tokens.len().is_multiple_of(batch),
             "tokens must split into batch rows"

@@ -1,0 +1,163 @@
+//! KV-cached incremental decode vs full graph forward: *bit-identical*
+//! logits, across adversarial sequence lengths, prefill chunkings,
+//! interleaved batches, linear-layer parameterizations, and thread counts.
+
+use apollo_nn::{KvCache, LinearMode, LlamaModel, ModelConfig};
+use apollo_tensor::{set_thread_override, Matrix, Rng};
+
+fn assert_bits_eq(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (idx, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: bit mismatch at flat index {idx}: got {g} ({:#010x}), want {w} ({:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+fn random_tokens(n: usize, vocab: usize, rng: &mut Rng) -> Vec<u32> {
+    (0..n).map(|_| rng.below(vocab) as u32).collect()
+}
+
+/// Feeds `tokens` through one cache in the given chunk sizes and returns
+/// the logits of every position, stacked in order.
+fn cached_logits_chunked(model: &LlamaModel, tokens: &[u32], chunks: &[usize]) -> Matrix {
+    let mut caches = vec![model.new_kv_cache(tokens.len())];
+    let vocab = model.config().vocab_size;
+    let mut out = Matrix::zeros(tokens.len(), vocab);
+    let mut fed = 0;
+    for &c in chunks {
+        let rows: Vec<(usize, u32)> = tokens[fed..fed + c].iter().map(|&t| (0, t)).collect();
+        let hidden = model.forward_cached(&mut caches, &rows);
+        let logits = model.lm_logits(&hidden);
+        for r in 0..c {
+            out.row_mut(fed + r).copy_from_slice(logits.row(r));
+        }
+        fed += c;
+    }
+    assert_eq!(fed, tokens.len(), "chunks must cover the sequence");
+    assert_eq!(caches[0].len(), tokens.len());
+    out
+}
+
+#[test]
+fn token_at_a_time_decode_matches_full_forward() {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(0xDEC0);
+    let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    // Adversarial lengths: single token, pair, odd prefix, full max_seq.
+    for &len in &[1usize, 2, 5, cfg.max_seq] {
+        let tokens = random_tokens(len, cfg.vocab_size, &mut rng);
+        let full = model.full_logits(&tokens, 1);
+        let chunks = vec![1usize; len];
+        let inc = cached_logits_chunked(&model, &tokens, &chunks);
+        assert_bits_eq(&inc, &full, &format!("len={len} one-by-one"));
+    }
+}
+
+#[test]
+fn chunked_prefill_matches_full_forward() {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(0xDEC1);
+    let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let tokens = random_tokens(cfg.max_seq, cfg.vocab_size, &mut rng);
+    let full = model.full_logits(&tokens, 1);
+    // Whole-sequence prefill, uneven chunks, and a prefill+decode split.
+    for chunks in [vec![8], vec![3, 1, 4], vec![5, 1, 1, 1], vec![1, 7]] {
+        let inc = cached_logits_chunked(&model, &tokens, &chunks);
+        assert_bits_eq(&inc, &full, &format!("chunks={chunks:?}"));
+    }
+}
+
+#[test]
+// Indexing by `c`/`t` mirrors the (cache, position) addressing under test.
+#[allow(clippy::needless_range_loop)]
+fn interleaved_batch_matches_per_sequence_full_forward() {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(0xDEC2);
+    let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let batch = 3;
+    let seq = cfg.max_seq;
+    let seqs: Vec<Vec<u32>> = (0..batch)
+        .map(|_| random_tokens(seq, cfg.vocab_size, &mut rng))
+        .collect();
+
+    // Reference: each sequence through the full forward on its own.
+    let fulls: Vec<Matrix> = seqs.iter().map(|s| model.full_logits(s, 1)).collect();
+
+    // Prefill 2 tokens per sequence in one interleaved call, then decode
+    // the rest one position at a time across all sequences per call — the
+    // continuous-batching access pattern.
+    let mut caches: Vec<KvCache> = (0..batch).map(|_| model.new_kv_cache(seq)).collect();
+    let mut got: Vec<Matrix> = (0..batch)
+        .map(|_| Matrix::zeros(seq, cfg.vocab_size))
+        .collect();
+    let prefill: Vec<(usize, u32)> = (0..batch)
+        .flat_map(|c| [(c, seqs[c][0]), (c, seqs[c][1])])
+        .collect();
+    let hidden = model.forward_cached(&mut caches, &prefill);
+    let logits = model.lm_logits(&hidden);
+    for c in 0..batch {
+        got[c].row_mut(0).copy_from_slice(logits.row(2 * c));
+        got[c].row_mut(1).copy_from_slice(logits.row(2 * c + 1));
+    }
+    for t in 2..seq {
+        let rows: Vec<(usize, u32)> = (0..batch).map(|c| (c, seqs[c][t])).collect();
+        let hidden = model.forward_cached(&mut caches, &rows);
+        let logits = model.lm_logits(&hidden);
+        for c in 0..batch {
+            got[c].row_mut(t).copy_from_slice(logits.row(c));
+        }
+    }
+    for c in 0..batch {
+        assert_bits_eq(&got[c], &fulls[c], &format!("sequence {c}"));
+    }
+}
+
+#[test]
+fn lora_and_factored_models_decode_bit_identically() {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(0xDEC3);
+    let modes = [
+        LinearMode::LoRa {
+            rank: 2,
+            alpha: 4.0,
+        },
+        LinearMode::Factored { rank: 2 },
+    ];
+    for mode in modes {
+        let mut model = LlamaModel::new(&cfg, mode, &mut rng);
+        // Give LoRA `B` weight so the adapter path is actually nonzero.
+        for p in &mut model.params {
+            if p.name.ends_with(".lora_b") {
+                p.value = Matrix::randn(p.value.rows(), p.value.cols(), &mut rng);
+            }
+        }
+        let tokens = random_tokens(cfg.max_seq, cfg.vocab_size, &mut rng);
+        let full = model.full_logits(&tokens, 1);
+        let inc = cached_logits_chunked(&model, &tokens, &vec![1; cfg.max_seq]);
+        assert_bits_eq(&inc, &full, &format!("{mode:?}"));
+    }
+}
+
+#[test]
+fn decode_is_thread_invariant() {
+    // Wider geometry so the head matmul crosses shapes where kernels pick
+    // different paths; the gemv/pooled results must still agree.
+    let cfg = ModelConfig::tiny_60m();
+    let mut rng = Rng::seed_from_u64(0xDEC4);
+    let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let tokens = random_tokens(24, cfg.vocab_size, &mut rng);
+    set_thread_override(Some(1));
+    let base = cached_logits_chunked(&model, &tokens, &[16, 1, 1, 1, 1, 1, 1, 1, 1]);
+    for threads in [2, 8] {
+        set_thread_override(Some(threads));
+        let got = cached_logits_chunked(&model, &tokens, &[16, 1, 1, 1, 1, 1, 1, 1, 1]);
+        assert_bits_eq(&got, &base, &format!("threads={threads}"));
+    }
+    set_thread_override(None);
+    let full = model.full_logits(&tokens, 1);
+    assert_bits_eq(&base, &full, "threads=1 vs full forward");
+}

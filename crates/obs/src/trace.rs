@@ -115,6 +115,42 @@ pub enum TraceEvent {
         /// Total wall-clock seconds.
         wall_secs: f64,
     },
+    /// One continuous-batching tick of the inference scheduler: how much
+    /// prefill and decode work was batched, and where the time went.
+    InferStep {
+        /// Tick index (monotonic within a server run).
+        step: usize,
+        /// Prompt rows prefilled this tick, summed over sequences.
+        prefill_rows: usize,
+        /// Decode rows advanced this tick (one per decoding sequence).
+        decode_rows: usize,
+        /// Requests still waiting in the admission queue after the tick.
+        queue_depth: usize,
+        /// Sequences occupying slots after the tick.
+        active: usize,
+        /// Batched prefill forward time.
+        prefill_ms: f32,
+        /// Batched decode forward + sampling time.
+        decode_ms: f32,
+        /// Whole-tick time (prefill, decode, admission bookkeeping).
+        total_ms: f32,
+    },
+    /// A generation request retired from the inference scheduler.
+    InferRequest {
+        /// Tick index at which the request retired.
+        step: usize,
+        /// Request id (admission order).
+        id: u64,
+        /// Prompt length in tokens.
+        prompt_tokens: usize,
+        /// Tokens generated.
+        new_tokens: usize,
+        /// Generated tokens per wall-clock second, admission to retirement.
+        tokens_per_sec: f64,
+        /// Why it retired: `"done"`, `"stop_token"`, `"deadline"`,
+        /// `"cache_full"`.
+        outcome: String,
+    },
 }
 
 impl TraceEvent {
@@ -128,7 +164,9 @@ impl TraceEvent {
             | TraceEvent::ProjectorRefresh { step, .. }
             | TraceEvent::LimiterClip { step, .. }
             | TraceEvent::Sentinel { step, .. }
-            | TraceEvent::RunEnd { step, .. } => step,
+            | TraceEvent::RunEnd { step, .. }
+            | TraceEvent::InferStep { step, .. }
+            | TraceEvent::InferRequest { step, .. } => step,
         }
     }
 
@@ -143,6 +181,8 @@ impl TraceEvent {
             TraceEvent::LimiterClip { .. } => "LimiterClip",
             TraceEvent::Sentinel { .. } => "Sentinel",
             TraceEvent::RunEnd { .. } => "RunEnd",
+            TraceEvent::InferStep { .. } => "InferStep",
+            TraceEvent::InferRequest { .. } => "InferRequest",
         }
     }
 }

@@ -65,6 +65,24 @@ fn expected_events() -> Vec<TraceEvent> {
             step: 150,
             wall_secs: 7.5,
         },
+        TraceEvent::InferStep {
+            step: 12,
+            prefill_rows: 16,
+            decode_rows: 3,
+            queue_depth: 2,
+            active: 4,
+            prefill_ms: 3.5,
+            decode_ms: 1.25,
+            total_ms: 5.0,
+        },
+        TraceEvent::InferRequest {
+            step: 14,
+            id: 7,
+            prompt_tokens: 16,
+            new_tokens: 32,
+            tokens_per_sec: 96.0,
+            outcome: "done".to_string(),
+        },
     ]
 }
 

@@ -47,6 +47,13 @@ fn should_parallelize(threads: usize, m: usize, flops: usize) -> bool {
     threads > 1 && flops >= PAR_MIN_FLOPS && m >= 2 * threads
 }
 
+/// Column-band variant of the gate for the m = 1 gemv path: the row gate
+/// can never pass at a single output row, so gemv splits output *columns*
+/// across the pool instead.
+fn should_parallelize_gemv(threads: usize, n: usize, flops: usize) -> bool {
+    threads > 1 && flops >= PAR_MIN_FLOPS && n >= 2 * threads
+}
+
 /// Resolves the thread count from an optional `APOLLO_NUM_THREADS` override.
 ///
 /// The override must parse as an integer ≥ 1 to take effect; anything else
@@ -321,6 +328,46 @@ fn parallel_rows(
     out
 }
 
+/// `1×k · k×n` product, the hot shape of a KV-cached decode step (one
+/// residual row against every weight matrix). Output columns are split
+/// into per-thread bands on the worker pool; each element still
+/// accumulates its `k` products in ascending-`p` order, so results are
+/// bit-identical to the reference loop and invariant across thread counts
+/// (the band partition is a pure function of `(n, threads)`).
+fn gemv(arow: &[f32], b: &Matrix) -> Vec<f32> {
+    let (k, n) = b.shape();
+    let threads = current_threads();
+    let mut out = scratch::take_zeroed(n);
+    if !should_parallelize_gemv(threads, n, matmul_flops(1, k, n)) {
+        gemv_band(arow, b, 0, n, &mut out);
+        return out;
+    }
+    let band = n.div_ceil(threads);
+    let n_bands = n.div_ceil(band);
+    let ptr = OutPtr(out.as_mut_ptr());
+    pool::Pool::run(threads, n_bands, &move |t| {
+        let lo = t * band;
+        let hi = ((t + 1) * band).min(n);
+        // SAFETY: bands are disjoint column ranges of `out`, which outlives
+        // the blocking `Pool::run` call.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+        gemv_band(arow, b, lo, hi, chunk);
+    });
+    out
+}
+
+/// One column band of the gemv: `out[j - lo] = Σ_p arow[p] · b[p, j]`,
+/// with `p` outer (one broadcast, contiguous `b` lanes inner) and
+/// ascending-`p` accumulation per element, as in the reference loop.
+fn gemv_band(arow: &[f32], b: &Matrix, lo: usize, hi: usize, out: &mut [f32]) {
+    for (p, &av) in arow.iter().enumerate() {
+        let brow = &b.row(p)[lo..hi];
+        for (ov, &bv) in out.iter_mut().zip(brow) {
+            *ov += av * bv;
+        }
+    }
+}
+
 /// `a · b`.
 ///
 /// # Panics
@@ -337,6 +384,13 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    // Single-row products — the KV-cached decode-step hot shape — go
+    // through the column-banded gemv path: the row-band partition the other
+    // paths parallelize over degenerates to one task at m = 1.
+    if m == 1 {
+        let data = gemv(a.row(0), b);
+        return Matrix::from_vec(1, n, data);
+    }
     // Packing costs k·n copies against 2·m·k·n FLOPs of compute; for a
     // handful of rows the straight row-sweep wins.
     if m < 4 {
@@ -598,6 +652,36 @@ mod tests {
         assert!(matmul_flops(m, k, n) >= PAR_MIN_FLOPS);
         assert!(m * k * n < PAR_MIN_FLOPS);
         assert!(should_parallelize(2, m, matmul_flops(m, k, n)));
+    }
+
+    #[test]
+    fn gemv_gate_boundary() {
+        // The column gate mirrors the row gate with n in place of m.
+        let n = 4096;
+        assert!(should_parallelize_gemv(2, n, PAR_MIN_FLOPS));
+        assert!(!should_parallelize_gemv(2, n, PAR_MIN_FLOPS - 1));
+        assert!(!should_parallelize_gemv(1, n, PAR_MIN_FLOPS));
+        assert!(!should_parallelize_gemv(8, 15, PAR_MIN_FLOPS));
+    }
+
+    #[test]
+    fn gemv_matches_naive_across_thread_counts() {
+        // Large enough that 2·k·n crosses the FLOP gate, so the pooled
+        // column-band path actually runs at threads > 1.
+        let mut rng = Rng::seed_from_u64(9);
+        let (k, n) = (521, 1031);
+        assert!(matmul_flops(1, k, n) >= PAR_MIN_FLOPS);
+        let a = Matrix::randn(1, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let want = naive(&a, &b);
+        for threads in [1, 3, 8] {
+            set_thread_override(Some(threads));
+            let got = matmul(&a, &b);
+            for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}: {x} vs {y}");
+            }
+        }
+        set_thread_override(None);
     }
 
     #[test]

@@ -119,13 +119,15 @@ fn adversarial_shapes_match_reference_at_all_thread_counts() {
         (1, 7, 1),
         (7, 13, 11),
         (31, 17, 5),
-        (97, 8, 2),    // m >> n
-        (2, 8, 97),    // n >> m
-        (3, 5, 31),    // n just under one packed panel
-        (3, 5, 32),    // exactly one panel
-        (3, 5, 33),    // one panel + 1-wide tail
-        (5, 64, 65),   // two panels + tail
-        (128, 64, 68), // crosses the FLOP gate: exercises the worker pool
+        (97, 8, 2),     // m >> n
+        (2, 8, 97),     // n >> m
+        (3, 5, 31),     // n just under one packed panel
+        (3, 5, 32),     // exactly one panel
+        (3, 5, 33),     // one panel + 1-wide tail
+        (5, 64, 65),    // two panels + tail
+        (128, 64, 68),  // crosses the FLOP gate: exercises the worker pool
+        (1, 33, 129),   // gemv (decode hot shape), serial: below the gate
+        (1, 521, 1031), // gemv crossing the FLOP gate: pooled column bands
     ];
     for (si, &(m, k, n)) in shapes.iter().enumerate() {
         for &t in &THREAD_COUNTS {

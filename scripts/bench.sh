@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Reproducible performance benchmark: emits BENCH_kernels.json and
-# BENCH_train.json at the repo root.
+# Reproducible performance benchmark: emits BENCH_kernels.json,
+# BENCH_train.json, and BENCH_infer.json at the repo root.
 #
 # Usage: scripts/bench.sh [--smoke]
 #
@@ -11,5 +11,6 @@ cd "$(dirname "$0")/.."
 
 export APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}"
 
-cargo build --release -p apollo-bench --bin perf_kernels
+cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer
 ./target/release/perf_kernels "$@" .
+./target/release/perf_infer "$@" .

@@ -11,7 +11,9 @@ echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release"
-cargo build --release
+# --workspace so the smoke stages below always run freshly built binaries
+# (a bare `cargo build` only builds the root package here).
+cargo build --release --workspace
 
 echo "== cargo test (tier-1: root package)"
 cargo test -q
@@ -29,15 +31,33 @@ trap 'rm -rf "$TRACE_TMP"' EXIT
 # the recorded step total.
 ./target/release/apollo trace-check --trace "$TRACE_TMP/trace.jsonl"
 
+echo "== generation smoke run (pretrain --save + generate, thread-invariant)"
+# Train a throwaway checkpoint, then stream tokens from it twice at
+# different kernel thread counts: the KV-cached decode is bit-identical
+# across thread counts, so the two outputs must match byte-for-byte.
+./target/release/apollo pretrain --model test-tiny --optimizer apollo \
+    --steps 10 --batch 2 --seed 7 --save "$TRACE_TMP/gen.ckpt"
+GEN_ARGS=(generate --resume "$TRACE_TMP/gen.ckpt" --prompt-ids "5,9,2,14"
+          --max-new-tokens 24 --temperature 0.8 --top-k 16 --seed 11)
+APOLLO_NUM_THREADS=1 ./target/release/apollo "${GEN_ARGS[@]}" \
+    >"$TRACE_TMP/gen1.txt"
+APOLLO_NUM_THREADS=4 ./target/release/apollo "${GEN_ARGS[@]}" \
+    >"$TRACE_TMP/gen4.txt"
+cmp "$TRACE_TMP/gen1.txt" "$TRACE_TMP/gen4.txt"
+
 echo "== bench smoke + perf regression check (vs committed baseline)"
 # Fresh smoke-mode numbers land in a temp dir and are compared against the
 # committed BENCH_*.json at the repo root; perf_check fails the gate on a
-# >30% throughput regression for any (shape, kernel) or optimizer entry.
-cargo build --release -p apollo-bench --bin perf_kernels --bin perf_check
+# >30% throughput regression for any (shape, kernel), optimizer, or
+# inference-metric entry.
+cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer \
+    --bin perf_check
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP" "$BENCH_TMP"' EXIT
 APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
     ./target/release/perf_kernels --smoke "$BENCH_TMP"
+APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
+    ./target/release/perf_infer --smoke "$BENCH_TMP"
 ./target/release/perf_check "$BENCH_TMP" .
 
 echo "CI green."
