@@ -1,6 +1,12 @@
 //! The autodiff tape.
+//!
+//! Forward and backward arms of the memory-bound ops (rmsnorm, swiglu,
+//! rope, softmax cross-entropy) dispatch to the single-pass kernels in
+//! [`apollo_tensor::fused`], which are bit-identical to the staged
+//! loops they replaced (see `fused::reference` and the
+//! `fused_equivalence` property tests).
 
-use apollo_tensor::Matrix;
+use apollo_tensor::{fused, Matrix};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,6 +25,8 @@ enum Op {
     Scale(NodeId, f32),
     /// `silu(a) = a · sigmoid(a)`
     Silu(NodeId),
+    /// `silu(a) ⊙ b`, fused (the LLaMA MLP gate without temporaries).
+    Swiglu(NodeId, NodeId),
     /// Row-wise RMS normalization with a learned per-column gain.
     RmsNorm {
         x: NodeId,
@@ -55,8 +63,12 @@ enum Op {
     CrossEntropy {
         logits: NodeId,
         targets: Vec<u32>,
-        /// Cached softmax probabilities.
-        probs: Matrix,
+        /// Cached unnormalized softmax numerators `exp(x - rowmax)`; the
+        /// normalized probability is `exps[r,j] / denoms[r]` (the same
+        /// division the staged implementation performed in place).
+        exps: Matrix,
+        /// Cached per-row softmax denominators.
+        denoms: Vec<f32>,
     },
     /// Sum of all elements (scalar output).
     Sum(NodeId),
@@ -174,6 +186,19 @@ impl Graph {
         self.push(v, Op::Silu(a))
     }
 
+    /// Fused SwiGLU gate: `silu(a) ⊙ b` in a single traversal.
+    ///
+    /// Bit-identical to `mul(silu(a), b)` but skips the silu and product
+    /// temporaries in both the forward and backward passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in shape.
+    pub fn swiglu(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = fused::fused_swiglu_fwd(&self.vals[a.0], &self.vals[b.0]);
+        self.push(v, Op::Swiglu(a, b))
+    }
+
     /// Row-wise RMS normalization with learned gain.
     ///
     /// `gain` must be `1 × cols`. `y[i,j] = x[i,j] / rms(x[i,:]) · gain[j]`.
@@ -185,19 +210,7 @@ impl Graph {
         let xm = &self.vals[x.0];
         let gm = &self.vals[gain.0];
         assert_eq!(gm.shape(), (1, xm.cols()), "rmsnorm: gain must be 1 x cols");
-        let n = xm.cols() as f32;
-        let mut inv_rms = Vec::with_capacity(xm.rows());
-        let mut y = Matrix::zeros(xm.rows(), xm.cols());
-        for r in 0..xm.rows() {
-            let row = xm.row(r);
-            let ms = row.iter().map(|&v| v * v).sum::<f32>() / n;
-            let inv = 1.0 / (ms + eps).sqrt();
-            inv_rms.push(inv);
-            let out = y.row_mut(r);
-            for (j, (&v, &g)) in row.iter().zip(gm.row(0)).enumerate() {
-                out[j] = v * inv * g;
-            }
-        }
+        let (y, inv_rms) = fused::fused_rmsnorm_fwd(xm, gm, eps);
         self.push(y, Op::RmsNorm { x, gain, inv_rms })
     }
 
@@ -215,7 +228,7 @@ impl Graph {
         let hd = xm.cols() / heads;
         assert_eq!(hd % 2, 0, "rope: head_dim must be even");
         let mut y = xm.clone();
-        rope_apply(&mut y, seq, heads, theta_base, false);
+        fused::rope_apply(&mut y, seq, heads, theta_base, false);
         self.push(
             y,
             Op::Rope {
@@ -342,32 +355,18 @@ impl Graph {
             lm.rows(),
             "cross_entropy: one target per row required"
         );
-        let mut probs = Matrix::zeros(lm.rows(), lm.cols());
-        let mut loss = 0.0f64;
-        for (r, &target) in targets.iter().enumerate() {
-            let row = lm.row(r);
+        for &target in targets {
             let t = target as usize;
             assert!(t < lm.cols(), "cross_entropy: target {t} out of range");
-            let maxv = row.iter().cloned().fold(f32::MIN, f32::max);
-            let mut denom = 0.0f32;
-            let prow = probs.row_mut(r);
-            for (j, &x) in row.iter().enumerate() {
-                let e = (x - maxv).exp();
-                prow[j] = e;
-                denom += e;
-            }
-            for pj in prow.iter_mut() {
-                *pj /= denom;
-            }
-            loss += -(prow[t].max(1e-30).ln()) as f64;
         }
-        let mean = (loss / lm.rows() as f64) as f32;
+        let (mean, exps, denoms) = fused::fused_softmax_xent_fwd(lm, targets);
         self.push(
             Matrix::from_vec(1, 1, vec![mean]),
             Op::CrossEntropy {
                 logits,
                 targets: targets.to_vec(),
-                probs,
+                exps,
+                denoms,
             },
         )
     }
@@ -441,30 +440,18 @@ impl Graph {
                     });
                     Self::grad_add(lower, *a, da);
                 }
+                Op::Swiglu(a, b) => {
+                    let (da, db) = fused::fused_swiglu_bwd(&self.vals[a.0], &self.vals[b.0], gout);
+                    Self::grad_add(lower, *a, da);
+                    Self::grad_add(lower, *b, db);
+                }
                 Op::RmsNorm { x, gain, inv_rms } => {
-                    let xm = &self.vals[x.0];
-                    let gm = &self.vals[gain.0];
-                    let n = xm.cols() as f32;
-                    let mut dx = Matrix::zeros(xm.rows(), xm.cols());
-                    let mut dg = Matrix::zeros(1, xm.cols());
-                    for (r, &inv) in inv_rms.iter().enumerate() {
-                        let xrow = xm.row(r);
-                        let grow = gout.row(r);
-                        // t = Σ_j dy_j · g_j · x_j
-                        let mut t = 0.0f32;
-                        for j in 0..xm.cols() {
-                            t += grow[j] * gm.get(0, j) * xrow[j];
-                        }
-                        let dxrow = dx.row_mut(r);
-                        for j in 0..xm.cols() {
-                            dxrow[j] =
-                                grow[j] * gm.get(0, j) * inv - inv * inv * inv / n * xrow[j] * t;
-                        }
-                        for j in 0..xm.cols() {
-                            let cur = dg.get(0, j);
-                            dg.set(0, j, cur + grow[j] * xrow[j] * inv);
-                        }
-                    }
+                    let (dx, dg) = fused::fused_rmsnorm_bwd(
+                        &self.vals[x.0],
+                        &self.vals[gain.0],
+                        gout,
+                        inv_rms,
+                    );
                     Self::grad_add(lower, *x, dx);
                     Self::grad_add(lower, *gain, dg);
                 }
@@ -476,7 +463,7 @@ impl Graph {
                 } => {
                     // Inverse rotation on the upstream gradient.
                     let mut dx = gout.clone();
-                    rope_apply(&mut dx, *seq, *heads, *theta_base, true);
+                    fused::rope_apply(&mut dx, *seq, *heads, *theta_base, true);
                     Self::grad_add(lower, *x, dx);
                 }
                 Op::CausalAttention {
@@ -551,16 +538,11 @@ impl Graph {
                 Op::CrossEntropy {
                     logits,
                     targets,
-                    probs,
+                    exps,
+                    denoms,
                 } => {
                     let upstream = gout.get(0, 0);
-                    let n = probs.rows() as f32;
-                    let mut dl = probs.clone();
-                    for (r, &t) in targets.iter().enumerate() {
-                        let cur = dl.get(r, t as usize);
-                        dl.set(r, t as usize, cur - 1.0);
-                    }
-                    dl.scale_assign(upstream / n);
+                    let dl = fused::fused_softmax_xent_bwd(exps, denoms, targets, upstream);
                     Self::grad_add(lower, *logits, dl);
                 }
                 Op::Sum(a) => {
@@ -590,7 +572,7 @@ impl Drop for Graph {
                 Op::CausalAttention { probs, .. } => {
                     probs.into_iter().for_each(Matrix::recycle);
                 }
-                Op::CrossEntropy { probs, .. } => probs.recycle(),
+                Op::CrossEntropy { exps, .. } => exps.recycle(),
                 _ => {}
             }
         }
@@ -617,28 +599,6 @@ fn write_head(x: &mut Matrix, head: &Matrix, b: usize, seq: usize, h: usize, hd:
         let src = head.row(t);
         let dst = x.row_mut(b * seq + t);
         dst[h * hd..(h + 1) * hd].copy_from_slice(src);
-    }
-}
-
-/// Applies (or inverts) the rotary embedding in place.
-fn rope_apply(x: &mut Matrix, seq: usize, heads: usize, theta_base: f32, inverse: bool) {
-    let hd = x.cols() / heads;
-    let half = hd / 2;
-    let sign = if inverse { -1.0f32 } else { 1.0 };
-    for r in 0..x.rows() {
-        let pos = (r % seq) as f32;
-        let row = x.row_mut(r);
-        for h in 0..heads {
-            let base = h * hd;
-            for i in 0..half {
-                let theta = pos * theta_base.powf(-2.0 * i as f32 / hd as f32);
-                let (sin, cos) = (sign * theta).sin_cos();
-                let a = row[base + 2 * i];
-                let b = row[base + 2 * i + 1];
-                row[base + 2 * i] = a * cos - b * sin;
-                row[base + 2 * i + 1] = a * sin + b * cos;
-            }
-        }
     }
 }
 
@@ -727,6 +687,143 @@ mod tests {
     }
 
     #[test]
+    fn swiglu_gradcheck() {
+        let mut rng = Rng::seed_from_u64(52);
+        let a0 = Matrix::randn(2, 5, &mut rng);
+        let b0 = Matrix::randn(2, 5, &mut rng);
+        let f = |am: &Matrix, bm: &Matrix| {
+            let mut g = Graph::new();
+            let a = g.input(am.clone());
+            let b = g.input(bm.clone());
+            let y = g.swiglu(a, b);
+            let y2 = g.mul(y, y);
+            let s = g.sum(y2);
+            g.value(s).get(0, 0)
+        };
+        let mut g = Graph::new();
+        let a = g.param(a0.clone());
+        let b = g.param(b0.clone());
+        let y = g.swiglu(a, b);
+        let y2 = g.mul(y, y);
+        let s = g.sum(y2);
+        g.backward(s);
+        assert_grad_close(g.grad(a), &numeric_grad(|p| f(p, &b0), &a0, 1e-2), 2e-2);
+        assert_grad_close(g.grad(b), &numeric_grad(|p| f(&a0, p), &b0, 1e-2), 2e-2);
+    }
+
+    #[test]
+    fn swiglu_matches_silu_mul_bitwise() {
+        // The fused gate must be indistinguishable from the unfused
+        // silu+mul composition: same forward bits, same gradient bits.
+        let mut rng = Rng::seed_from_u64(53);
+        let a0 = Matrix::randn(5, 33, &mut rng);
+        let b0 = Matrix::randn(5, 33, &mut rng);
+        let w0 = Matrix::randn(5, 33, &mut rng);
+        let run = |fused_gate: bool| {
+            let mut g = Graph::new();
+            let a = g.param(a0.clone());
+            let b = g.param(b0.clone());
+            let w = g.input(w0.clone());
+            let y = if fused_gate {
+                g.swiglu(a, b)
+            } else {
+                let sa = g.silu(a);
+                g.mul(sa, b)
+            };
+            let z = g.mul(y, w);
+            let s = g.sum(z);
+            g.backward(s);
+            (
+                g.value(y).clone(),
+                g.grad(a).clone(),
+                g.grad(b).clone(),
+                g.value(s).get(0, 0),
+            )
+        };
+        let (yf, daf, dbf, lf) = run(true);
+        let (yu, dau, dbu, lu) = run(false);
+        assert_eq!(lf.to_bits(), lu.to_bits());
+        for (f, u) in [(yf, yu), (daf, dau), (dbf, dbu)] {
+            for (a, b) in f.as_slice().iter().zip(u.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fused {a} vs unfused {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn training_loop_fused_vs_unfused_is_bit_identical() {
+        // A miniature training loop — rmsnorm → SwiGLU MLP → matmul →
+        // cross-entropy, with Adam updates — run twice: once through the
+        // fused ops (swiglu op + fused_adam_update), once through the
+        // staged arms (silu+mul ops + reference::adam_update). Every
+        // per-step loss must agree bit-for-bit.
+        use apollo_tensor::fused::{self, reference};
+        let (rows, hidden, vocab) = (6, 10, 7);
+        let targets: Vec<u32> = (0..rows).map(|r| (r % vocab) as u32).collect();
+        let mut rng = Rng::seed_from_u64(54);
+        let x0 = Matrix::randn(rows, hidden, &mut rng);
+        let gain0 = Matrix::rand_uniform(1, hidden, 0.5, 1.5, &mut rng);
+        let wg0 = Matrix::randn(hidden, hidden, &mut rng);
+        let wu0 = Matrix::randn(hidden, hidden, &mut rng);
+        let wo0 = Matrix::randn(hidden, vocab, &mut rng);
+        let (beta1, beta2, eps, lr, wd) = (0.9f32, 0.999f32, 1e-8f32, 0.05f32, 0.1f32);
+
+        let run = |fused_arm: bool| {
+            let mut weights = [wg0.clone(), wu0.clone(), wo0.clone()];
+            let mut ms: Vec<Matrix> = weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect();
+            let mut vs: Vec<Matrix> = ms.clone();
+            let mut losses = Vec::new();
+            for t in 1..=8i32 {
+                let mut g = Graph::new();
+                let x = g.input(x0.clone());
+                let gain = g.input(gain0.clone());
+                let ws: Vec<NodeId> = weights.iter().map(|w| g.param(w.clone())).collect();
+                let hn = g.rmsnorm(x, gain, 1e-5);
+                let gate_pre = g.matmul(hn, ws[0]);
+                let up = g.matmul(hn, ws[1]);
+                let act = if fused_arm {
+                    g.swiglu(gate_pre, up)
+                } else {
+                    let s = g.silu(gate_pre);
+                    g.mul(s, up)
+                };
+                let logits = g.matmul(act, ws[2]);
+                let loss = g.cross_entropy(logits, &targets);
+                losses.push(g.value(loss).get(0, 0).to_bits());
+                g.backward(loss);
+                let grads: Vec<Matrix> = ws.iter().map(|&id| g.grad(id).clone()).collect();
+                drop(g);
+                let bc1 = 1.0 - beta1.powi(t);
+                let bc2 = 1.0 - beta2.powi(t);
+                let decay = 1.0 - lr * wd;
+                for ((w, grad), (m, v)) in weights
+                    .iter_mut()
+                    .zip(&grads)
+                    .zip(ms.iter_mut().zip(vs.iter_mut()))
+                {
+                    if fused_arm {
+                        fused::fused_adam_update(
+                            w, grad, m, v, beta1, beta2, bc1, bc2, eps, lr, decay,
+                        );
+                    } else {
+                        reference::adam_update(
+                            w, grad, m, v, beta1, beta2, bc1, bc2, eps, lr, decay,
+                        );
+                    }
+                }
+            }
+            losses
+        };
+        let fused_losses = run(true);
+        let staged_losses = run(false);
+        assert!(fused_losses.windows(2).any(|w| w[0] != w[1]), "loss static");
+        assert_eq!(fused_losses, staged_losses, "train-loop loss bits differ");
+    }
+
+    #[test]
     fn mul_and_add_gradcheck() {
         let mut rng = Rng::seed_from_u64(33);
         let a0 = Matrix::randn(3, 3, &mut rng);
@@ -797,7 +894,7 @@ mod tests {
         }
         // Inverse rotation restores the input.
         let mut z = g.value(y).clone();
-        rope_apply(&mut z, 4, 2, 10_000.0, true);
+        fused::rope_apply(&mut z, 4, 2, 10_000.0, true);
         for (a, b) in x.as_slice().iter().zip(z.as_slice()) {
             assert!((a - b).abs() < 1e-4);
         }

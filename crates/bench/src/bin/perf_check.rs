@@ -6,8 +6,10 @@
 //!
 //! Usage: `perf_check <fresh_dir> [baseline_dir]` (baseline defaults to
 //! `.`). Entries are matched on `(shape, kernel)` for kernels and on the
-//! optimizer label for training throughput; entries present on only one
-//! side are reported but never fail the check (so adding a shape or an
+//! optimizer label for training throughput. A baseline entry that the
+//! fresh run no longer produces is a failure — a silently dropped
+//! benchmark is indistinguishable from an unbounded regression. Fresh
+//! entries with no baseline stay non-failing (so adding a shape or an
 //! optimizer does not require regenerating the baseline in the same PR).
 //!
 //! The tolerance is deliberately loose (30%) because the CI box is a noisy
@@ -69,9 +71,10 @@ fn check_kernels(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
             .find(|f| f.shape == b.shape && f.kernel == b.kernel)
         else {
             println!(
-                "{:<32} (missing from fresh run)",
+                "{:<32} (missing from fresh run)  REGRESSED",
                 format!("{}/{}", b.shape, b.kernel)
             );
+            regressions += 1;
             continue;
         };
         matched += 1;
@@ -111,7 +114,8 @@ fn check_train(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
     let mut matched = 0;
     for b in &base.entries {
         let Some(f) = fresh.entries.iter().find(|f| f.optimizer == b.optimizer) else {
-            println!("{:<32} (missing from fresh run)", b.optimizer);
+            println!("{:<32} (missing from fresh run)  REGRESSED", b.optimizer);
+            regressions += 1;
             continue;
         };
         matched += 1;
@@ -145,7 +149,8 @@ fn check_infer(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
     let mut matched = 0;
     for b in &base.entries {
         let Some(f) = fresh.entries.iter().find(|f| f.metric == b.metric) else {
-            println!("{:<32} (missing from fresh run)", b.metric);
+            println!("{:<32} (missing from fresh run)  REGRESSED", b.metric);
+            regressions += 1;
             continue;
         };
         matched += 1;

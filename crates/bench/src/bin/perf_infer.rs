@@ -3,9 +3,11 @@
 //! batching vs serial generation.
 //!
 //! Emits `BENCH_infer.json` into the output directory (first positional
-//! argument, default `.`). `--smoke` shortens timing reps for CI. Every
-//! measured path is also cross-checked for byte-identical tokens, so a
-//! throughput number can never come from a diverged implementation.
+//! argument, default `.`). `--smoke` shortens timing reps for CI;
+//! `--merge` max-merges this run into an existing `BENCH_infer.json`
+//! (per-metric best across runs, for the double-sweep CI smoke stage).
+//! Every measured path is also cross-checked for byte-identical tokens,
+//! so a throughput number can never come from a diverged implementation.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -181,9 +183,11 @@ fn time_batched(model: &Arc<LlamaModel>, reqs: &[GenRequest], t: Timing) -> (f64
 fn main() {
     let mut mode = "full".to_string();
     let mut out_dir = ".".to_string();
+    let mut merge = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => mode = "smoke".to_string(),
+            "--merge" => merge = true,
             other => out_dir = other.to_string(),
         }
     }
@@ -244,7 +248,7 @@ fn main() {
         value,
         unit: unit.to_string(),
     };
-    let report = InferReport {
+    let mut report = InferReport {
         model: cfg.name.to_string(),
         threads: current_threads(),
         mode,
@@ -262,6 +266,14 @@ fn main() {
         ],
     };
     let path = std::path::Path::new(&out_dir).join("BENCH_infer.json");
+    if merge {
+        if let Some(prev) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|d| serde_json::from_str::<InferReport>(&d).ok())
+        {
+            report.merge_best(&prev);
+        }
+    }
     let data = serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&path, data).expect("write bench json");
     eprintln!("[saved {}]", path.display());

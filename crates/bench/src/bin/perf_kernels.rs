@@ -13,18 +13,29 @@
 //! - `--losses`: prints the bit pattern of every training loss of a
 //!   fixed-seed APOLLO pretrain and exits — a before/after diff of this
 //!   output proves kernel changes kept training bit-identical.
+//! - `--merge`: max-merge this sweep into JSONs already present in the
+//!   output directory (per-entry best across runs) — the CI smoke stage
+//!   sweeps twice so one load burst cannot fake a regression.
 
-use apollo_bench::perf::{proxy_shapes, time_median, KernelEntry, KernelReport, TrainReport};
+use apollo_bench::perf::{proxy_shapes, time_best, KernelEntry, KernelReport, TrainReport};
 use apollo_bench::{perf::TrainEntry, Method};
 use apollo_nn::ModelConfig;
+use apollo_tensor::fused::{self, ChannelScale};
 use apollo_tensor::{current_threads, Matrix, Rng};
 
 /// One named kernel closure in the per-shape sweep.
 type KernelCase<'a> = (&'a str, Box<dyn FnMut() + 'a>);
 
+/// One fused-section case: name, per-element FLOP estimate, closure.
+type FusedCase<'a> = (&'a str, usize, Box<dyn FnMut() + 'a>);
+
 fn kernel_sweep(mode: &str) -> KernelReport {
+    // Smoke raises the rep count and only shrinks the timing window:
+    // time_best needs one clean rep, so more short reps beat fewer long
+    // ones on a shared CI box where a CPU-steal burst can span several
+    // consecutive windows.
     let (reps, min_secs) = if mode == "smoke" {
-        (3, 0.005)
+        (7, 0.03)
     } else {
         (5, 0.05)
     };
@@ -42,7 +53,7 @@ fn kernel_sweep(mode: &str) -> KernelReport {
             ("matmul_transa", Box::new(|| drop(at.matmul_transa(&b)))),
         ];
         for (name, mut f) in kernels {
-            let secs = time_median(reps, min_secs, &mut f);
+            let secs = time_best(reps, min_secs, &mut f);
             let gflops = flops / secs / 1e9;
             eprintln!("[kernel] {shape:>10} {name:<14} {gflops:7.3} GFLOP/s");
             entries.push(KernelEntry {
@@ -60,6 +71,130 @@ fn kernel_sweep(mode: &str) -> KernelReport {
         mode: mode.to_string(),
         entries,
     }
+}
+
+/// Fused-vs-unfused pairs: each fused kernel is timed against the staged
+/// `fused::reference` implementation it replaced, at one transformer-proxy
+/// shape. Both arms of a pair share the FLOP estimate, so the GFLOP/s ratio
+/// in `BENCH_kernels.json` is the memory-traffic speedup directly.
+fn fused_sweep(mode: &str) -> Vec<KernelEntry> {
+    let (reps, min_secs) = if mode == "smoke" {
+        (7, 0.03)
+    } else {
+        (5, 0.05)
+    };
+    let (rows, cols) = (512usize, 2048usize);
+    let shape = format!("{rows}x{cols}");
+    let mut rng = Rng::seed_from_u64(0xF5ED);
+    let x = Matrix::randn(rows, cols, &mut rng);
+    let gain = Matrix::randn(1, cols, &mut rng);
+    let gout = Matrix::randn(rows, cols, &mut rng);
+    let a = Matrix::randn(rows, cols, &mut rng);
+    let b = Matrix::randn(rows, cols, &mut rng);
+    let g = Matrix::randn(rows, cols, &mut rng);
+    let targets: Vec<u32> = (0..rows).map(|r| (r * 97 % cols) as u32).collect();
+    let (_, inv_rms) = fused::fused_rmsnorm_fwd(&x, &gain, 1e-5);
+    // Optimizer state mutates across timing reps; the moments are EMAs of a
+    // fixed gradient and the weight decays geometrically, so magnitudes stay
+    // bounded and the timing stationary.
+    let mut w_f = Matrix::randn(rows, cols, &mut rng);
+    let mut w_u = w_f.clone();
+    let (mut m_f, mut v_f) = (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols));
+    let (mut m_u, mut v_u) = (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols));
+    let col_scales: Vec<f32> = (0..cols).map(|j| 0.5 + (j % 7) as f32 * 0.1).collect();
+    let (mut upd_f, mut upd_u) = (Matrix::zeros(rows, cols), Matrix::zeros(rows, cols));
+    let (b1, b2, bc1, bc2, eps, lr, decay) = (
+        0.9f32, 0.999f32, 0.99f32, 0.999f32, 1e-8f32, 1e-3f32, 0.999f32,
+    );
+
+    // Fused/unfused arms adjacent, same FLOP estimate per pair.
+    let cases: Vec<FusedCase> = vec![
+        ("fused_rmsnorm_fwd", 4, {
+            let (x, gain) = (&x, &gain);
+            Box::new(move || drop(fused::fused_rmsnorm_fwd(x, gain, 1e-5)))
+        }),
+        ("unfused_rmsnorm_fwd", 4, {
+            let (x, gain) = (&x, &gain);
+            Box::new(move || drop(fused::reference::rmsnorm_fwd(x, gain, 1e-5)))
+        }),
+        ("fused_rmsnorm_bwd", 10, {
+            let (x, gain, gout, inv) = (&x, &gain, &gout, &inv_rms);
+            Box::new(move || drop(fused::fused_rmsnorm_bwd(x, gain, gout, inv)))
+        }),
+        ("unfused_rmsnorm_bwd", 10, {
+            let (x, gain, gout, inv) = (&x, &gain, &gout, &inv_rms);
+            Box::new(move || drop(fused::reference::rmsnorm_bwd(x, gain, gout, inv)))
+        }),
+        ("fused_swiglu_fwd", 16, {
+            let (a, b) = (&a, &b);
+            Box::new(move || drop(fused::fused_swiglu_fwd(a, b)))
+        }),
+        ("unfused_swiglu_fwd", 16, {
+            let (a, b) = (&a, &b);
+            Box::new(move || drop(fused::reference::swiglu_fwd(a, b)))
+        }),
+        ("fused_swiglu_bwd", 24, {
+            let (a, b, gout) = (&a, &b, &gout);
+            Box::new(move || drop(fused::fused_swiglu_bwd(a, b, gout)))
+        }),
+        ("unfused_swiglu_bwd", 24, {
+            let (a, b, gout) = (&a, &b, &gout);
+            Box::new(move || drop(fused::reference::swiglu_bwd(a, b, gout)))
+        }),
+        ("fused_softmax_xent_fwd", 24, {
+            let (x, t) = (&x, &targets);
+            Box::new(move || drop(fused::fused_softmax_xent_fwd(x, t)))
+        }),
+        ("unfused_softmax_xent_fwd", 24, {
+            let (x, t) = (&x, &targets);
+            Box::new(move || drop(fused::reference::softmax_xent_fwd(x, t)))
+        }),
+        ("fused_adam_update", 12, {
+            let g = &g;
+            Box::new(move || {
+                fused::fused_adam_update(
+                    &mut w_f, g, &mut m_f, &mut v_f, b1, b2, bc1, bc2, eps, lr, decay,
+                );
+            })
+        }),
+        ("unfused_adam_update", 12, {
+            let g = &g;
+            Box::new(move || {
+                fused::reference::adam_update(
+                    &mut w_u, g, &mut m_u, &mut v_u, b1, b2, bc1, bc2, eps, lr, decay,
+                );
+            })
+        }),
+        ("fused_apollo_scale", 5, {
+            let (g, s) = (&g, &col_scales);
+            Box::new(move || {
+                fused::fused_apollo_scale(&mut upd_f, g, ChannelScale::Cols(s), 0.01);
+            })
+        }),
+        ("unfused_apollo_scale", 5, {
+            let (g, s) = (&g, &col_scales);
+            Box::new(move || {
+                fused::reference::apollo_scale(&mut upd_u, g, ChannelScale::Cols(s), 0.01);
+            })
+        }),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, per_elem, mut f) in cases {
+        let flops = (rows * cols * per_elem) as f64;
+        let secs = time_best(reps, min_secs, &mut f);
+        let gflops = flops / secs / 1e9;
+        eprintln!("[fused]  {shape:>10} {name:<24} {gflops:7.3} GFLOP/s");
+        entries.push(KernelEntry {
+            shape: shape.clone(),
+            kernel: name.to_string(),
+            m: rows,
+            k: cols,
+            n: 0,
+            gflops,
+        });
+    }
+    entries
 }
 
 fn train_sweep() -> TrainReport {
@@ -113,10 +248,12 @@ fn print_loss_bits() {
 fn main() {
     let mut mode = "full".to_string();
     let mut out_dir = ".".to_string();
+    let mut merge = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => mode = "smoke".to_string(),
             "--losses" => mode = "losses".to_string(),
+            "--merge" => merge = true,
             other => out_dir = other.to_string(),
         }
     }
@@ -124,10 +261,27 @@ fn main() {
         print_loss_bits();
         return;
     }
-    let kernels = kernel_sweep(&mode);
-    let train = train_sweep();
+    let mut kernels = kernel_sweep(&mode);
+    kernels.entries.extend(fused_sweep(&mode));
+    let mut train = train_sweep();
+    if merge {
+        if let Some(prev) = read_report::<KernelReport>(&out_dir, "BENCH_kernels.json") {
+            kernels.merge_best(&prev);
+        }
+        if let Some(prev) = read_report::<TrainReport>(&out_dir, "BENCH_train.json") {
+            train.merge_best(&prev);
+        }
+    }
     write_report(&out_dir, "BENCH_kernels.json", &kernels);
     write_report(&out_dir, "BENCH_train.json", &train);
+}
+
+/// Reads a previously written report for `--merge`; `None` if absent or
+/// unparsable (a fresh sweep then stands on its own).
+fn read_report<T: serde::Deserialize>(out_dir: &str, name: &str) -> Option<T> {
+    let path = std::path::Path::new(out_dir).join(name);
+    let data = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
 }
 
 fn write_report(out_dir: &str, name: &str, value: &impl serde::Serialize) {

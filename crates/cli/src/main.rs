@@ -37,7 +37,7 @@ apollo — APOLLO optimizer reproduction CLI
 USAGE:
   apollo pretrain [--model NAME] [--optimizer NAME] [--steps N] [--batch N]
                   [--lr F] [--rank N] [--seed N] [--quantize-weights GROUP]
-                  [--save PATH]
+                  [--save PATH] [--threads N]
                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                   [--recovery POLICY] [--lr-backoff F] [--spike-factor F]
                   [--trace-out PATH] [--metrics-every N] [--profile]
@@ -46,10 +46,16 @@ USAGE:
   apollo eval     --checkpoint PATH [--seqs N]
   apollo generate --resume PATH (--prompt TEXT | --prompt-ids \"1,2,3\")
                   [--max-new-tokens N] [--temperature F] [--top-k N]
-                  [--top-p F] [--seed N] [--stop-token N]
+                  [--top-p F] [--seed N] [--stop-token N] [--threads N]
   apollo memory   [--model NAME] [--method NAME] [--rank N] [--gpu NAME]
   apollo trace-check --trace PATH
   apollo list
+
+PERFORMANCE
+  --threads N        kernel thread count, N >= 1. Precedence: this flag,
+                     then the APOLLO_NUM_THREADS environment variable, then
+                     min(available cores, 8). Results are bit-identical at
+                     every thread count; only throughput changes.
 
 OBSERVABILITY
   --trace-out PATH   stream a JSONL trace (phase timings, loss/grad-norm/LR,
@@ -174,7 +180,23 @@ fn print_resilience(r: &ResilienceReport) {
     }
 }
 
+/// Applies `--threads N` as the kernel thread count for this process.
+/// The flag takes precedence over `APOLLO_NUM_THREADS`; with neither, the
+/// auto default (`min(available cores, 8)`) applies. Kernels are
+/// bit-identical across thread counts, so this only changes throughput.
+fn apply_threads(a: &Args) -> Result<(), String> {
+    if a.has("threads") {
+        let n = a.get_num("threads", 0usize)?;
+        if n == 0 {
+            return Err("--threads must be >= 1".into());
+        }
+        apollo_tensor::set_thread_override(Some(n));
+    }
+    Ok(())
+}
+
 fn cmd_pretrain(a: &Args) -> Result<(), String> {
+    apply_threads(a)?;
     let cfg = model_config(&a.get("model", "tiny-60m"))?;
     if cfg.name.starts_with("llama-") {
         return Err("paper-scale geometries are for `apollo memory`; pick a tiny-* model".into());
@@ -308,6 +330,7 @@ fn cmd_eval(a: &Args) -> Result<(), String> {
 
 fn cmd_generate(a: &Args) -> Result<(), String> {
     use std::io::Write;
+    apply_threads(a)?;
     let path = PathBuf::from(a.require("resume")?);
     let model = load_model(&path).map_err(|e| e.to_string())?;
     let cfg = model.config();
@@ -535,5 +558,37 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Args {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn threads_flag_overrides_env_fallback() {
+        // The override is thread-local, so this test cannot race others.
+        apollo_tensor::set_thread_override(None);
+        let without = apollo_tensor::current_threads();
+        apply_threads(&parse(&["pretrain"])).unwrap();
+        assert_eq!(
+            apollo_tensor::current_threads(),
+            without,
+            "no flag must leave the env/auto fallback in place"
+        );
+        apply_threads(&parse(&["pretrain", "--threads", "3"])).unwrap();
+        assert_eq!(apollo_tensor::current_threads(), 3);
+        apollo_tensor::set_thread_override(None);
+    }
+
+    #[test]
+    fn threads_flag_rejects_zero_and_garbage() {
+        assert!(apply_threads(&parse(&["pretrain", "--threads", "0"])).is_err());
+        assert!(apply_threads(&parse(&["pretrain", "--threads", "lots"])).is_err());
     }
 }

@@ -87,11 +87,15 @@ impl Optimizer for AdamW {
         }
         assert_eq!(self.states.len(), params.len(), "parameter list changed");
         for (p, st) in params.iter_mut().zip(&mut self.states) {
-            let update = st.update(p.grad, self.beta1, self.beta2, self.eps);
-            if self.weight_decay > 0.0 {
-                p.value.scale_assign(1.0 - lr * self.weight_decay);
-            }
-            p.value.axpy(-lr, update);
+            st.step_weight(
+                p.value,
+                p.grad,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                lr,
+                self.weight_decay,
+            );
         }
     }
 
@@ -271,10 +275,12 @@ impl Optimizer for AdamWChannelwise {
                     LimiterOutcome::Passed => {}
                 }
             }
-            if self.weight_decay > 0.0 {
-                p.value.scale_assign(1.0 - lr * self.weight_decay);
-            }
-            p.value.axpy(-lr, update);
+            let decay = if self.weight_decay > 0.0 {
+                1.0 - lr * self.weight_decay
+            } else {
+                1.0
+            };
+            apollo_tensor::fused::fused_axpy_chain(p.value, decay, -lr, update);
         }
     }
 

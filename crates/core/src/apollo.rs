@@ -1,7 +1,7 @@
 //! APOLLO and APOLLO-Mini (Algorithm 1 of the paper).
 
 use apollo_obs::{Obs, TraceEvent};
-use apollo_tensor::Matrix;
+use apollo_tensor::{fused, Matrix};
 
 use crate::limiter::{LimiterOutcome, NormGrowthLimiter};
 use crate::projector::{ProjKind, Projector};
@@ -226,11 +226,15 @@ impl Optimizer for Apollo {
         for (i, p) in params.iter_mut().enumerate() {
             match &mut self.states[i] {
                 ApolloState::Dense(moments) => {
-                    let update = moments.update(p.grad, self.beta1, self.beta2, self.eps);
-                    if self.weight_decay > 0.0 {
-                        p.value.scale_assign(1.0 - lr * self.weight_decay);
-                    }
-                    p.value.axpy(-lr, update);
+                    moments.step_weight(
+                        p.value,
+                        p.grad,
+                        self.beta1,
+                        self.beta2,
+                        self.eps,
+                        lr,
+                        self.weight_decay,
+                    );
                     self.last_scales[i].clear();
                 }
                 ApolloState::LowRank {
@@ -256,19 +260,23 @@ impl Optimizer for Apollo {
                     let r = projector.project(p.grad);
                     // Step 2: low-rank AdamW moments.
                     let rt = moments.update(&r, self.beta1, self.beta2, self.eps);
-                    // Step 3: approximated gradient scaling factors,
-                    // applied to the raw gradient in per-param scratch.
-                    update.copy_from(p.grad);
-                    match self.granularity {
+                    // Steps 3+4a, fused: scale the raw gradient by the
+                    // approximated factors and by α in one traversal of the
+                    // per-param scratch, getting ‖update‖_F as a by-product
+                    // for the limiter (the kernel's flat f64 accumulation is
+                    // the same as `Matrix::fro_norm`).
+                    let norm = match self.granularity {
                         ScaleGranularity::Channel => {
                             let along_cols = p.grad.rows() <= p.grad.cols();
                             let s = norm_ratio_scales(rt, &r, along_cols);
-                            if along_cols {
-                                update.scale_cols(&s);
+                            let scale = if along_cols {
+                                fused::ChannelScale::Cols(&s)
                             } else {
-                                update.scale_rows(&s);
-                            }
+                                fused::ChannelScale::Rows(&s)
+                            };
+                            let norm = fused::fused_apollo_scale(update, p.grad, scale, self.alpha);
                             self.last_scales[i] = s;
+                            norm
                         }
                         ScaleGranularity::Tensor => {
                             let denom = r.fro_norm();
@@ -277,10 +285,16 @@ impl Optimizer for Apollo {
                             } else {
                                 0.0
                             };
-                            update.scale_assign(s);
+                            let norm = fused::fused_apollo_scale(
+                                update,
+                                p.grad,
+                                fused::ChannelScale::Tensor(s),
+                                self.alpha,
+                            );
                             self.last_scales[i] = vec![s];
+                            norm
                         }
-                    }
+                    };
                     if self.obs.sample_due() && self.obs.has_trace() {
                         if let Some(ev) =
                             apollo_obs::scale_summary(self.obs.step(), p.name, &self.last_scales[i])
@@ -288,20 +302,13 @@ impl Optimizer for Apollo {
                             self.obs.emit(|| ev);
                         }
                     }
-                    // Step 4: update in the original space.
-                    update.scale_assign(self.alpha);
                     if self.use_limiter {
-                        let pre = if self.obs.has_trace() {
-                            update.fro_norm()
-                        } else {
-                            0.0
-                        };
-                        match limiter.apply(update) {
+                        match limiter.apply_with_norm(update, norm) {
                             LimiterOutcome::Clamped => {
                                 self.obs.counter("limiter_clips", 1);
                                 if self.obs.has_trace() {
                                     let post = update.fro_norm();
-                                    let ratio = if post > 1e-30 { pre / post } else { 1.0 };
+                                    let ratio = if post > 1e-30 { norm / post } else { 1.0 };
                                     let step = self.obs.step();
                                     let name = p.name;
                                     self.obs.emit(|| TraceEvent::LimiterClip {
@@ -317,10 +324,13 @@ impl Optimizer for Apollo {
                             LimiterOutcome::Passed => {}
                         }
                     }
-                    if self.weight_decay > 0.0 {
-                        p.value.scale_assign(1.0 - lr * self.weight_decay);
-                    }
-                    p.value.axpy(-lr, update);
+                    // Step 4b, fused: decoupled weight decay + weight write.
+                    let decay = if self.weight_decay > 0.0 {
+                        1.0 - lr * self.weight_decay
+                    } else {
+                        1.0
+                    };
+                    fused::fused_axpy_chain(p.value, decay, -lr, update);
                     r.recycle();
                 }
             }

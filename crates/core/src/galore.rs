@@ -155,11 +155,7 @@ impl GaLore {
             // temporaries — neither clones a full matrix.
             match st {
                 LowRankState::Dense(moments) => {
-                    let update = moments.update(p.grad, beta1, beta2, eps);
-                    if self.weight_decay > 0.0 {
-                        p.value.scale_assign(decay);
-                    }
-                    p.value.axpy(-lr, update);
+                    moments.step_weight(p.value, p.grad, beta1, beta2, eps, lr, self.weight_decay);
                 }
                 LowRankState::LowRank {
                     moments,
@@ -230,10 +226,10 @@ impl GaLore {
                             LimiterOutcome::Passed => {}
                         }
                     }
-                    if self.weight_decay > 0.0 {
-                        p.value.scale_assign(decay);
-                    }
-                    p.value.axpy(-lr, &back);
+                    // `decay` is exactly 1.0 when weight decay is off, and
+                    // a decay-1.0 multiply is a bit-exact no-op, so the
+                    // fused tail needs no branch.
+                    apollo_tensor::fused::fused_axpy_chain(p.value, decay, -lr, &back);
                     back.recycle();
                     r.recycle();
                 }

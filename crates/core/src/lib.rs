@@ -69,7 +69,7 @@ pub use limiter::{LimiterOutcome, NormGrowthLimiter};
 pub use projector::{ProjKind, Projector};
 pub use sgd::{Sgd, SgdMomentum};
 
-use apollo_tensor::Matrix;
+use apollo_tensor::{fused, Matrix};
 
 /// One parameter's view for an optimizer step: current value, fresh
 /// gradient, and whether the low-rank projection path applies (2-D
@@ -222,14 +222,18 @@ impl AdamMoments {
     /// Updates the moments with gradient `g` and returns the bias-corrected
     /// normalized update `M̂ / (√V̂ + ε)`.
     ///
-    /// Quantized variants round-trip the moments through INT8 after each
-    /// update, so the persistent state is exactly what an 8-bit optimizer
-    /// would hold.
+    /// Full-precision state goes through the single-pass
+    /// [`fused::fused_adam_moments`] kernel (bit-identical to the staged
+    /// EMA + zip path). Quantized variants keep the staged path: they
+    /// round-trip the moments through INT8 after each update, so the
+    /// persistent state is exactly what an 8-bit optimizer would hold.
     pub(crate) fn update(&mut self, g: &Matrix, beta1: f32, beta2: f32, eps: f32) -> &Matrix {
         self.t += 1;
-        self.m.ema_assign(beta1, g);
-        self.v.ema_square_assign(beta2, g);
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
         if let Some(group) = self.quant_group {
+            self.m.ema_assign(beta1, g);
+            self.v.ema_square_assign(beta2, g);
             // Companded (nonlinear) code, as real 8-bit optimizers use —
             // linear absmax INT8 would zero small second-moment entries.
             let m = apollo_quant::fake_quantize_companded(&self.m, group, 0.5);
@@ -238,13 +242,69 @@ impl AdamMoments {
             // v is non-negative by construction; keep it that way.
             v.map_assign(|x| x.max(0.0));
             std::mem::replace(&mut self.v, v).recycle();
+            self.upd.zip_map_from(&self.m, &self.v, |m, v| {
+                (m / bc1) / ((v / bc2).sqrt() + eps)
+            });
+        } else {
+            fused::fused_adam_moments(
+                &mut self.m,
+                &mut self.v,
+                &mut self.upd,
+                g,
+                beta1,
+                beta2,
+                bc1,
+                bc2,
+                eps,
+            );
         }
-        let bc1 = 1.0 - beta1.powi(self.t as i32);
-        let bc2 = 1.0 - beta2.powi(self.t as i32);
-        self.upd.zip_map_from(&self.m, &self.v, |m, v| {
-            (m / bc1) / ((v / bc2).sqrt() + eps)
-        });
         &self.upd
+    }
+
+    /// Fully fused AdamW tensor step: moment EMAs, bias correction,
+    /// decoupled weight decay, and the weight write in one traversal, with
+    /// no normalized-update temporary. Quantized state takes the staged
+    /// path, since the INT8 round-trip must interpose between the moment
+    /// update and the weight write.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_weight(
+        &mut self,
+        w: &mut Matrix,
+        g: &Matrix,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        lr: f32,
+        weight_decay: f32,
+    ) {
+        // `decay = 1.0` is a bit-exact no-op multiply, matching the staged
+        // path that skips `scale_assign` entirely when decay is off.
+        let decay = if weight_decay > 0.0 {
+            1.0 - lr * weight_decay
+        } else {
+            1.0
+        };
+        if self.quant_group.is_none() {
+            self.t += 1;
+            let bc1 = 1.0 - beta1.powi(self.t as i32);
+            let bc2 = 1.0 - beta2.powi(self.t as i32);
+            fused::fused_adam_update(
+                w,
+                g,
+                &mut self.m,
+                &mut self.v,
+                beta1,
+                beta2,
+                bc1,
+                bc2,
+                eps,
+                lr,
+                decay,
+            );
+        } else {
+            let update = self.update(g, beta1, beta2, eps);
+            fused::fused_axpy_chain(w, decay, -lr, update);
+        }
     }
 
     /// State footprint in f32-equivalent *elements*: the two moment tensors.

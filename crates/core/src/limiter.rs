@@ -63,6 +63,15 @@ impl NormGrowthLimiter {
     /// returned for the caller's recovery policy to act on.
     pub fn apply(&mut self, update: &mut Matrix) -> LimiterOutcome {
         let norm = update.fro_norm();
+        self.apply_with_norm(update, norm)
+    }
+
+    /// Same as [`NormGrowthLimiter::apply`], but takes the update's already
+    /// computed Frobenius norm. Callers that obtain the norm as a by-product
+    /// of building the update (the fused APOLLO scaling kernel) skip a full
+    /// re-traversal of the tensor; passing `update.fro_norm()` makes this
+    /// identical to `apply`.
+    pub fn apply_with_norm(&mut self, update: &mut Matrix, norm: f32) -> LimiterOutcome {
         if !norm.is_finite() {
             return LimiterOutcome::NonFinite;
         }

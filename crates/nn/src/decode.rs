@@ -13,8 +13,10 @@
 //!
 //! - matmuls go through the same [`Matrix`] kernels, which accumulate every
 //!   output element in ascending inner-dimension order at any thread count;
-//! - RMSNorm, SiLU, and RoPE reproduce the graph's per-element expressions
-//!   (same sums, same `powf`/`sin_cos` calls, same left-associativity);
+//! - RMSNorm and the SwiGLU gate call the *same* fused kernels as the graph
+//!   ([`apollo_tensor::fused`]), and RoPE goes through the shared
+//!   [`fused::rope_rotate_row`] rotation with the frequency table hoisted
+//!   out of the row loop (`powf` is pure, so precomputing it is exact);
 //! - attention scores, the running softmax max/denominator, and the
 //!   probability-weighted value sum all ascend over cache positions exactly
 //!   like the graph's per-row loops — the graph's `probs · V` product
@@ -25,7 +27,7 @@
 //! `nn/tests/decode_equivalence.rs` pins this contract across adversarial
 //! sequence lengths, prefill chunkings, and interleaved batches.
 
-use apollo_tensor::Matrix;
+use apollo_tensor::{fused, Matrix};
 
 use crate::model::LlamaModel;
 
@@ -70,47 +72,10 @@ impl KvCache {
     }
 }
 
-/// `1 / (1 + e^{-x})`, matching the graph's SiLU forward expression.
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
-/// Row-wise RMSNorm with learned gain, replicating the float-op order of
-/// the graph's `rmsnorm` forward (ascending-`j` mean-square sum, then
-/// `v · inv · g` per element).
+/// Row-wise RMSNorm with learned gain via the shared fused kernel (the
+/// per-row inverse-rms cache is only needed by backward, so it is dropped).
 fn rmsnorm_rows(x: &Matrix, gain: &Matrix) -> Matrix {
-    let n = x.cols() as f32;
-    let mut y = Matrix::zeros(x.rows(), x.cols());
-    for r in 0..x.rows() {
-        let row = x.row(r);
-        let ms = row.iter().map(|&v| v * v).sum::<f32>() / n;
-        let inv = 1.0 / (ms + 1e-5).sqrt();
-        let out = y.row_mut(r);
-        for (j, (&v, &g)) in row.iter().zip(gain.row(0)).enumerate() {
-            out[j] = v * inv * g;
-        }
-    }
-    y
-}
-
-/// Rotates one `heads · head_dim` row in place at absolute position `pos`,
-/// replicating the graph's `rope_apply` per-pair expressions (the graph
-/// multiplies `theta` by a `sign` of `1.0` in the forward direction, which
-/// is exact, so omitting it here preserves bit-identity).
-fn rope_row(row: &mut [f32], pos: usize, heads: usize, hd: usize, theta_base: f32) {
-    let half = hd / 2;
-    let posf = pos as f32;
-    for h in 0..heads {
-        let base = h * hd;
-        for i in 0..half {
-            let theta = posf * theta_base.powf(-2.0 * i as f32 / hd as f32);
-            let (sin, cos) = theta.sin_cos();
-            let a = row[base + 2 * i];
-            let b = row[base + 2 * i + 1];
-            row[base + 2 * i] = a * cos - b * sin;
-            row[base + 2 * i + 1] = a * sin + b * cos;
-        }
-    }
+    fused::fused_rmsnorm_fwd(x, gain, 1e-5).0
 }
 
 impl LlamaModel {
@@ -178,14 +143,17 @@ impl LlamaModel {
         }
 
         let scale = 1.0 / (hd as f32).sqrt();
+        // RoPE frequency table, hoisted out of the per-layer/per-row loops
+        // (pure `powf` of the geometry, so precomputing is bit-exact).
+        let freqs = fused::rope_freqs(hd, self.cfg.rope_theta);
         for (l, layer) in self.layers.iter().enumerate() {
             let hn = rmsnorm_rows(&x, &self.params[layer.attn_norm].value);
             let mut q = layer.wq.forward_nograd(&hn, &self.params);
             let mut k = layer.wk.forward_nograd(&hn, &self.params);
             let v = layer.wv.forward_nograd(&hn, &self.params);
             for (r, &pos) in positions.iter().enumerate() {
-                rope_row(q.row_mut(r), pos, heads, hd, self.cfg.rope_theta);
-                rope_row(k.row_mut(r), pos, heads, hd, self.cfg.rope_theta);
+                fused::rope_rotate_row(q.row_mut(r), pos as f32, heads, hd, &freqs, false);
+                fused::rope_rotate_row(k.row_mut(r), pos as f32, heads, hd, &freqs, false);
             }
             // Keys/values land in the caches first so that later rows of the
             // same call attend to earlier ones, as in the full forward.
@@ -241,15 +209,14 @@ impl LlamaModel {
                 }
             }
             let o = layer.wo.forward_nograd(&att, &self.params);
-            x = x.add(&o);
+            x.add_assign(&o);
 
             let mn = rmsnorm_rows(&x, &self.params[layer.mlp_norm].value);
-            let gate = layer.gate.forward_nograd(&mn, &self.params);
-            let gate = gate.map(|v| v * sigmoid(v));
+            let gate_pre = layer.gate.forward_nograd(&mn, &self.params);
             let up = layer.up.forward_nograd(&mn, &self.params);
-            let act = gate.hadamard(&up);
+            let act = fused::fused_swiglu_fwd(&gate_pre, &up);
             let mlp = layer.down.forward_nograd(&act, &self.params);
-            x = x.add(&mlp);
+            x.add_assign(&mlp);
         }
         for (c, len) in next_len.into_iter().enumerate() {
             caches[c].len = len;

@@ -170,9 +170,8 @@ impl LlamaModel {
 
             let mn = g.rmsnorm(x, pnodes[layer.mlp_norm], 1e-5);
             let gate_pre = layer.gate.forward(&mut g, mn, &pnodes);
-            let gate = g.silu(gate_pre);
             let up = layer.up.forward(&mut g, mn, &pnodes);
-            let act = g.mul(gate, up);
+            let act = g.swiglu(gate_pre, up);
             let mlp = layer.down.forward(&mut g, act, &pnodes);
             x = g.add(x, mlp);
         }

@@ -1,0 +1,970 @@
+//! Fused single-pass elementwise kernels.
+//!
+//! The matmuls were taken off the memory wall by the packed kernels in
+//! `matmul.rs`; what remains between them is elementwise glue — RMSNorm,
+//! RoPE, SwiGLU, softmax cross-entropy, residual updates, and the
+//! optimizer's moment/weight chains — that the staged `Matrix` ops walk in
+//! three to seven full passes each. Every kernel here performs the same
+//! chain in a single traversal (two for softmax cross-entropy, which needs
+//! the row max first), with inner loops unrolled in 8-wide lanes and no
+//! per-element branches, so the compiler can vectorize the elementwise
+//! work.
+//!
+//! # Bit-identity contract
+//!
+//! Each fused kernel is *bit-identical* to the staged reference it
+//! replaces ([`reference`] keeps those alive for the property tests and
+//! benchmarks), not merely close:
+//!
+//! - every element's float expression is copied verbatim from the staged
+//!   ops, including associativity (`(v * inv) * g`, `(beta * m) +
+//!   (((1 - beta) * g) * g)`, …);
+//! - reductions (row mean-squares, softmax denominators, Frobenius norms,
+//!   the loss sum) keep the reference's strict ascending single-accumulator
+//!   order — the 8-lane unrolling applies only to independent elementwise
+//!   work, never to a reduction, because float addition does not
+//!   reassociate;
+//! - large inputs are split into row bands on the worker pool exactly like
+//!   the matmuls: the partition is a pure function of `(rows, threads)`
+//!   and each band owns a disjoint output slice, so results match the
+//!   serial path bit-for-bit at any thread count. Cross-row reductions
+//!   (the RMSNorm gain gradient, loss and norm sums) always run serially.
+//!
+//! `tensor/tests/fused_equivalence.rs` pins the contract per kernel across
+//! adversarial shapes and thread counts; the train-loop test in
+//! `apollo-nn` pins it end-to-end against the staged graph arm.
+
+use crate::matmul::{current_threads, should_parallelize};
+use crate::pool;
+use crate::Matrix;
+
+// Per-element cost estimates feeding the shared parallelism gate
+// (`should_parallelize`, threshold 2^20 FLOPs). Transcendental-heavy
+// kernels count higher so they cross onto the pool at smaller shapes.
+const RMSNORM_FWD_FLOPS: usize = 4;
+const RMSNORM_BWD_FLOPS: usize = 10;
+const SWIGLU_FWD_FLOPS: usize = 16;
+const SWIGLU_BWD_FLOPS: usize = 24;
+const XENT_FLOPS: usize = 24;
+const ROPE_FLOPS: usize = 16;
+const AXPY_FLOPS: usize = 3;
+const ADAM_FLOPS: usize = 12;
+const SCALE_NORM_FLOPS: usize = 5;
+
+/// Raw output pointer shared across pool tasks; tasks carve disjoint
+/// ranges out of it (same pattern as the matmul kernels' `OutPtr`).
+#[derive(Clone, Copy)]
+struct BandPtr(*mut f32);
+
+impl BandPtr {
+    /// Reborrows `len` elements starting at `start` as a mutable slice.
+    ///
+    /// # Safety
+    ///
+    /// Callers must hand out non-overlapping `start..start + len` ranges
+    /// and keep the underlying buffer alive for the duration of use; both
+    /// hold for the disjoint row bands of a blocking [`pool::Pool::run`].
+    unsafe fn slice<'a>(self, start: usize, len: usize) -> &'a mut [f32] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
+    }
+}
+
+// SAFETY: tasks index disjoint ranges, established by the band partition
+// in `par_bands`.
+unsafe impl Send for BandPtr {}
+unsafe impl Sync for BandPtr {}
+
+/// Runs `run(lo, hi)` over row bands of an `rows`-row problem, on the
+/// worker pool when the FLOP gate passes, serially otherwise. The band
+/// partition is a pure function of `(rows, threads)`, so any output
+/// produced from disjoint per-band writes is bit-identical for every
+/// thread count (including 1).
+fn par_bands(rows: usize, flops: usize, run: impl Fn(usize, usize) + Sync) {
+    let threads = current_threads();
+    if !should_parallelize(threads, rows, flops) {
+        run(0, rows);
+        return;
+    }
+    let band = rows.div_ceil(threads);
+    let n_bands = rows.div_ceil(band);
+    pool::Pool::run(threads, n_bands, &|t| {
+        let lo = t * band;
+        let hi = ((t + 1) * band).min(rows);
+        run(lo, hi);
+    });
+}
+
+/// `1 / (1 + e^{-x})`, the graph's SiLU sigmoid expression.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Applies `out[i] = f(i)` over a lane-unrolled elementwise loop: full
+/// 8-wide chunks run a fixed-trip inner loop (unrolled and, for simple
+/// `f`, vectorized by the compiler), the tail runs scalar. Each element is
+/// independent, so the unroll cannot change any result bit.
+#[inline]
+fn for_each_lane(out: &mut [f32], f: impl Fn(usize) -> f32) {
+    let chunks = out.len() / 8;
+    for c in 0..chunks {
+        let base = c * 8;
+        let lane: &mut [f32] = &mut out[base..base + 8];
+        for (i, o) in lane.iter_mut().enumerate() {
+            *o = f(base + i);
+        }
+    }
+    for (i, o) in out.iter_mut().enumerate().skip(chunks * 8) {
+        *o = f(i);
+    }
+}
+
+// ----- rmsnorm ---------------------------------------------------------------
+
+/// Row-wise RMSNorm with learned gain in one traversal per row.
+///
+/// Returns the normalized output and the cached `1 / rms` per row (the
+/// only activation the backward needs). Bit-identical to the staged
+/// reference: ascending mean-square sum, then `(v * inv) * g` per element.
+///
+/// # Panics
+///
+/// Panics if `gain` is not `1 × cols`.
+pub fn fused_rmsnorm_fwd(x: &Matrix, gain: &Matrix, eps: f32) -> (Matrix, Vec<f32>) {
+    assert_eq!(
+        gain.shape(),
+        (1, x.cols()),
+        "fused_rmsnorm_fwd: gain must be 1 x cols"
+    );
+    let (rows, cols) = x.shape();
+    let n = cols as f32;
+    let mut y = Matrix::zeros(rows, cols);
+    let mut inv_rms = vec![0.0f32; rows];
+    let xs = x.as_slice();
+    let gs = gain.row(0);
+    let yp = BandPtr(y.as_mut_slice().as_mut_ptr());
+    let ip = BandPtr(inv_rms.as_mut_ptr());
+    par_bands(rows, rows * cols * RMSNORM_FWD_FLOPS, |lo, hi| {
+        // SAFETY: bands are disjoint row ranges; `y` and `inv_rms` outlive
+        // the blocking pool call.
+        let yband = unsafe { yp.slice(lo * cols, (hi - lo) * cols) };
+        let iband = unsafe { ip.slice(lo, hi - lo) };
+        let gsl = &gs[..cols];
+        let mut r = lo;
+        // Four rows at a time: each row's mean-square sum is a strict
+        // sequential chain (bit-identity forbids reassociating it), so a
+        // single row is f32-add-latency-bound. Four independent rows'
+        // chains interleave to hide that latency while every row still
+        // accumulates in exactly the reference's ascending order.
+        while r + 4 <= hi {
+            let x0 = &xs[r * cols..][..cols];
+            let x1 = &xs[(r + 1) * cols..][..cols];
+            let x2 = &xs[(r + 2) * cols..][..cols];
+            let x3 = &xs[(r + 3) * cols..][..cols];
+            let mut acc = [0.0f32; 4];
+            for j in 0..cols {
+                acc[0] += x0[j] * x0[j];
+                acc[1] += x1[j] * x1[j];
+                acc[2] += x2[j] * x2[j];
+                acc[3] += x3[j] * x3[j];
+            }
+            for (i, xrow) in [x0, x1, x2, x3].into_iter().enumerate() {
+                let inv = 1.0 / (acc[i] / n + eps).sqrt();
+                iband[r - lo + i] = inv;
+                let out = &mut yband[(r - lo + i) * cols..][..cols];
+                for ((o, &v), &g) in out.iter_mut().zip(xrow).zip(gsl) {
+                    *o = v * inv * g;
+                }
+            }
+            r += 4;
+        }
+        while r < hi {
+            let row = &xs[r * cols..][..cols];
+            // Strict ascending single-accumulator sum (reduction: no lanes).
+            let ms = row.iter().map(|&v| v * v).sum::<f32>() / n;
+            let inv = 1.0 / (ms + eps).sqrt();
+            iband[r - lo] = inv;
+            let out = &mut yband[(r - lo) * cols..][..cols];
+            for ((o, &v), &g) in out.iter_mut().zip(row).zip(gsl) {
+                *o = v * inv * g;
+            }
+            r += 1;
+        }
+    });
+    (y, inv_rms)
+}
+
+/// Backward of [`fused_rmsnorm_fwd`]: returns `(dx, dgain)`.
+///
+/// `dx` rows are independent and band-parallel; the gain gradient is a
+/// cross-row reduction and always accumulates serially in ascending row
+/// order (the reference's order).
+pub fn fused_rmsnorm_bwd(
+    x: &Matrix,
+    gain: &Matrix,
+    gout: &Matrix,
+    inv_rms: &[f32],
+) -> (Matrix, Matrix) {
+    let (rows, cols) = x.shape();
+    let n = cols as f32;
+    let mut dx = Matrix::zeros(rows, cols);
+    let mut dg = Matrix::zeros(1, cols);
+    let xs = x.as_slice();
+    let gs = gain.row(0);
+    let gos = gout.as_slice();
+    let threads = current_threads();
+    let flops = rows * cols * RMSNORM_BWD_FLOPS;
+    let gsl = &gs[..cols];
+    // Four-row block: each row's `t = Σ_j dy_j · g_j · x_j` reduction is a
+    // strict sequential chain (the reference's ascending order), so one
+    // row is f32-add-latency-bound; interleaving four independent rows'
+    // chains hides the latency without touching any row's own order.
+    let dx_rows4 = |r: usize, out: &mut [f32]| {
+        let x0 = &xs[r * cols..][..cols];
+        let x1 = &xs[(r + 1) * cols..][..cols];
+        let x2 = &xs[(r + 2) * cols..][..cols];
+        let x3 = &xs[(r + 3) * cols..][..cols];
+        let g0 = &gos[r * cols..][..cols];
+        let g1 = &gos[(r + 1) * cols..][..cols];
+        let g2 = &gos[(r + 2) * cols..][..cols];
+        let g3 = &gos[(r + 3) * cols..][..cols];
+        let (mut t0, mut t1, mut t2, mut t3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for j in 0..cols {
+            let gv = gsl[j];
+            t0 += g0[j] * gv * x0[j];
+            t1 += g1[j] * gv * x1[j];
+            t2 += g2[j] * gv * x2[j];
+            t3 += g3[j] * gv * x3[j];
+        }
+        let t = [t0, t1, t2, t3];
+        let rows4 = [(x0, g0), (x1, g1), (x2, g2), (x3, g3)];
+        for (i, (xrow, grow)) in rows4.into_iter().enumerate() {
+            let inv = inv_rms[r + i];
+            let ti = t[i];
+            let orow = &mut out[i * cols..][..cols];
+            for (((o, &gy), &gv), &xv) in orow.iter_mut().zip(grow).zip(gsl).zip(xrow) {
+                *o = gy * gv * inv - inv * inv * inv / n * xv * ti;
+            }
+        }
+    };
+    let dx_row = |r: usize, inv: f32, dxrow: &mut [f32]| {
+        let xrow = &xs[r * cols..][..cols];
+        let grow = &gos[r * cols..][..cols];
+        // t = Σ_j dy_j · g_j · x_j (reduction: strict ascending order).
+        let mut t = 0.0f32;
+        for ((&gy, &gv), &xv) in grow.iter().zip(gsl).zip(xrow) {
+            t += gy * gv * xv;
+        }
+        for (((o, &gy), &gv), &xv) in dxrow.iter_mut().zip(grow).zip(gsl).zip(xrow) {
+            *o = gy * gv * inv - inv * inv * inv / n * xv * t;
+        }
+    };
+    let dx_band = |lo: usize, hi: usize, band: &mut [f32]| {
+        let mut r = lo;
+        while r + 4 <= hi {
+            dx_rows4(r, &mut band[(r - lo) * cols..][..4 * cols]);
+            r += 4;
+        }
+        while r < hi {
+            dx_row(r, inv_rms[r], &mut band[(r - lo) * cols..][..cols]);
+            r += 1;
+        }
+    };
+    if should_parallelize(threads, rows, flops) {
+        let dxp = BandPtr(dx.as_mut_slice().as_mut_ptr());
+        par_bands(rows, flops, |lo, hi| {
+            // SAFETY: disjoint row bands of `dx`, which outlives the call.
+            let band = unsafe { dxp.slice(lo * cols, (hi - lo) * cols) };
+            dx_band(lo, hi, band);
+        });
+    } else {
+        dx_band(0, rows, dx.as_mut_slice());
+    }
+    // Gain gradient: sequential ascending-row accumulation (a cross-row
+    // reduction, so it never runs on the pool); per-column chains are
+    // independent, so the inner loop vectorizes.
+    let dgs = dg.as_mut_slice();
+    for (r, &inv) in inv_rms.iter().enumerate() {
+        let xrow = &xs[r * cols..][..cols];
+        let grow = &gos[r * cols..][..cols];
+        for ((d, &gy), &xv) in dgs.iter_mut().zip(grow).zip(xrow) {
+            *d += gy * xv * inv;
+        }
+    }
+    (dx, dg)
+}
+
+// ----- swiglu ----------------------------------------------------------------
+
+/// `silu(a) ⊙ b` in one pass, without the staged path's silu temporary.
+///
+/// Per element: `(a · σ(a)) · b`, the exact composition of the staged
+/// `map` + `hadamard`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn fused_swiglu_fwd(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "fused_swiglu_fwd: shape mismatch");
+    let (rows, cols) = a.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    let avs = a.as_slice();
+    let bvs = b.as_slice();
+    let op = BandPtr(out.as_mut_slice().as_mut_ptr());
+    par_bands(rows, rows * cols * SWIGLU_FWD_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `out`, which outlives the call.
+        let band = unsafe { op.slice(lo * cols, (hi - lo) * cols) };
+        let aband = &avs[lo * cols..hi * cols];
+        let bband = &bvs[lo * cols..hi * cols];
+        for_each_lane(band, |i| {
+            let av = aband[i];
+            av * sigmoid(av) * bband[i]
+        });
+    });
+    out
+}
+
+/// Backward of [`fused_swiglu_fwd`]: returns `(da, db)` in one traversal,
+/// recomputing `σ(a)` instead of caching the silu activation (the same
+/// expression as the forward, hence the same bits).
+pub fn fused_swiglu_bwd(a: &Matrix, b: &Matrix, gout: &Matrix) -> (Matrix, Matrix) {
+    assert_eq!(a.shape(), b.shape(), "fused_swiglu_bwd: shape mismatch");
+    assert_eq!(a.shape(), gout.shape(), "fused_swiglu_bwd: gout mismatch");
+    let (rows, cols) = a.shape();
+    let mut da = Matrix::zeros(rows, cols);
+    let mut db = Matrix::zeros(rows, cols);
+    let avs = a.as_slice();
+    let bvs = b.as_slice();
+    let gos = gout.as_slice();
+    let dap = BandPtr(da.as_mut_slice().as_mut_ptr());
+    let dbp = BandPtr(db.as_mut_slice().as_mut_ptr());
+    par_bands(rows, rows * cols * SWIGLU_BWD_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `da`/`db`, which outlive the call.
+        let daband = unsafe { dap.slice(lo * cols, (hi - lo) * cols) };
+        let dbband = unsafe { dbp.slice(lo * cols, (hi - lo) * cols) };
+        let base = lo * cols;
+        for i in 0..(hi - lo) * cols {
+            let x = avs[base + i];
+            let g = gos[base + i];
+            let s = sigmoid(x);
+            // Staged arm: mul backward feeds `g · b` into silu backward
+            // (`(g·b) · s · (1 + x·(1 − s))`) and `g · silu(a)` into db.
+            daband[i] = g * bvs[base + i] * s * (1.0 + x * (1.0 - s));
+            dbband[i] = g * (x * s);
+        }
+    });
+    (da, db)
+}
+
+// ----- softmax cross-entropy -------------------------------------------------
+
+/// Mean softmax cross-entropy forward in two row passes (max, then
+/// exp+sum) instead of the staged five.
+///
+/// Returns `(mean_loss, exps, denoms)` where `exps` holds the
+/// *unnormalized* shifted exponentials and `denoms` the per-row sums —
+/// together they are the backward's whole cache, and `exps[t] / denom` is
+/// bit-identical to the staged path's normalized probability (one
+/// division, same operands).
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target is out of range.
+pub fn fused_softmax_xent_fwd(logits: &Matrix, targets: &[u32]) -> (f32, Matrix, Vec<f32>) {
+    let (rows, cols) = logits.shape();
+    assert_eq!(
+        targets.len(),
+        rows,
+        "fused_softmax_xent_fwd: one target per row required"
+    );
+    for &t in targets {
+        assert!(
+            (t as usize) < cols,
+            "fused_softmax_xent_fwd: target {t} out of range"
+        );
+    }
+    let mut exps = Matrix::zeros(rows, cols);
+    let mut denoms = vec![0.0f32; rows];
+    let ls = logits.as_slice();
+    let ep = BandPtr(exps.as_mut_slice().as_mut_ptr());
+    let dp = BandPtr(denoms.as_mut_ptr());
+    par_bands(rows, rows * cols * XENT_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `exps`/`denoms`, which outlive the
+        // call.
+        let eband = unsafe { ep.slice(lo * cols, (hi - lo) * cols) };
+        let dband = unsafe { dp.slice(lo, hi - lo) };
+        for r in lo..hi {
+            let row = &ls[r * cols..(r + 1) * cols];
+            // Pass 1: row max (sequential fold, reference order).
+            let maxv = row.iter().cloned().fold(f32::MIN, f32::max);
+            // Pass 2: shifted exponentials and their ascending sum.
+            let erow = &mut eband[(r - lo) * cols..(r - lo + 1) * cols];
+            let mut denom = 0.0f32;
+            for (e, &x) in erow.iter_mut().zip(row) {
+                *e = (x - maxv).exp();
+                denom += *e;
+            }
+            dband[r - lo] = denom;
+        }
+    });
+    // Loss: sequential ascending-row f64 accumulation (reference order),
+    // reading one cached cell per row.
+    let mut loss = 0.0f64;
+    let es = exps.as_slice();
+    for (r, &t) in targets.iter().enumerate() {
+        let p = es[r * cols + t as usize] / denoms[r];
+        loss += -(p.max(1e-30).ln()) as f64;
+    }
+    let mean = (loss / rows as f64) as f32;
+    (mean, exps, denoms)
+}
+
+/// Backward of [`fused_softmax_xent_fwd`]: `dlogits[r][j] =
+/// (softmax − onehot) · upstream / rows` in one pass.
+///
+/// Each row writes `(e / denom) · f` branch-free, then patches the single
+/// target cell to `((e_t / denom) − 1) · f` — exactly the staged
+/// `clone` / `set` / `scale_assign` composition.
+pub fn fused_softmax_xent_bwd(
+    exps: &Matrix,
+    denoms: &[f32],
+    targets: &[u32],
+    upstream: f32,
+) -> Matrix {
+    let (rows, cols) = exps.shape();
+    let n = rows as f32;
+    let f = upstream / n;
+    let mut dl = Matrix::zeros(rows, cols);
+    let es = exps.as_slice();
+    let dlp = BandPtr(dl.as_mut_slice().as_mut_ptr());
+    par_bands(rows, rows * cols * AXPY_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `dl`, which outlives the call.
+        let band = unsafe { dlp.slice(lo * cols, (hi - lo) * cols) };
+        for r in lo..hi {
+            let erow = &es[r * cols..(r + 1) * cols];
+            let denom = denoms[r];
+            let drow = &mut band[(r - lo) * cols..(r - lo + 1) * cols];
+            for_each_lane(drow, |j| erow[j] / denom * f);
+            let t = targets[r] as usize;
+            drow[t] = (erow[t] / denom - 1.0) * f;
+        }
+    });
+    dl
+}
+
+// ----- rope ------------------------------------------------------------------
+
+/// Per-pair rotation frequencies for a head dimension:
+/// `freqs[i] = theta_base^(−2i / hd)`, hoisted out of the row loops (the
+/// staged path recomputes this `powf` per row — a pure function, so
+/// hoisting preserves bits).
+pub fn rope_freqs(hd: usize, theta_base: f32) -> Vec<f32> {
+    (0..hd / 2)
+        .map(|i| theta_base.powf(-2.0 * i as f32 / hd as f32))
+        .collect()
+}
+
+/// Rotates one `heads · hd` row in place at (float) position `posf` using
+/// precomputed [`rope_freqs`]; `inverse` applies the inverse rotation
+/// (`−θ`, bit-identical to the staged `sign · θ` with `sign = ±1`).
+pub fn rope_rotate_row(
+    row: &mut [f32],
+    posf: f32,
+    heads: usize,
+    hd: usize,
+    freqs: &[f32],
+    inverse: bool,
+) {
+    let half = hd / 2;
+    for h in 0..heads {
+        let base = h * hd;
+        for (i, &fr) in freqs.iter().take(half).enumerate() {
+            let theta = posf * fr;
+            let (sin, cos) = if inverse { -theta } else { theta }.sin_cos();
+            let a = row[base + 2 * i];
+            let b = row[base + 2 * i + 1];
+            row[base + 2 * i] = a * cos - b * sin;
+            row[base + 2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+/// Rotates one row at absolute position `pos` in the forward direction —
+/// the per-row entry point of the KV-cached decode path.
+pub fn rope_row(row: &mut [f32], pos: usize, heads: usize, hd: usize, theta_base: f32) {
+    let freqs = rope_freqs(hd, theta_base);
+    rope_rotate_row(row, pos as f32, heads, hd, &freqs, false);
+}
+
+/// Applies (or inverts) the rotary embedding in place over a
+/// `(batch·seq) × (heads·head_dim)` matrix, row `r` at position `r % seq`
+/// — the canonical implementation shared by the autograd graph and the
+/// decode path.
+pub fn rope_apply(x: &mut Matrix, seq: usize, heads: usize, theta_base: f32, inverse: bool) {
+    let (rows, cols) = x.shape();
+    let hd = cols / heads;
+    let freqs = rope_freqs(hd, theta_base);
+    let xp = BandPtr(x.as_mut_slice().as_mut_ptr());
+    let freqs = &freqs;
+    par_bands(rows, rows * cols * ROPE_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `x`, which outlives the call.
+        let band = unsafe { xp.slice(lo * cols, (hi - lo) * cols) };
+        for r in lo..hi {
+            let row = &mut band[(r - lo) * cols..(r - lo + 1) * cols];
+            rope_rotate_row(row, (r % seq) as f32, heads, hd, freqs, inverse);
+        }
+    });
+}
+
+// ----- optimizer chains ------------------------------------------------------
+
+/// `y ← y · decay + alpha · x` in one pass — the optimizer's
+/// weight-decay-then-axpy tail. With `decay = 1.0` the multiply is exact,
+/// so the staged path's "skip the decay when weight_decay is zero" branch
+/// collapses into one branch-free code path.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn fused_axpy_chain(y: &mut Matrix, decay: f32, alpha: f32, x: &Matrix) {
+    assert_eq!(y.shape(), x.shape(), "fused_axpy_chain: shape mismatch");
+    let (rows, cols) = y.shape();
+    let xs = x.as_slice();
+    let yp = BandPtr(y.as_mut_slice().as_mut_ptr());
+    par_bands(rows, rows * cols * AXPY_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `y`, which outlives the call.
+        let band = unsafe { yp.slice(lo * cols, (hi - lo) * cols) };
+        let xband = &xs[lo * cols..hi * cols];
+        for (yv, &xv) in band.iter_mut().zip(xband) {
+            *yv = *yv * decay + alpha * xv;
+        }
+    });
+}
+
+/// One fused Adam moment-and-update pass: updates `m` and `v` in place and
+/// writes the bias-corrected update into `upd` (reshaped to `g`).
+///
+/// Per element, in the staged order: `m ← β₁m + (1−β₁)g`,
+/// `v ← β₂v + ((1−β₂)g)·g`, `upd ← (m/bc₁) / (√(v/bc₂) + ε)`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_adam_moments(
+    m: &mut Matrix,
+    v: &mut Matrix,
+    upd: &mut Matrix,
+    g: &Matrix,
+    beta1: f32,
+    beta2: f32,
+    bc1: f32,
+    bc2: f32,
+    eps: f32,
+) {
+    assert_eq!(m.shape(), g.shape(), "fused_adam_moments: m/g mismatch");
+    assert_eq!(v.shape(), g.shape(), "fused_adam_moments: v/g mismatch");
+    let (rows, cols) = g.shape();
+    upd.resize_to(rows, cols);
+    let gs = g.as_slice();
+    let mp = BandPtr(m.as_mut_slice().as_mut_ptr());
+    let vp = BandPtr(v.as_mut_slice().as_mut_ptr());
+    let up = BandPtr(upd.as_mut_slice().as_mut_ptr());
+    par_bands(rows, rows * cols * ADAM_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `m`/`v`/`upd`, which outlive the
+        // call.
+        let mband = unsafe { mp.slice(lo * cols, (hi - lo) * cols) };
+        let vband = unsafe { vp.slice(lo * cols, (hi - lo) * cols) };
+        let uband = unsafe { up.slice(lo * cols, (hi - lo) * cols) };
+        let gband = &gs[lo * cols..hi * cols];
+        for i in 0..gband.len() {
+            let gv = gband[i];
+            let mv = beta1 * mband[i] + (1.0 - beta1) * gv;
+            let vv = beta2 * vband[i] + (1.0 - beta2) * gv * gv;
+            mband[i] = mv;
+            vband[i] = vv;
+            uband[i] = (mv / bc1) / ((vv / bc2).sqrt() + eps);
+        }
+    });
+}
+
+/// The full fused Adam parameter step: moments, bias correction, weight
+/// decay, and the weight write in a single pass over the parameter —
+/// without materializing the update matrix at all.
+///
+/// `decay` is the staged path's `1 − lr · weight_decay` (or exactly `1.0`
+/// when weight decay is off). Per element, after the moment updates:
+/// `w ← w · decay + (−lr) · (m/bc₁) / (√(v/bc₂) + ε)`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_adam_update(
+    w: &mut Matrix,
+    g: &Matrix,
+    m: &mut Matrix,
+    v: &mut Matrix,
+    beta1: f32,
+    beta2: f32,
+    bc1: f32,
+    bc2: f32,
+    eps: f32,
+    lr: f32,
+    decay: f32,
+) {
+    assert_eq!(w.shape(), g.shape(), "fused_adam_update: w/g mismatch");
+    assert_eq!(m.shape(), g.shape(), "fused_adam_update: m/g mismatch");
+    assert_eq!(v.shape(), g.shape(), "fused_adam_update: v/g mismatch");
+    let (rows, cols) = g.shape();
+    let gs = g.as_slice();
+    let wp = BandPtr(w.as_mut_slice().as_mut_ptr());
+    let mp = BandPtr(m.as_mut_slice().as_mut_ptr());
+    let vp = BandPtr(v.as_mut_slice().as_mut_ptr());
+    par_bands(rows, rows * cols * ADAM_FLOPS, |lo, hi| {
+        // SAFETY: disjoint row bands of `w`/`m`/`v`, which outlive the
+        // call.
+        let wband = unsafe { wp.slice(lo * cols, (hi - lo) * cols) };
+        let mband = unsafe { mp.slice(lo * cols, (hi - lo) * cols) };
+        let vband = unsafe { vp.slice(lo * cols, (hi - lo) * cols) };
+        let gband = &gs[lo * cols..hi * cols];
+        for i in 0..gband.len() {
+            let gv = gband[i];
+            let mv = beta1 * mband[i] + (1.0 - beta1) * gv;
+            let vv = beta2 * vband[i] + (1.0 - beta2) * gv * gv;
+            mband[i] = mv;
+            vband[i] = vv;
+            let u = (mv / bc1) / ((vv / bc2).sqrt() + eps);
+            wband[i] = wband[i] * decay + (-lr) * u;
+        }
+    });
+}
+
+/// Which channel geometry an APOLLO scaling factor applies along.
+#[derive(Debug, Clone, Copy)]
+pub enum ChannelScale<'a> {
+    /// One factor for the whole tensor (APOLLO-Mini's norm-ratio scalar).
+    Tensor(f32),
+    /// One factor per column (`update[r][j] = g[r][j] · s[j]`).
+    Cols(&'a [f32]),
+    /// One factor per row (`update[r][j] = g[r][j] · s[r]`).
+    Rows(&'a [f32]),
+}
+
+/// APOLLO's scaled-update construction in one pass: writes
+/// `update ← (grad ⊙ s) · alpha` (reshaping `update` to `grad`) and
+/// returns its Frobenius norm.
+///
+/// Replaces the staged `copy_from` → `scale_cols`/`scale_rows`/
+/// `scale_assign` → `scale_assign(alpha)` → `fro_norm` chain (four to five
+/// traversals). The norm accumulates in flat ascending `f64` order — the
+/// exact [`Matrix::fro_norm`] reduction — and therefore runs serially; on
+/// the pooled path it is a second, read-only sweep of the update.
+///
+/// # Panics
+///
+/// Panics if a channel-scale length disagrees with `grad`'s shape.
+pub fn fused_apollo_scale(
+    update: &mut Matrix,
+    grad: &Matrix,
+    scale: ChannelScale<'_>,
+    alpha: f32,
+) -> f32 {
+    let (rows, cols) = grad.shape();
+    match scale {
+        ChannelScale::Cols(s) => {
+            assert_eq!(
+                s.len(),
+                cols,
+                "fused_apollo_scale: need one factor per column"
+            );
+        }
+        ChannelScale::Rows(s) => {
+            assert_eq!(s.len(), rows, "fused_apollo_scale: need one factor per row");
+        }
+        ChannelScale::Tensor(_) => {}
+    }
+    update.resize_to(rows, cols);
+    let gs = grad.as_slice();
+    let threads = current_threads();
+    let flops = rows * cols * SCALE_NORM_FLOPS;
+    let parallel = should_parallelize(threads, rows, flops);
+    let write_row = |r: usize, out: &mut [f32]| {
+        let grow = &gs[r * cols..(r + 1) * cols];
+        match scale {
+            ChannelScale::Tensor(s) => for_each_lane(out, |j| grow[j] * s * alpha),
+            ChannelScale::Cols(s) => for_each_lane(out, |j| grow[j] * s[j] * alpha),
+            ChannelScale::Rows(s) => {
+                let sr = s[r];
+                for_each_lane(out, |j| grow[j] * sr * alpha);
+            }
+        }
+    };
+    if parallel {
+        let up = BandPtr(update.as_mut_slice().as_mut_ptr());
+        par_bands(rows, flops, |lo, hi| {
+            // SAFETY: disjoint row bands of `update`, which outlives the
+            // call.
+            let band = unsafe { up.slice(lo * cols, (hi - lo) * cols) };
+            for r in lo..hi {
+                write_row(r, &mut band[(r - lo) * cols..(r - lo + 1) * cols]);
+            }
+        });
+        // Norm: flat ascending f64 reduction (fro_norm's exact order).
+        let mut acc = 0.0f64;
+        for &u in update.as_slice() {
+            acc += (u as f64) * (u as f64);
+        }
+        acc.sqrt() as f32
+    } else {
+        let mut acc = 0.0f64;
+        let us = update.as_mut_slice();
+        for r in 0..rows {
+            let out = &mut us[r * cols..(r + 1) * cols];
+            write_row(r, out);
+            for &u in out.iter() {
+                acc += (u as f64) * (u as f64);
+            }
+        }
+        acc.sqrt() as f32
+    }
+}
+
+// ----- unfused references ----------------------------------------------------
+
+/// The staged (unfused) implementations the fused kernels replace, built
+/// from the same `Matrix` primitives the seed code used. They are the
+/// ground truth of the bit-identity property tests and the "unfused" arm
+/// of the `perf_kernels` fused section; keep their float-op order frozen.
+pub mod reference {
+    use super::sigmoid;
+    use crate::Matrix;
+
+    /// Staged RMSNorm forward (the autograd op's original loop).
+    pub fn rmsnorm_fwd(x: &Matrix, gain: &Matrix, eps: f32) -> (Matrix, Vec<f32>) {
+        let n = x.cols() as f32;
+        let mut inv_rms = Vec::with_capacity(x.rows());
+        let mut y = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let ms = row.iter().map(|&v| v * v).sum::<f32>() / n;
+            let inv = 1.0 / (ms + eps).sqrt();
+            inv_rms.push(inv);
+            let out = y.row_mut(r);
+            for (j, (&v, &g)) in row.iter().zip(gain.row(0)).enumerate() {
+                out[j] = v * inv * g;
+            }
+        }
+        (y, inv_rms)
+    }
+
+    /// Staged RMSNorm backward (per-element `get`/`set`, three loops per
+    /// row — the autograd op's original body).
+    pub fn rmsnorm_bwd(
+        x: &Matrix,
+        gain: &Matrix,
+        gout: &Matrix,
+        inv_rms: &[f32],
+    ) -> (Matrix, Matrix) {
+        let n = x.cols() as f32;
+        let mut dx = Matrix::zeros(x.rows(), x.cols());
+        let mut dg = Matrix::zeros(1, x.cols());
+        for (r, &inv) in inv_rms.iter().enumerate() {
+            let xrow = x.row(r);
+            let grow = gout.row(r);
+            let mut t = 0.0f32;
+            for j in 0..x.cols() {
+                t += grow[j] * gain.get(0, j) * xrow[j];
+            }
+            let dxrow = dx.row_mut(r);
+            for j in 0..x.cols() {
+                dxrow[j] = grow[j] * gain.get(0, j) * inv - inv * inv * inv / n * xrow[j] * t;
+            }
+            for j in 0..x.cols() {
+                let cur = dg.get(0, j);
+                dg.set(0, j, cur + grow[j] * xrow[j] * inv);
+            }
+        }
+        (dx, dg)
+    }
+
+    /// Staged SwiGLU forward: silu `map` then `hadamard` (two temporaries).
+    pub fn swiglu_fwd(a: &Matrix, b: &Matrix) -> Matrix {
+        let silu = a.map(|x| x * sigmoid(x));
+        silu.hadamard(b)
+    }
+
+    /// Staged SwiGLU backward: mul backward (`gout ⊙ b`, `gout ⊙ silu(a)`)
+    /// feeding silu backward.
+    pub fn swiglu_bwd(a: &Matrix, b: &Matrix, gout: &Matrix) -> (Matrix, Matrix) {
+        let silu = a.map(|x| x * sigmoid(x));
+        let upstream = gout.hadamard(b);
+        let da = a.zip_map(&upstream, |x, g| {
+            let s = sigmoid(x);
+            g * s * (1.0 + x * (1.0 - s))
+        });
+        let db = gout.hadamard(&silu);
+        (da, db)
+    }
+
+    /// Staged softmax cross-entropy forward: normalized probabilities and
+    /// the mean loss (the autograd op's original five-pass body). Returns
+    /// `(mean_loss, probs)`.
+    pub fn softmax_xent_fwd(logits: &Matrix, targets: &[u32]) -> (f32, Matrix) {
+        let mut probs = Matrix::zeros(logits.rows(), logits.cols());
+        let mut loss = 0.0f64;
+        for (r, &target) in targets.iter().enumerate() {
+            let row = logits.row(r);
+            let t = target as usize;
+            let maxv = row.iter().cloned().fold(f32::MIN, f32::max);
+            let mut denom = 0.0f32;
+            let prow = probs.row_mut(r);
+            for (j, &x) in row.iter().enumerate() {
+                let e = (x - maxv).exp();
+                prow[j] = e;
+                denom += e;
+            }
+            for pj in prow.iter_mut() {
+                *pj /= denom;
+            }
+            loss += -(prow[t].max(1e-30).ln()) as f64;
+        }
+        let mean = (loss / logits.rows() as f64) as f32;
+        (mean, probs)
+    }
+
+    /// Staged softmax cross-entropy backward from the normalized `probs`.
+    pub fn softmax_xent_bwd(probs: &Matrix, targets: &[u32], upstream: f32) -> Matrix {
+        let n = probs.rows() as f32;
+        let mut dl = probs.clone();
+        for (r, &t) in targets.iter().enumerate() {
+            let cur = dl.get(r, t as usize);
+            dl.set(r, t as usize, cur - 1.0);
+        }
+        dl.scale_assign(upstream / n);
+        dl
+    }
+
+    /// Staged decay + axpy: `scale_assign` (skipped at `decay == 1`) then
+    /// `axpy`.
+    pub fn axpy_chain(y: &mut Matrix, decay: f32, alpha: f32, x: &Matrix) {
+        if decay != 1.0 {
+            y.scale_assign(decay);
+        }
+        y.axpy(alpha, x);
+    }
+
+    /// Staged Adam moments: `ema_assign`, `ema_square_assign`, then the
+    /// bias-corrected `zip_map_from`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adam_moments(
+        m: &mut Matrix,
+        v: &mut Matrix,
+        upd: &mut Matrix,
+        g: &Matrix,
+        beta1: f32,
+        beta2: f32,
+        bc1: f32,
+        bc2: f32,
+        eps: f32,
+    ) {
+        m.ema_assign(beta1, g);
+        v.ema_square_assign(beta2, g);
+        upd.zip_map_from(m, v, |m, v| (m / bc1) / ((v / bc2).sqrt() + eps));
+    }
+
+    /// Staged full Adam step: moments + decay + axpy via an explicit
+    /// update matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adam_update(
+        w: &mut Matrix,
+        g: &Matrix,
+        m: &mut Matrix,
+        v: &mut Matrix,
+        beta1: f32,
+        beta2: f32,
+        bc1: f32,
+        bc2: f32,
+        eps: f32,
+        lr: f32,
+        decay: f32,
+    ) {
+        let mut upd = Matrix::zeros(0, 0);
+        adam_moments(m, v, &mut upd, g, beta1, beta2, bc1, bc2, eps);
+        axpy_chain(w, decay, -lr, &upd);
+        upd.recycle();
+    }
+
+    /// Staged APOLLO update construction: `copy_from` + channel scaling +
+    /// `scale_assign(alpha)` + `fro_norm` (four to five traversals).
+    pub fn apollo_scale(
+        update: &mut Matrix,
+        grad: &Matrix,
+        scale: super::ChannelScale<'_>,
+        alpha: f32,
+    ) -> f32 {
+        update.copy_from(grad);
+        match scale {
+            super::ChannelScale::Tensor(s) => update.scale_assign(s),
+            super::ChannelScale::Cols(s) => update.scale_cols(s),
+            super::ChannelScale::Rows(s) => update.scale_rows(s),
+        }
+        update.scale_assign(alpha);
+        update.fro_norm()
+    }
+
+    /// Staged RoPE (the autograd graph's original in-place rotation).
+    pub fn rope_apply(x: &mut Matrix, seq: usize, heads: usize, theta_base: f32, inverse: bool) {
+        let hd = x.cols() / heads;
+        let half = hd / 2;
+        let sign = if inverse { -1.0f32 } else { 1.0 };
+        for r in 0..x.rows() {
+            let pos = (r % seq) as f32;
+            let row = x.row_mut(r);
+            for h in 0..heads {
+                let base = h * hd;
+                for i in 0..half {
+                    let theta = pos * theta_base.powf(-2.0 * i as f32 / hd as f32);
+                    let (sin, cos) = (sign * theta).sin_cos();
+                    let a = row[base + 2 * i];
+                    let b = row[base + 2 * i + 1];
+                    row[base + 2 * i] = a * cos - b * sin;
+                    row[base + 2 * i + 1] = a * sin + b * cos;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rope_freqs_match_inline_powf() {
+        let hd = 8;
+        let base = 10_000.0f32;
+        let freqs = rope_freqs(hd, base);
+        for (i, &f) in freqs.iter().enumerate() {
+            let want = base.powf(-2.0 * i as f32 / hd as f32);
+            assert_eq!(f.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_chain_decay_one_matches_skipped_decay() {
+        // `y * 1.0` is bitwise `y`, so the fused branch-free path equals
+        // the staged "skip scale_assign when weight decay is off" branch.
+        let mut rng = crate::Rng::seed_from_u64(7);
+        let x = Matrix::randn(3, 4, &mut rng);
+        let mut fused_y = Matrix::randn(3, 4, &mut rng);
+        let mut staged_y = fused_y.clone();
+        fused_axpy_chain(&mut fused_y, 1.0, -0.01, &x);
+        staged_y.axpy(-0.01, &x);
+        for (a, b) in fused_y.as_slice().iter().zip(staged_y.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn apollo_scale_rejects_bad_channel_lengths() {
+        let g = Matrix::zeros(2, 3);
+        let mut u = Matrix::zeros(0, 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fused_apollo_scale(&mut u, &g, ChannelScale::Cols(&[1.0, 2.0]), 1.0)
+        }));
+        assert!(r.is_err());
+    }
+}

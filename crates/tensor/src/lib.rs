@@ -25,6 +25,7 @@ mod matmul;
 mod matrix;
 mod rng;
 
+pub mod fused;
 pub mod linalg;
 pub mod pool;
 pub mod scratch;

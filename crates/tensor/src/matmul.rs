@@ -43,7 +43,9 @@ fn matmul_flops(m: usize, k: usize, n: usize) -> usize {
 
 /// Whether an `m`-row kernel invocation of `flops` total FLOPs should run
 /// on the worker pool. Pure so the threshold boundary is unit-testable.
-fn should_parallelize(threads: usize, m: usize, flops: usize) -> bool {
+/// Shared with the fused elementwise kernels (`crate::fused`), which gate
+/// on the same threshold so one contract governs all pooled row splits.
+pub(crate) fn should_parallelize(threads: usize, m: usize, flops: usize) -> bool {
     threads > 1 && flops >= PAR_MIN_FLOPS && m >= 2 * threads
 }
 

@@ -51,6 +51,17 @@ impl Matrix {
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Reshapes `self` to `rows × cols`, zero-filled, reusing the existing
+    /// storage (no allocation when capacity suffices). The output-buffer
+    /// counterpart of [`Matrix::copy_from`] for the fused kernels, which
+    /// overwrite every element and only need the shape set up.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Creates a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
         Matrix {

@@ -17,6 +17,7 @@
 //! internal panels.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Retain at most this many free buffers per thread.
 const MAX_BUFS: usize = 64;
@@ -24,15 +25,67 @@ const MAX_BUFS: usize = 64;
 /// Retain at most this many total f32 elements per thread (256 MiB).
 const MAX_ELEMS: usize = 64 << 20;
 
+/// Global (all-thread) pool statistics: freelists are thread-local, but
+/// the worker pool means allocations happen on many threads, so run-level
+/// accounting has to aggregate across them.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RETAINED_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Thread-local freelist wrapper whose `Drop` returns this thread's
+/// retained bytes to the global gauge, so dying threads (e.g. test
+/// runners) don't leak into the accounting.
+struct Freelist(Vec<Vec<f32>>);
+
+impl Drop for Freelist {
+    fn drop(&mut self) {
+        let bytes: usize = self.0.iter().map(|b| 4 * b.capacity()).sum();
+        RETAINED_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
 thread_local! {
-    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static FREE: RefCell<Freelist> = const { RefCell::new(Freelist(Vec::new())) };
+}
+
+/// Snapshot of the global scratch-pool counters, aggregated over every
+/// thread's freelist since process start.
+#[derive(Debug, Clone, Copy)]
+pub struct ScratchStats {
+    /// `take_zeroed` calls served from a pooled buffer.
+    pub hits: u64,
+    /// `take_zeroed` calls that had to allocate fresh storage.
+    pub misses: u64,
+    /// Bytes currently held across all thread freelists.
+    pub retained_bytes: usize,
+}
+
+impl ScratchStats {
+    /// Fraction of takes served from the pool (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Reads the global pool counters.
+pub fn stats() -> ScratchStats {
+    ScratchStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        retained_bytes: RETAINED_BYTES.load(Ordering::Relaxed),
+    }
 }
 
 /// Takes a zeroed buffer of exactly `len` elements, reusing pooled storage
 /// when a large-enough buffer is available (best capacity fit).
 pub fn take_zeroed(len: usize) -> Vec<f32> {
     let reused = FREE.with(|f| {
-        let mut free = f.borrow_mut();
+        let free = &mut f.borrow_mut().0;
         let mut best: Option<(usize, usize)> = None;
         for (i, buf) in free.iter().enumerate() {
             let cap = buf.capacity();
@@ -47,11 +100,16 @@ pub fn take_zeroed(len: usize) -> Vec<f32> {
     });
     match reused {
         Some(mut buf) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            RETAINED_BYTES.fetch_sub(4 * buf.capacity(), Ordering::Relaxed);
             buf.clear();
             buf.resize(len, 0.0);
             buf
         }
-        None => vec![0.0; len],
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            vec![0.0; len]
+        }
     }
 }
 
@@ -62,19 +120,20 @@ pub fn recycle(mut buf: Vec<f32>) {
         return;
     }
     FREE.with(|f| {
-        let mut free = f.borrow_mut();
+        let free = &mut f.borrow_mut().0;
         let held: usize = free.iter().map(Vec::capacity).sum();
         if free.len() >= MAX_BUFS || held + buf.capacity() > MAX_ELEMS {
             return;
         }
         buf.clear();
+        RETAINED_BYTES.fetch_add(4 * buf.capacity(), Ordering::Relaxed);
         free.push(buf);
     });
 }
 
 /// Number of buffers currently pooled on this thread (for tests/metrics).
 pub fn pooled_buffers() -> usize {
-    FREE.with(|f| f.borrow().len())
+    FREE.with(|f| f.borrow().0.len())
 }
 
 #[cfg(test)]
@@ -112,6 +171,27 @@ mod tests {
         while pooled_buffers() > 0 {
             let _ = take_zeroed(1);
         }
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_retained_bytes() {
+        // Drain this thread's pool so the next take is a guaranteed miss.
+        while pooled_buffers() > 0 {
+            let _ = take_zeroed(1);
+        }
+        let before = stats();
+        let buf = take_zeroed(12_345);
+        let after_miss = stats();
+        assert!(after_miss.misses > before.misses, "fresh alloc must count");
+        let cap = buf.capacity();
+        recycle(buf);
+        // Our freelist holds the buffer until we take it back, so the
+        // global gauge must report at least its bytes.
+        assert!(stats().retained_bytes >= 4 * cap);
+        let _ = take_zeroed(12_345);
+        let after_hit = stats();
+        assert!(after_hit.hits > after_miss.hits, "pool reuse must count");
+        assert!(after_hit.hit_rate() > 0.0);
     }
 
     #[test]

@@ -737,6 +737,14 @@ pub fn pretrain_observed(
         "scratch_pooled_buffers",
         apollo_tensor::scratch::pooled_buffers() as u64,
     );
+    // Scratch-pool effectiveness across every thread (the freelists are
+    // thread-local, the counters global): bytes parked in freelists at
+    // run end and the fraction of takes served without a fresh alloc.
+    let scratch = apollo_tensor::scratch::stats();
+    obs.counter("scratch_hits", scratch.hits);
+    obs.counter("scratch_misses", scratch.misses);
+    obs.gauge("scratch.retained_bytes", scratch.retained_bytes as f64);
+    obs.gauge("scratch.hit_rate", scratch.hit_rate());
     obs.emit(|| TraceEvent::RunEnd {
         step,
         wall_secs: log.wall_secs,

@@ -45,19 +45,43 @@ APOLLO_NUM_THREADS=4 ./target/release/apollo "${GEN_ARGS[@]}" \
     >"$TRACE_TMP/gen4.txt"
 cmp "$TRACE_TMP/gen1.txt" "$TRACE_TMP/gen4.txt"
 
+echo "== fused-kernel bit-identity (release mode)"
+# The fused single-pass kernels must stay bitwise equal to the staged
+# references at every thread count. Debug-mode runs are covered by the
+# workspace suite above; release mode is what the benches and users run,
+# and is where the vectorizer could legally diverge if a kernel broke the
+# float-op-order contract.
+cargo test -q --release -p apollo-tensor --test fused_equivalence
+cargo test -q --release -p apollo-autograd training_loop_fused
+
 echo "== bench smoke + perf regression check (vs committed baseline)"
 # Fresh smoke-mode numbers land in a temp dir and are compared against the
 # committed BENCH_*.json at the repo root; perf_check fails the gate on a
-# >30% throughput regression for any (shape, kernel), optimizer, or
-# inference-metric entry.
+# >30% throughput regression for any (shape, kernel) — including the
+# fused_*/unfused_* fused-section pairs — optimizer, or inference-metric
+# entry, and on any baseline entry missing from the fresh run.
+#
+# Every entry is measured in two independent sweeps and max-merged
+# (--merge) before the check, with one retry sweep on failure: a
+# CPU-steal burst on a shared CI box poisons one sweep but does not
+# repeat across all of them, while a genuine regression poisons every
+# sweep and still fails the merged numbers.
 cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer \
     --bin perf_check
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP" "$BENCH_TMP"' EXIT
-APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
-    ./target/release/perf_kernels --smoke "$BENCH_TMP"
-APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
-    ./target/release/perf_infer --smoke "$BENCH_TMP"
-./target/release/perf_check "$BENCH_TMP" .
+run_bench_sweep() {
+    APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
+        ./target/release/perf_kernels --smoke "$@" "$BENCH_TMP"
+    APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
+        ./target/release/perf_infer --smoke "$@" "$BENCH_TMP"
+}
+run_bench_sweep
+run_bench_sweep --merge
+if ! ./target/release/perf_check "$BENCH_TMP" .; then
+    echo "== bench check failed once; re-sweeping (transient load vs real regression)"
+    run_bench_sweep --merge
+    ./target/release/perf_check "$BENCH_TMP" .
+fi
 
 echo "CI green."
