@@ -1,6 +1,6 @@
 //! Perf-regression checker: compares a fresh `BENCH_kernels.json` /
-//! `BENCH_train.json` / `BENCH_infer.json` against the committed baseline
-//! at the repo root,
+//! `BENCH_train.json` / `BENCH_infer.json` / `BENCH_serve.json` against
+//! the committed baseline at the repo root,
 //! prints a delta table, and exits non-zero if any matched entry regressed
 //! by more than the tolerance.
 //!
@@ -19,10 +19,22 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use apollo_bench::perf::{delta_pct, InferReport, KernelReport, TrainReport};
+use apollo_bench::perf::{delta_pct, InferReport, KernelReport, ServeReport, TrainReport};
 
 /// Regression tolerance in percent: fail when fresh < (1 - 30%) · baseline.
 const TOLERANCE_PCT: f64 = 30.0;
+
+/// Latency tolerance in percent: fail when fresh > (1 + 200%) · baseline,
+/// i.e. a 3x tail-latency blowup. Far looser than the throughput gate
+/// because single-digit-millisecond tails on a shared CI VM swing with
+/// scheduler jitter, while the regression this guards against (a lost
+/// admission path, an accidental busy-wait) is orders of magnitude.
+const LATENCY_TOLERANCE_PCT: f64 = 200.0;
+
+/// Absolute slack added on top of the relative latency gate: baselines sit
+/// in the single-digit milliseconds, where one preempted timeslice on a
+/// shared VM exceeds 3x the baseline outright.
+const LATENCY_SLACK_MS: f64 = 25.0;
 
 fn load<T: serde::Deserialize>(dir: &str, name: &str) -> Option<T> {
     let path = Path::new(dir).join(name);
@@ -169,6 +181,69 @@ fn check_infer(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
     (matched, regressions)
 }
 
+fn check_serve(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
+    let (Some(base), Some(fresh)) = (
+        load::<ServeReport>(base_dir, "BENCH_serve.json"),
+        load::<ServeReport>(fresh_dir, "BENCH_serve.json"),
+    ) else {
+        return (0, 1);
+    };
+    println!(
+        "== serve ({}): baseline threads={} ({}), fresh threads={} ({}) ==",
+        fresh.model, base.threads, base.mode, fresh.threads, fresh.mode
+    );
+    let mut regressions = 0;
+    let mut matched = 0;
+    for b in &base.entries {
+        let Some(f) = fresh.entries.iter().find(|f| f.metric == b.metric) else {
+            println!("{:<32} (missing from fresh run)  REGRESSED", b.metric);
+            regressions += 1;
+            continue;
+        };
+        matched += 1;
+        match b.unit.as_str() {
+            // Latency: lower is better, gated at a 3x blowup plus
+            // absolute slack for timeslice-scale jitter.
+            "ms" => {
+                let delta = delta_pct(b.value, f.value);
+                let regressed =
+                    delta > LATENCY_TOLERANCE_PCT && f.value > b.value + LATENCY_SLACK_MS;
+                let flag = if regressed { "  REGRESSED" } else { "" };
+                println!(
+                    "{:<32} {:9.2} -> {:9.2} {:<9} {delta:+7.1}%{flag}",
+                    b.metric, b.value, f.value, b.unit
+                );
+                if regressed {
+                    regressions += 1;
+                }
+            }
+            // Shed rate under deliberate overload: informational only —
+            // it tracks the offered-vs-capacity ratio, not code quality.
+            "ratio" => {
+                println!(
+                    "{:<32} {:9.3} -> {:9.3} {:<9} (informational)",
+                    b.metric, b.value, f.value, b.unit
+                );
+            }
+            // Goodput and anything else: higher is better, standard gate.
+            _ => {
+                if check_row(&b.metric, b.value, f.value, &b.unit) {
+                    regressions += 1;
+                }
+            }
+        }
+    }
+    for f in &fresh.entries {
+        if !base.entries.iter().any(|b| b.metric == f.metric) {
+            println!(
+                "{:<32} {:9.2} {} (new, no baseline)",
+                f.metric, f.value, f.unit
+            );
+        }
+    }
+    (matched, regressions)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fresh_dir = args.first().map_or(".", String::as_str);
@@ -176,8 +251,9 @@ fn main() -> ExitCode {
     let (km, kr) = check_kernels(fresh_dir, base_dir);
     let (tm, tr) = check_train(fresh_dir, base_dir);
     let (im, ir) = check_infer(fresh_dir, base_dir);
-    let matched = km + tm + im;
-    let regressions = kr + tr + ir;
+    let (sm, sr) = check_serve(fresh_dir, base_dir);
+    let matched = km + tm + im + sm;
+    let regressions = kr + tr + ir + sr;
     if matched == 0 {
         eprintln!("perf_check: no comparable entries (missing or unparseable reports)");
         return ExitCode::FAILURE;

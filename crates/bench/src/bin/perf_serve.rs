@@ -1,0 +1,197 @@
+//! End-to-end serving harness: an in-process HTTP front-end over the
+//! continuous-batching scheduler, driven by the open-loop Poisson load
+//! generator over real loopback sockets.
+//!
+//! Two measurements land in `BENCH_serve.json` (output directory is the
+//! first positional argument, default `.`):
+//!
+//! - **steady**: an arrival rate the server can absorb — tail latency
+//!   (p50/p99/p99.9) and goodput are the regression signal.
+//! - **overload**: a deliberately undersized server at several times its
+//!   capacity — the shed rate shows admission control engaging instead of
+//!   the queue growing without bound (informational, not gated).
+//!
+//! `--smoke` shrinks the request counts for CI; `--merge` best-merges this
+//! run into an existing `BENCH_serve.json` (per-metric best across runs,
+//! min for latencies and max for throughputs, for the double-sweep CI
+//! smoke stage).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use apollo_bench::perf::{InferEntry, ServeReport};
+use apollo_infer::{run_loadgen, FaultMix, Frontend, LoadConfig, SchedConfig, ServeConfig};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_obs::Obs;
+use apollo_tensor::{current_threads, Rng};
+
+/// Per-request workload: short prompts and decodes so a steady run stays
+/// well inside the tiny proxy's capacity and the tail reflects queueing,
+/// not raw decode time.
+const PROMPT_LEN: usize = 16;
+const MAX_NEW_TOKENS: usize = 16;
+/// The overload run decodes longer sequences so the offered rate sits
+/// several times over the single-slot server's capacity — otherwise the
+/// tiny proxy is fast enough to absorb the burst and nothing is shed.
+const OVERLOAD_NEW_TOKENS: usize = 64;
+
+struct RunSpec {
+    steady_requests: usize,
+    steady_rate: f64,
+    overload_requests: usize,
+    overload_rate: f64,
+}
+
+fn loadcfg(addr: String, requests: usize, rate: f64, seed: u64) -> LoadConfig {
+    LoadConfig {
+        addr,
+        requests,
+        rate,
+        seed,
+        prompt_len: PROMPT_LEN,
+        max_new_tokens: MAX_NEW_TOKENS,
+        deadline_ms: 30_000,
+        stream: false,
+        faults: FaultMix::none(),
+        timeout: Duration::from_secs(60),
+        ..LoadConfig::default()
+    }
+}
+
+fn main() {
+    let mut mode = "full".to_string();
+    let mut out_dir = ".".to_string();
+    let mut merge = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => mode = "smoke".to_string(),
+            "--merge" => merge = true,
+            other => out_dir = other.to_string(),
+        }
+    }
+    let spec = if mode == "smoke" {
+        RunSpec {
+            steady_requests: 30,
+            steady_rate: 20.0,
+            overload_requests: 24,
+            overload_rate: 200.0,
+        }
+    } else {
+        RunSpec {
+            steady_requests: 150,
+            steady_rate: 20.0,
+            overload_requests: 60,
+            overload_rate: 200.0,
+        }
+    };
+
+    let cfg = ModelConfig::tiny_60m();
+    let mut rng = Rng::seed_from_u64(0x5E4E);
+    let model = Arc::new(LlamaModel::new(&cfg, LinearMode::Dense, &mut rng));
+
+    // Steady load: generously provisioned server, arrival rate well under
+    // capacity. The tail is queueing jitter plus per-request decode time.
+    let sched = SchedConfig {
+        max_active: 4,
+        queue_cap: 64,
+        prefill_chunk: 16,
+        kv_capacity: PROMPT_LEN + MAX_NEW_TOKENS,
+    };
+    let serve = ServeConfig {
+        default_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let front = Frontend::start(Arc::clone(&model), sched, serve, Obs::disabled())
+        .expect("bind loopback listener");
+    let steady = run_loadgen(&loadcfg(
+        front.local_addr().to_string(),
+        spec.steady_requests,
+        spec.steady_rate,
+        0xACE,
+    ))
+    .expect("steady loadgen run");
+    let report = front.shutdown();
+    assert_eq!(report.forced, 0, "steady run must drain cleanly");
+    assert_eq!(
+        steady.transport_errors, 0,
+        "steady run must not drop connections"
+    );
+    assert!(steady.ok > 0, "steady run produced no successful requests");
+    eprintln!(
+        "[serve] steady ({} req @ {:.0}/s): p50 {:7.1} ms  p99 {:7.1} ms  p99.9 {:7.1} ms  \
+         goodput {:6.1} req/s",
+        steady.sent,
+        spec.steady_rate,
+        steady.p50_ms,
+        steady.p99_ms,
+        steady.p999_ms,
+        steady.goodput_rps
+    );
+
+    // Overload: a single decode slot and a tiny queue at ~10x capacity.
+    // Retries are disabled so every shed response is counted once.
+    let sched = SchedConfig {
+        max_active: 1,
+        queue_cap: 4,
+        prefill_chunk: 16,
+        kv_capacity: PROMPT_LEN + OVERLOAD_NEW_TOKENS,
+    };
+    let serve = ServeConfig {
+        shed_watermark: 2,
+        default_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let front = Frontend::start(Arc::clone(&model), sched, serve, Obs::disabled())
+        .expect("bind loopback listener");
+    let mut over_cfg = loadcfg(
+        front.local_addr().to_string(),
+        spec.overload_requests,
+        spec.overload_rate,
+        0xBEE,
+    );
+    over_cfg.max_new_tokens = OVERLOAD_NEW_TOKENS;
+    over_cfg.max_retries = 0;
+    let overload = run_loadgen(&over_cfg).expect("overload loadgen run");
+    let report = front.shutdown();
+    assert_eq!(report.forced, 0, "overload run must drain cleanly");
+    assert_eq!(
+        overload.transport_errors, 0,
+        "shedding must answer with 429, not dropped connections"
+    );
+    eprintln!(
+        "[serve] overload ({} req @ {:.0}/s): ok {}  shed {}  shed rate {:.3}",
+        overload.sent, spec.overload_rate, overload.ok, overload.shed, overload.shed_rate
+    );
+
+    let entry = |metric: &str, value: f64, unit: &str| InferEntry {
+        metric: metric.to_string(),
+        value,
+        unit: unit.to_string(),
+    };
+    let mut report = ServeReport {
+        model: cfg.name.to_string(),
+        threads: current_threads(),
+        mode,
+        requests: spec.steady_requests,
+        rate: spec.steady_rate,
+        entries: vec![
+            entry("steady_p50_ms", f64::from(steady.p50_ms), "ms"),
+            entry("steady_p99_ms", f64::from(steady.p99_ms), "ms"),
+            entry("steady_p999_ms", f64::from(steady.p999_ms), "ms"),
+            entry("steady_goodput_rps", f64::from(steady.goodput_rps), "req/s"),
+            entry("overload_shed_rate", f64::from(overload.shed_rate), "ratio"),
+        ],
+    };
+    let path = std::path::Path::new(&out_dir).join("BENCH_serve.json");
+    if merge {
+        if let Some(prev) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|d| serde_json::from_str::<ServeReport>(&d).ok())
+        {
+            report.merge_best(&prev);
+        }
+    }
+    let data = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&path, data).expect("write bench json");
+    eprintln!("[saved {}]", path.display());
+}

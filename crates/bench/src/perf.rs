@@ -99,6 +99,45 @@ pub struct InferReport {
     pub entries: Vec<InferEntry>,
 }
 
+/// `BENCH_serve.json`: end-to-end serving latency and goodput measured by
+/// the open-loop Poisson load generator against an in-process HTTP
+/// front-end — tail latencies under steady load plus the shed rate under
+/// deliberate overload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Proxy model name.
+    pub model: String,
+    /// Kernel thread count the run used.
+    pub threads: usize,
+    /// `full` or `smoke` (fewer requests).
+    pub mode: String,
+    /// Requests in the steady-load measurement.
+    pub requests: usize,
+    /// Offered steady-load arrival rate (req/s).
+    pub rate: f64,
+    /// One entry per metric (latencies in `ms`, goodput in `req/s`,
+    /// shed rate as a `ratio`).
+    pub entries: Vec<InferEntry>,
+}
+
+impl ServeReport {
+    /// Per-metric best-merge of a previous run into this one. Direction
+    /// follows the unit: latency (`ms`) keeps the minimum, everything
+    /// else keeps the maximum — "best observed" either way, which is what
+    /// the regression gate compares.
+    pub fn merge_best(&mut self, prev: &Self) {
+        for e in &mut self.entries {
+            if let Some(p) = prev.entries.iter().find(|p| p.metric == e.metric) {
+                e.value = if e.unit == "ms" {
+                    e.value.min(p.value)
+                } else {
+                    e.value.max(p.value)
+                };
+            }
+        }
+    }
+}
+
 impl KernelReport {
     /// Per-entry max-merge of a previous run into this one, matched on
     /// `(shape, kernel)`. Used by the CI smoke stage to measure every

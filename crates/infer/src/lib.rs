@@ -13,7 +13,16 @@
 //!   rows across in-flight sequences each [`Scheduler::tick`], retires
 //!   finished sequences, and back-fills freed slots.
 //! - [`Server`]: a worker thread driving the scheduler, with non-blocking
-//!   bounded admission ([`Server::submit`]) and per-request [`GenHandle`]s.
+//!   bounded admission ([`Server::submit`]), per-request [`GenHandle`]s
+//!   (streaming [`GenEvent`]s, cancel-on-drop), and explicit drain.
+//! - [`net`] / [`Frontend`]: a hand-rolled HTTP/1.1 layer over
+//!   `std::net` — request parsing with hard limits, chunked streaming
+//!   responses, admission control mapped to status codes, per-request
+//!   deadlines, load shedding, and graceful drain.
+//! - [`run_loadgen`]: an open-loop Poisson load generator with
+//!   deterministic fault injection (slow-loris, mid-stream disconnect,
+//!   malformed requests, bursts) used by the fault-plan tests, the CI
+//!   serve-smoke stage, and `BENCH_serve.json`.
 //!
 //! The central invariant, pinned by `tests/scheduler.rs`: because the
 //! KV-cached forward computes every batch row independently and
@@ -22,11 +31,16 @@
 //! running each request alone through [`generate`].
 
 mod engine;
+mod frontend;
+mod loadgen;
+pub mod net;
 mod sample;
 mod scheduler;
 mod server;
 
 pub use engine::generate;
+pub use frontend::{DrainReport, Frontend, ServeConfig};
+pub use loadgen::{run_loadgen, FaultMix, LoadConfig, LoadReport};
 pub use sample::{sample, GenConfig};
 pub use scheduler::{GenRequest, GenResult, Outcome, SchedConfig, Scheduler, SubmitError};
-pub use server::{GenHandle, Server};
+pub use server::{GenEvent, GenHandle, Server, WaitError};

@@ -1,0 +1,652 @@
+//! Minimal HTTP/1.1 over `std::net` — just enough wire protocol for the
+//! serving front-end, with hard limits everywhere a client could stall or
+//! bloat us.
+//!
+//! Scope (deliberately small, zero dependencies):
+//!
+//! - Requests: request line + headers + `Content-Length` body. Chunked
+//!   *request* bodies are rejected (`501`-class [`HttpError::Malformed`]);
+//!   only responses stream.
+//! - Responses: fixed-length (`Content-Length`) or chunked
+//!   (`Transfer-Encoding: chunked`) via [`ChunkedWriter`]; the client side
+//!   ([`read_response`], [`ChunkedReader`]) decodes both.
+//! - Timeouts: an **idle timeout** bounds the wait for the *first* byte of
+//!   a request (keep-alive connections park here), and a separate
+//!   **header deadline** bounds the time from first byte to a complete
+//!   head — the slow-loris defense: trickling one byte per second resets
+//!   an idle timer but cannot outrun an absolute deadline.
+//! - Limits: maximum head bytes and maximum body bytes; exceeding either
+//!   is [`HttpError::TooLarge`] and the connection is dropped.
+//!
+//! Parsing is split so the grammar is unit-testable without sockets:
+//! [`parse_head`] is pure bytes-in, head-out; [`read_request`] owns only
+//! the socket pacing.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hard limits applied to every connection.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of request body.
+    pub max_body_bytes: usize,
+    /// Wait for the first byte of a request (keep-alive idle).
+    pub idle_timeout: Duration,
+    /// Absolute deadline from first byte to complete head + body.
+    pub header_deadline: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 256 * 1024,
+            idle_timeout: Duration::from_secs(5),
+            header_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Everything that can go wrong reading or writing one HTTP exchange.
+#[derive(Debug)]
+pub enum HttpError {
+    /// No request arrived within the idle timeout (benign on keep-alive).
+    IdleTimeout,
+    /// A request started but did not complete within the header deadline
+    /// (slow-loris or a stalled peer).
+    DeadlineExceeded,
+    /// The peer closed mid-request.
+    Truncated,
+    /// The head or body exceeded its byte limit.
+    TooLarge,
+    /// The bytes do not parse as HTTP/1.1.
+    Malformed(&'static str),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::IdleTimeout => write!(f, "idle timeout"),
+            HttpError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+            HttpError::TooLarge => write!(f, "request exceeds size limit"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request head plus body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A parsed response, body fully read (chunked responses are reassembled).
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed request head: `(method, path, headers)`, header names
+/// lowercased.
+pub type ParsedHead = (String, String, Vec<(String, String)>);
+
+/// Parses `METHOD SP PATH SP HTTP/1.1\r\n(header\r\n)*\r\n` into
+/// `(method, path, headers)`. Pure — no I/O — so the grammar and its
+/// rejection cases are unit-testable.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] naming the first rule violated.
+pub fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("head is not utf-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().ok_or(HttpError::Malformed("missing path"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing http version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("bad method"));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("path must start with /"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported http version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break; // blank line terminating the head
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), path.to_string(), headers))
+}
+
+/// Reads until `buf` contains `pattern` or `limit` bytes, pacing each read
+/// against `deadline`. Returns the index just past the pattern.
+fn read_until(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    pattern: &[u8],
+    limit: usize,
+    deadline: Instant,
+) -> Result<usize, HttpError> {
+    loop {
+        if let Some(pos) = find(buf, pattern) {
+            return Ok(pos + pattern.len());
+        }
+        if buf.len() >= limit {
+            return Err(HttpError::TooLarge);
+        }
+        read_some(stream, buf, deadline)?;
+    }
+}
+
+/// One bounded read appended to `buf`; errors on close or deadline.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: Instant,
+) -> Result<(), HttpError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(HttpError::DeadlineExceeded);
+    }
+    stream.set_read_timeout(Some(remaining))?;
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Err(HttpError::Truncated),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Err(HttpError::DeadlineExceeded)
+        }
+        Err(e) => Err(HttpError::Io(e)),
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Reads one full request off the socket.
+///
+/// Waits up to `limits.idle_timeout` for the first byte; once bytes start
+/// arriving, the whole head + body must complete within
+/// `limits.header_deadline` (the slow-loris defense). Returns `None` when
+/// the peer closed the connection cleanly before sending anything — the
+/// normal end of a keep-alive session.
+///
+/// # Errors
+///
+/// See [`HttpError`]; notably [`HttpError::Malformed`] if the request has
+/// a `Transfer-Encoding` (chunked request bodies are unsupported) or a
+/// body without `Content-Length`.
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &HttpLimits,
+) -> Result<Option<Request>, HttpError> {
+    // Phase 1: wait for the first byte under the idle timeout.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let idle_deadline = Instant::now() + limits.idle_timeout;
+    match read_some(stream, &mut buf, idle_deadline) {
+        Ok(()) => {}
+        Err(HttpError::Truncated) => return Ok(None), // clean keep-alive close
+        Err(HttpError::DeadlineExceeded) => return Err(HttpError::IdleTimeout),
+        Err(e) => return Err(e),
+    }
+    // Phase 2: absolute deadline from first byte to a complete request.
+    let deadline = Instant::now() + limits.header_deadline;
+    let head_end = read_until(
+        stream,
+        &mut buf,
+        b"\r\n\r\n",
+        limits.max_head_bytes,
+        deadline,
+    )?;
+    let (method, path, headers) = parse_head(&buf[..head_end - 2])?; // keep final \r\n of last header
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed("chunked request bodies unsupported"));
+    }
+    let content_length = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body: Vec<u8> = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        read_some(stream, &mut body, deadline)?;
+    }
+    if body.len() > content_length {
+        // Pipelined bytes beyond the declared body: reject rather than
+        // silently desync the connection.
+        return Err(HttpError::Malformed("bytes beyond content-length"));
+    }
+    req.body = body;
+    Ok(Some(req))
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response (`Content-Length` computed from `body`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nContent-Type: application/json\r\n",
+        status,
+        status_reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Streams a `Transfer-Encoding: chunked` response body. Call
+/// [`ChunkedWriter::start`] once, [`ChunkedWriter::chunk`] per payload,
+/// and [`ChunkedWriter::finish`] to terminate the stream.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the body writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        extra_headers: &[(&str, String)],
+    ) -> io::Result<Self> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nTransfer-Encoding: chunked\r\nContent-Type: application/x-ndjson\r\n",
+            status,
+            status_reason(status)
+        );
+        for (k, v) in extra_headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one non-empty chunk and flushes it (each chunk should reach
+    /// the client promptly — this is a streaming API).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors (a disconnected client surfaces
+    /// here as `BrokenPipe`/`ConnectionReset`).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        debug_assert!(!data.is_empty(), "empty chunk would terminate the stream");
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes the zero-length terminator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Writes one client request with an optional body.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: apollo\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Client-side response head: status + headers, body not yet read.
+pub struct ResponseHead {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    /// Bytes read past the head (start of the body).
+    pub leftover: Vec<u8>,
+}
+
+impl ResponseHead {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads a response status line + headers within `deadline_in`.
+///
+/// # Errors
+///
+/// See [`HttpError`].
+pub fn read_response_head(
+    stream: &mut TcpStream,
+    deadline_in: Duration,
+) -> Result<ResponseHead, HttpError> {
+    let deadline = Instant::now() + deadline_in;
+    let mut buf = Vec::with_capacity(1024);
+    let head_end = read_until(stream, &mut buf, b"\r\n\r\n", 64 * 1024, deadline)?;
+    let text = std::str::from_utf8(&buf[..head_end - 4])
+        .map_err(|_| HttpError::Malformed("head is not utf-8"))?;
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("bad status code"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(ResponseHead {
+        status,
+        headers,
+        leftover: buf[head_end..].to_vec(),
+    })
+}
+
+/// Incremental decoder for a chunked response body — lets a client observe
+/// individual streamed chunks (and disconnect between them, for fault
+/// injection).
+pub struct ChunkedReader<'a> {
+    stream: &'a mut TcpStream,
+    buf: Vec<u8>,
+    deadline: Instant,
+    done: bool,
+}
+
+impl<'a> ChunkedReader<'a> {
+    /// Starts decoding after [`read_response_head`]; `leftover` is the
+    /// head's overrun bytes.
+    pub fn new(stream: &'a mut TcpStream, leftover: Vec<u8>, deadline_in: Duration) -> Self {
+        ChunkedReader {
+            stream,
+            buf: leftover,
+            deadline: Instant::now() + deadline_in,
+            done: false,
+        }
+    }
+
+    /// Returns the next chunk payload, or `None` after the terminator.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpError`].
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, HttpError> {
+        if self.done {
+            return Ok(None);
+        }
+        // Read the size line.
+        let line_end = loop {
+            if let Some(pos) = find(&self.buf, b"\r\n") {
+                break pos;
+            }
+            read_some(self.stream, &mut self.buf, self.deadline)?;
+        };
+        let size_text = std::str::from_utf8(&self.buf[..line_end])
+            .map_err(|_| HttpError::Malformed("chunk size not utf-8"))?;
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| HttpError::Malformed("bad chunk size"))?;
+        self.buf.drain(..line_end + 2);
+        if size == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        while self.buf.len() < size + 2 {
+            read_some(self.stream, &mut self.buf, self.deadline)?;
+        }
+        let payload = self.buf[..size].to_vec();
+        self.buf.drain(..size + 2); // payload + trailing \r\n
+        Ok(Some(payload))
+    }
+}
+
+/// Reads and fully assembles one response (fixed-length or chunked).
+///
+/// # Errors
+///
+/// See [`HttpError`].
+pub fn read_response(stream: &mut TcpStream, deadline_in: Duration) -> Result<Response, HttpError> {
+    let start = Instant::now();
+    let head = read_response_head(stream, deadline_in)?;
+    let remaining = deadline_in.saturating_sub(start.elapsed());
+    let mut body;
+    if head
+        .header("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+    {
+        body = Vec::new();
+        let status = head.status;
+        let headers = head.headers.clone();
+        let mut reader = ChunkedReader::new(stream, head.leftover, remaining);
+        while let Some(chunk) = reader.next_chunk()? {
+            body.extend_from_slice(&chunk);
+        }
+        return Ok(Response {
+            status,
+            headers,
+            body,
+        });
+    }
+    let content_length = match head.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+        None => 0,
+    };
+    body = head.leftover.clone();
+    let deadline = Instant::now() + remaining;
+    while body.len() < content_length {
+        read_some(stream, &mut body, deadline)?;
+    }
+    body.truncate(content_length);
+    Ok(Response {
+        status: head.status,
+        headers: head.headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_head_accepts_a_minimal_request() {
+        let (method, path, headers) =
+            parse_head(b"GET /healthz HTTP/1.1\r\nHost: x\r\n").expect("parses");
+        assert_eq!(method, "GET");
+        assert_eq!(path, "/healthz");
+        assert_eq!(headers, vec![("host".to_string(), "x".to_string())]);
+    }
+
+    #[test]
+    fn parse_head_lowercases_header_names_and_trims_values() {
+        let (_, _, headers) =
+            parse_head(b"POST /generate HTTP/1.1\r\nContent-Length:  42 \r\n").expect("parses");
+        assert_eq!(
+            headers,
+            vec![("content-length".to_string(), "42".to_string())]
+        );
+    }
+
+    #[test]
+    fn parse_head_rejects_each_grammar_violation() {
+        let cases: &[&[u8]] = &[
+            b"",                                 // empty
+            b"GET /x",                           // no version
+            b"get /x HTTP/1.1",                  // lowercase method
+            b"GET x HTTP/1.1",                   // path missing leading slash
+            b"GET /x HTTP/2.0",                  // unsupported version
+            b"GET /x HTTP/1.1 extra",            // extra token
+            b"GET /x HTTP/1.1\r\nno-colon-here", // header without colon
+            b"GET /x HTTP/1.1\r\nbad name: v",   // space in header name
+            b"\xff\xfe /x HTTP/1.1",             // not utf-8
+        ];
+        for case in cases {
+            assert!(
+                matches!(parse_head(case), Err(HttpError::Malformed(_))),
+                "should reject {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn request_helpers_read_headers_and_close_intent() {
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/".to_string(),
+            headers: vec![("connection".to_string(), "Close".to_string())],
+            body: Vec::new(),
+        };
+        assert!(req.wants_close());
+        assert_eq!(req.header("connection"), Some("Close"));
+        assert_eq!(req.header("missing"), None);
+    }
+
+    #[test]
+    fn status_reasons_cover_the_emitted_codes() {
+        for code in [200u16, 400, 404, 405, 408, 413, 429, 503] {
+            assert_ne!(status_reason(code), "Unknown", "missing reason for {code}");
+        }
+    }
+}

@@ -57,8 +57,9 @@ pub struct GenRequest {
     pub prompt: Vec<u32>,
     /// Sampling and stopping settings.
     pub cfg: GenConfig,
-    /// Optional deadline measured from admission into a slot; a sequence
-    /// still running past it is retired with [`Outcome::Deadline`].
+    /// Optional SLO deadline measured from submission. A request still
+    /// queued past it retires with [`Outcome::Deadline`] and no tokens; a
+    /// sequence still running past it retires with its partial output.
     pub deadline: Option<Duration>,
 }
 
@@ -73,6 +74,8 @@ pub enum Outcome {
     Deadline,
     /// Filled its slot's KV cache before finishing.
     CacheFull,
+    /// Cancelled by the submitter (e.g. the client disconnected).
+    Cancelled,
 }
 
 impl Outcome {
@@ -83,6 +86,7 @@ impl Outcome {
             Outcome::StopToken => "stop_token",
             Outcome::Deadline => "deadline",
             Outcome::CacheFull => "cache_full",
+            Outcome::Cancelled => "cancelled",
         }
     }
 }
@@ -109,6 +113,17 @@ pub enum SubmitError {
     EmptyPrompt,
 }
 
+impl SubmitError {
+    /// Stable label used in rejection counters and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            SubmitError::QueueFull => "queue_full",
+            SubmitError::PromptTooLong => "prompt_too_long",
+            SubmitError::EmptyPrompt => "empty_prompt",
+        }
+    }
+}
+
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -119,10 +134,26 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
+/// Counts a submit rejection under `infer.rejected.{label}` and emits a
+/// `Sentinel` trace event. Shared by [`Scheduler::submit`] and the
+/// admission paths layered above it ([`crate::Server`]), so every
+/// rejection is visible no matter where it was decided.
+pub(crate) fn observe_rejection(obs: &Obs, err: SubmitError) {
+    let kind = err.label();
+    obs.counter(&format!("infer.rejected.{kind}"), 1);
+    let step = obs.step();
+    obs.emit(|| TraceEvent::Sentinel {
+        step,
+        kind: format!("submit_rejected.{kind}"),
+        action: "rejected".to_string(),
+    });
+}
+
 /// A queued, not-yet-admitted request.
 struct Pending {
     id: u64,
     req: GenRequest,
+    submitted: Instant,
 }
 
 /// An in-flight sequence occupying a slot.
@@ -131,6 +162,8 @@ struct Active {
     prompt: Vec<u32>,
     cfg: GenConfig,
     deadline: Option<Duration>,
+    /// When the request entered the queue; deadlines count from here.
+    submitted: Instant,
     admitted: Instant,
     /// Prompt tokens fed to the cache so far.
     fed: usize,
@@ -158,6 +191,9 @@ pub struct Scheduler {
     slots: Vec<Option<Active>>,
     caches: Vec<KvCache>,
     finished: Vec<GenResult>,
+    /// Tokens sampled since the last [`Scheduler::take_progress`] call,
+    /// in sampling order — the feed for chunked response streaming.
+    progress: Vec<(u64, u32)>,
     tick: usize,
     next_id: u64,
 }
@@ -178,6 +214,7 @@ impl Scheduler {
             obs,
             queue: VecDeque::new(),
             finished: Vec::new(),
+            progress: Vec::new(),
             tick: 0,
             next_id: 0,
         }
@@ -193,18 +230,49 @@ impl Scheduler {
     /// requests that could never run.
     pub fn submit(&mut self, req: GenRequest) -> Result<u64, SubmitError> {
         if req.prompt.is_empty() {
-            return Err(SubmitError::EmptyPrompt);
+            return Err(self.reject(SubmitError::EmptyPrompt));
         }
         if req.prompt.len() > self.cfg.kv_capacity {
-            return Err(SubmitError::PromptTooLong);
+            return Err(self.reject(SubmitError::PromptTooLong));
         }
         if self.queue.len() >= self.cfg.queue_cap {
-            return Err(SubmitError::QueueFull);
+            return Err(self.reject(SubmitError::QueueFull));
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.queue.push_back(Pending { id, req });
+        self.queue.push_back(Pending {
+            id,
+            req,
+            submitted: Instant::now(),
+        });
         Ok(id)
+    }
+
+    /// Counts a rejection under `infer.rejected.*` and emits a Sentinel
+    /// trace event, so rejected work never vanishes silently.
+    fn reject(&self, err: SubmitError) -> SubmitError {
+        observe_rejection(&self.obs, err);
+        err
+    }
+
+    /// Cancels a request by id: a queued request retires immediately, an
+    /// in-flight one retires on the next tick — either way the slot (or
+    /// queue position) is reclaimed and a [`GenResult`] with
+    /// [`Outcome::Cancelled`] and the tokens generated so far is produced.
+    /// Returns `false` when the id is unknown or already retired.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if let Some(pos) = self.queue.iter().position(|p| p.id == id) {
+            let pending = self.queue.remove(pos).expect("position is in bounds");
+            self.finish_unadmitted(pending.id, pending.req.prompt.len(), Outcome::Cancelled);
+            return true;
+        }
+        for act in self.slots.iter_mut().flatten() {
+            if act.id == id && act.outcome.is_none() {
+                act.outcome = Some(Outcome::Cancelled);
+                return true;
+            }
+        }
+        false
     }
 
     /// Pending (not yet admitted) request count.
@@ -227,11 +295,20 @@ impl Scheduler {
         std::mem::take(&mut self.finished)
     }
 
+    /// Takes every `(request id, token)` sampled since the last call, in
+    /// sampling order. Streaming callers drain this after each tick; batch
+    /// callers can ignore it (the buffer is cleared on retirement anyway
+    /// via this call or the next).
+    pub fn take_progress(&mut self) -> Vec<(u64, u32)> {
+        std::mem::take(&mut self.progress)
+    }
+
     /// Runs one scheduling step: admit → prefill pass → decode pass →
     /// retire → back-fill. Returns how many results retired this tick.
     pub fn tick(&mut self) -> usize {
         let t0 = Instant::now();
         let retired_before = self.finished.len();
+        self.expire_queued();
         self.admit();
         self.expire_deadlines();
 
@@ -324,6 +401,7 @@ impl Scheduler {
         let mut out = Vec::new();
         while !self.is_idle() {
             self.tick();
+            self.progress.clear(); // batch callers don't stream
             out.append(&mut self.finished);
         }
         out
@@ -336,7 +414,7 @@ impl Scheduler {
             if self.slots[slot].is_some() {
                 continue;
             }
-            let Some(Pending { id, req }) = self.queue.pop_front() else {
+            let Some(Pending { id, req, submitted }) = self.queue.pop_front() else {
                 break;
             };
             self.caches[slot].clear();
@@ -346,6 +424,7 @@ impl Scheduler {
                 prompt: req.prompt,
                 cfg: req.cfg,
                 deadline: req.deadline,
+                submitted,
                 admitted: Instant::now(),
                 fed: 0,
                 generated: Vec::new(),
@@ -354,17 +433,61 @@ impl Scheduler {
         }
     }
 
-    /// Marks sequences past their deadline for retirement.
+    /// Retires queued requests whose deadline passed before admission —
+    /// under overload a dead request must not waste a slot and a prefill.
+    fn expire_queued(&mut self) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let expired = self.queue[i]
+                .req
+                .deadline
+                .is_some_and(|d| self.queue[i].submitted.elapsed() >= d);
+            if expired {
+                let pending = self.queue.remove(i).expect("index is in bounds");
+                self.finish_unadmitted(pending.id, pending.req.prompt.len(), Outcome::Deadline);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Marks sequences past their deadline for retirement. Runs before the
+    /// forward passes, so a sequence whose deadline expired between ticks
+    /// retires as [`Outcome::Deadline`] even if this tick's sample would
+    /// have emitted its stop token; a stop token sampled on the same tick
+    /// the deadline *would* expire wins, because sampling precedes the
+    /// next expiry check.
     fn expire_deadlines(&mut self) {
         for act in self.slots.iter_mut().flatten() {
             if act.outcome.is_none() {
                 if let Some(d) = act.deadline {
-                    if act.admitted.elapsed() >= d {
+                    if act.submitted.elapsed() >= d {
                         act.outcome = Some(Outcome::Deadline);
                     }
                 }
             }
         }
+    }
+
+    /// Pushes a result for a request that never reached a slot (queued
+    /// expiry or queued cancellation), with the same counters and trace
+    /// event retirement emits.
+    fn finish_unadmitted(&mut self, id: u64, prompt_tokens: usize, outcome: Outcome) {
+        self.obs.counter("infer.requests_retired", 1);
+        let tick = self.tick;
+        self.obs.emit(|| TraceEvent::InferRequest {
+            step: tick,
+            id,
+            prompt_tokens,
+            new_tokens: 0,
+            tokens_per_sec: 0.0,
+            outcome: outcome.label().to_string(),
+        });
+        self.finished.push(GenResult {
+            id,
+            tokens: Vec::new(),
+            outcome,
+        });
     }
 
     /// Samples the next token for `slot` from one logits row and updates
@@ -373,6 +496,7 @@ impl Scheduler {
         let act = self.slots[slot].as_mut().expect("sampling an empty slot");
         let tok = sample(logits, &act.cfg, &mut act.rng);
         act.generated.push(tok);
+        self.progress.push((act.id, tok));
         if act.cfg.stop_token == Some(tok) {
             act.outcome = Some(Outcome::StopToken);
         } else if act.generated.len() >= act.cfg.max_new_tokens {

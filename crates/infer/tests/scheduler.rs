@@ -289,3 +289,308 @@ fn server_concurrent_submissions_match_serial() {
     }
     drop(server); // joins the worker
 }
+
+#[test]
+fn cancel_frees_queued_and_active_requests() {
+    let model = tiny_model(0x8F);
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 4,
+        prefill_chunk: 8,
+        kv_capacity: 64,
+    };
+    let mut sched = Scheduler::new(Arc::clone(&model), cfg, Obs::disabled());
+    let req = GenRequest {
+        prompt: vec![1, 2, 3],
+        cfg: GenConfig {
+            max_new_tokens: 8,
+            ..GenConfig::default()
+        },
+        deadline: None,
+    };
+    let active_id = sched.submit(req.clone()).expect("queue has room");
+    let queued_id = sched.submit(req.clone()).expect("queue has room");
+    sched.tick(); // admits the first, leaves the second queued
+
+    // Cancelling the queued request retires it immediately, empty-handed.
+    assert!(sched.cancel(queued_id));
+    let queued_result = sched
+        .take_finished()
+        .into_iter()
+        .find(|r| r.id == queued_id)
+        .expect("queued cancel retires immediately");
+    assert_eq!(queued_result.outcome, Outcome::Cancelled);
+    assert!(queued_result.tokens.is_empty());
+
+    // Cancelling the active request frees its slot on the next tick and
+    // keeps the tokens generated so far (a serial-prefix, as always).
+    assert!(sched.cancel(active_id));
+    assert!(!sched.cancel(active_id), "double cancel must be a no-op");
+    sched.tick();
+    let active_result = sched
+        .take_finished()
+        .into_iter()
+        .find(|r| r.id == active_id)
+        .expect("active cancel retires on the next tick");
+    assert_eq!(active_result.outcome, Outcome::Cancelled);
+    let serial = generate(
+        &model,
+        &[1, 2, 3],
+        &GenConfig {
+            max_new_tokens: 8,
+            ..GenConfig::default()
+        },
+        |_| {},
+    );
+    assert_eq!(
+        active_result.tokens,
+        serial[..active_result.tokens.len()],
+        "partial output must stay a serial prefix"
+    );
+    assert!(sched.is_idle(), "cancelled work must free every slot");
+    assert!(!sched.cancel(9999), "unknown ids report false");
+}
+
+#[test]
+fn deadline_during_chunked_prefill_retires_without_output() {
+    let model = tiny_model(0x9F);
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 2,
+        prefill_chunk: 1, // prefill spans many ticks
+        kv_capacity: 64,
+    };
+    let mut sched = Scheduler::new(model, cfg, Obs::disabled());
+    sched
+        .submit(GenRequest {
+            prompt: vec![1, 2, 3, 4, 5, 6],
+            cfg: GenConfig {
+                max_new_tokens: 8,
+                ..GenConfig::default()
+            },
+            deadline: Some(Duration::from_millis(30)),
+        })
+        .expect("queue has room");
+    // Two ticks feed two of six prompt rows; then the deadline passes
+    // while prefill is still in progress.
+    sched.tick();
+    sched.tick();
+    std::thread::sleep(Duration::from_millis(40));
+    let results = sched.run_to_completion();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].outcome, Outcome::Deadline);
+    assert!(
+        results[0].tokens.is_empty(),
+        "no token was sampled before expiry, none may be invented"
+    );
+    assert!(sched.is_idle(), "the half-prefilled slot must be reclaimed");
+}
+
+#[test]
+fn deadline_expiry_beats_a_stop_token_arriving_the_same_tick() {
+    let model = tiny_model(0xAF);
+    let prompt = vec![4u32, 2];
+    let gen = GenConfig {
+        max_new_tokens: 8,
+        ..GenConfig::default()
+    };
+    // Greedy first token, made the stop token for both cases below.
+    let first = generate(&model, &prompt, &gen, |_| {})[0];
+    let gen = GenConfig {
+        stop_token: Some(first),
+        ..gen
+    };
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 2,
+        prefill_chunk: 1, // tick 1 feeds one row; tick 2 would sample
+        kv_capacity: 64,
+    };
+
+    // Case A: the deadline expires between ticks. The expiry check runs
+    // before decode, so the tick that would have sampled the stop token
+    // retires the request as Deadline instead — with no tokens.
+    let mut sched = Scheduler::new(Arc::clone(&model), cfg.clone(), Obs::disabled());
+    sched
+        .submit(GenRequest {
+            prompt: prompt.clone(),
+            cfg: gen.clone(),
+            deadline: Some(Duration::from_millis(25)),
+        })
+        .expect("queue has room");
+    sched.tick(); // admit + first prefill row; nothing sampled yet
+    std::thread::sleep(Duration::from_millis(40));
+    let results = sched.run_to_completion();
+    assert_eq!(results[0].outcome, Outcome::Deadline);
+    assert!(results[0].tokens.is_empty());
+
+    // Case B: the stop token is sampled while the deadline is still
+    // comfortably in the future — StopToken wins and keeps the token.
+    let mut sched = Scheduler::new(model, cfg, Obs::disabled());
+    sched
+        .submit(GenRequest {
+            prompt,
+            cfg: gen,
+            deadline: Some(Duration::from_secs(3600)),
+        })
+        .expect("queue has room");
+    let results = sched.run_to_completion();
+    assert_eq!(results[0].outcome, Outcome::StopToken);
+    assert_eq!(results[0].tokens, vec![first]);
+}
+
+#[test]
+fn cache_full_retirement_still_lands_during_drain() {
+    let model = tiny_model(0xBF);
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 4,
+        prefill_chunk: 8,
+        kv_capacity: 6,
+    };
+    let server = Server::start(model, cfg, Obs::disabled());
+    let handle = server
+        .submit(GenRequest {
+            prompt: vec![1, 2, 3, 4],
+            cfg: GenConfig {
+                max_new_tokens: 100, // cannot fit in a 6-slot cache
+                ..GenConfig::default()
+            },
+            deadline: None,
+        })
+        .expect("queue has room");
+    server.begin_drain();
+    // Draining rejects new work...
+    let rejected = server.submit(GenRequest {
+        prompt: vec![1],
+        cfg: GenConfig::default(),
+        deadline: None,
+    });
+    assert!(
+        matches!(rejected, Err(SubmitError::QueueFull)),
+        "draining server must not admit new requests"
+    );
+    // ...but the in-flight request still retires with its real outcome.
+    let res = handle.wait().expect("drain completes in-flight work");
+    assert_eq!(res.outcome, Outcome::CacheFull);
+    assert_eq!(res.tokens.len(), 3);
+}
+
+#[test]
+fn wait_timeout_times_out_then_completes() {
+    let model = tiny_model(0xCF);
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 2,
+        prefill_chunk: 8,
+        kv_capacity: 4096,
+    };
+    let server = Server::start(model, cfg, Obs::disabled());
+    let mut handle = server
+        .submit(GenRequest {
+            prompt: vec![1, 2],
+            cfg: GenConfig {
+                max_new_tokens: 2000,
+                ..GenConfig::default()
+            },
+            deadline: None,
+        })
+        .expect("queue has room");
+    // 2000 decode ticks cannot finish within a millisecond.
+    assert!(matches!(
+        handle.wait_timeout(Duration::from_millis(1)),
+        Err(apollo_infer::WaitError::TimedOut)
+    ));
+    // The handle stays live after a timeout; a patient wait succeeds.
+    let res = handle
+        .wait_timeout(Duration::from_secs(120))
+        .expect("request completes");
+    assert_eq!(res.outcome, Outcome::Done);
+    assert_eq!(res.tokens.len(), 2000);
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn dropping_a_handle_cancels_the_in_flight_request() {
+    let model = tiny_model(0xDF);
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 2,
+        prefill_chunk: 8,
+        kv_capacity: 4096,
+    };
+    let obs = Obs::enabled(1);
+    let server = Server::start(Arc::clone(&model), cfg, obs.clone());
+    let handle = server
+        .submit(GenRequest {
+            prompt: vec![1, 2, 3],
+            cfg: GenConfig {
+                max_new_tokens: 4000, // would run for a long time
+                ..GenConfig::default()
+            },
+            deadline: None,
+        })
+        .expect("queue has room");
+    drop(handle); // client walks away
+
+    // The cancel must reach the scheduler and free the slot.
+    let t0 = std::time::Instant::now();
+    while server.in_flight() > 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "dropped handle leaked its slot"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(obs.counter_value("infer.requests_retired"), 1);
+
+    // The server keeps working at full capacity afterwards.
+    let reqs = mixed_requests(&model, 2);
+    for (i, req) in reqs.iter().enumerate() {
+        let serial = generate(&model, &req.prompt, &req.cfg, |_| {});
+        let res = server
+            .submit(req.clone())
+            .expect("queue has room")
+            .wait()
+            .expect("completes");
+        assert_eq!(res.tokens, serial, "request {i} diverged after a cancel");
+    }
+}
+
+#[test]
+fn rejections_are_counted_by_reason() {
+    let model = tiny_model(0xEF);
+    let cfg = SchedConfig {
+        max_active: 1,
+        queue_cap: 1,
+        prefill_chunk: 4,
+        kv_capacity: 8,
+    };
+    let obs = Obs::enabled(1);
+    let mut sched = Scheduler::new(model, cfg, obs.clone());
+    let ok = GenRequest {
+        prompt: vec![1, 2],
+        cfg: GenConfig {
+            max_new_tokens: 2,
+            ..GenConfig::default()
+        },
+        deadline: None,
+    };
+    sched.submit(ok.clone()).expect("first fits");
+    let _ = sched.submit(ok.clone()); // queue full
+    let _ = sched.submit(GenRequest {
+        prompt: vec![],
+        ..ok.clone()
+    });
+    let _ = sched.submit(GenRequest {
+        prompt: vec![0; 9],
+        ..ok.clone()
+    });
+    let _ = sched.submit(GenRequest {
+        prompt: vec![0; 9],
+        ..ok
+    });
+    assert_eq!(obs.counter_value("infer.rejected.queue_full"), 1);
+    assert_eq!(obs.counter_value("infer.rejected.empty_prompt"), 1);
+    assert_eq!(obs.counter_value("infer.rejected.prompt_too_long"), 2);
+}

@@ -148,8 +148,38 @@ pub enum TraceEvent {
         /// Generated tokens per wall-clock second, admission to retirement.
         tokens_per_sec: f64,
         /// Why it retired: `"done"`, `"stop_token"`, `"deadline"`,
-        /// `"cache_full"`.
+        /// `"cache_full"`, `"cancelled"`.
         outcome: String,
+    },
+    /// One HTTP request handled by the network serving front-end.
+    ServeRequest {
+        /// Scheduler tick at which the request concluded.
+        step: usize,
+        /// HTTP status code returned to the client.
+        status: u16,
+        /// Wall-clock from request receipt to the last response byte (or
+        /// to the failure that ended the request).
+        latency_ms: f32,
+        /// How the request concluded: a generation [`Outcome`] label
+        /// (`"done"`, `"stop_token"`, `"deadline"`, `"cache_full"`,
+        /// `"cancelled"`) or a front-end disposition (`"shed"`,
+        /// `"rejected"`, `"malformed"`, `"disconnected"`, `"draining"`).
+        outcome: String,
+        /// Requests in flight (accepted, not yet retired) at conclusion.
+        in_flight: usize,
+    },
+    /// The serving front-end finished its graceful drain.
+    ServeDrain {
+        /// Scheduler tick at which the drain concluded.
+        step: usize,
+        /// Requests still in flight when the drain began.
+        in_flight: usize,
+        /// In-flight requests that completed within the drain deadline.
+        drained: usize,
+        /// Connections abandoned because the drain deadline expired.
+        forced: usize,
+        /// Wall-clock the drain took.
+        wall_ms: f32,
     },
 }
 
@@ -166,7 +196,9 @@ impl TraceEvent {
             | TraceEvent::Sentinel { step, .. }
             | TraceEvent::RunEnd { step, .. }
             | TraceEvent::InferStep { step, .. }
-            | TraceEvent::InferRequest { step, .. } => step,
+            | TraceEvent::InferRequest { step, .. }
+            | TraceEvent::ServeRequest { step, .. }
+            | TraceEvent::ServeDrain { step, .. } => step,
         }
     }
 
@@ -183,6 +215,8 @@ impl TraceEvent {
             TraceEvent::RunEnd { .. } => "RunEnd",
             TraceEvent::InferStep { .. } => "InferStep",
             TraceEvent::InferRequest { .. } => "InferRequest",
+            TraceEvent::ServeRequest { .. } => "ServeRequest",
+            TraceEvent::ServeDrain { .. } => "ServeDrain",
         }
     }
 }

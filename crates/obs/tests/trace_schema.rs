@@ -83,6 +83,20 @@ fn expected_events() -> Vec<TraceEvent> {
             tokens_per_sec: 96.0,
             outcome: "done".to_string(),
         },
+        TraceEvent::ServeRequest {
+            step: 21,
+            status: 200,
+            latency_ms: 12.5,
+            outcome: "done".to_string(),
+            in_flight: 3,
+        },
+        TraceEvent::ServeDrain {
+            step: 40,
+            in_flight: 2,
+            drained: 2,
+            forced: 0,
+            wall_ms: 37.5,
+        },
     ]
 }
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Reproducible performance benchmark: emits BENCH_kernels.json,
-# BENCH_train.json, and BENCH_infer.json at the repo root.
+# BENCH_train.json, BENCH_infer.json, and BENCH_serve.json at the
+# repo root.
 #
 # Usage: scripts/bench.sh [--smoke]
 #
@@ -11,6 +12,8 @@ cd "$(dirname "$0")/.."
 
 export APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}"
 
-cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer
+cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer \
+    --bin perf_serve
 ./target/release/perf_kernels "$@" .
 ./target/release/perf_infer "$@" .
+./target/release/perf_serve "$@" .

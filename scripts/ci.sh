@@ -45,6 +45,30 @@ APOLLO_NUM_THREADS=4 ./target/release/apollo "${GEN_ARGS[@]}" \
     >"$TRACE_TMP/gen4.txt"
 cmp "$TRACE_TMP/gen1.txt" "$TRACE_TMP/gen4.txt"
 
+echo "== serve smoke run (loopback server + fault-injected loadgen + drain)"
+# Bring up the HTTP front-end on a loopback ephemeral port, drive it with
+# the deterministic load generator at the default fault mix (slow-loris,
+# mid-stream disconnects, malformed requests, bursts), then signal a
+# graceful drain. --expect-clean fails on any transport error or any
+# fault probe that got the wrong status code; `apollo serve` itself exits
+# non-zero if the drain had to force-abandon a request; trace-check
+# validates every serve.* event the run emitted.
+./target/release/apollo serve --resume "$TRACE_TMP/gen.ckpt" \
+    --addr 127.0.0.1:0 --addr-file "$TRACE_TMP/serve.addr" \
+    --shutdown-file "$TRACE_TMP/serve.stop" \
+    --trace-out "$TRACE_TMP/serve_trace.jsonl" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$TRACE_TMP/serve.addr" ] && break
+    sleep 0.1
+done
+[ -f "$TRACE_TMP/serve.addr" ] || { echo "serve never published its address"; exit 1; }
+./target/release/apollo loadgen --addr "$(cat "$TRACE_TMP/serve.addr")" \
+    --requests 30 --rate 100 --faults default --expect-clean
+touch "$TRACE_TMP/serve.stop"
+wait "$SERVE_PID"
+./target/release/apollo trace-check --trace "$TRACE_TMP/serve_trace.jsonl"
+
 echo "== fused-kernel bit-identity (release mode)"
 # The fused single-pass kernels must stay bitwise equal to the staged
 # references at every thread count. Debug-mode runs are covered by the
@@ -67,7 +91,7 @@ echo "== bench smoke + perf regression check (vs committed baseline)"
 # repeat across all of them, while a genuine regression poisons every
 # sweep and still fails the merged numbers.
 cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer \
-    --bin perf_check
+    --bin perf_serve --bin perf_check
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP" "$BENCH_TMP"' EXIT
 run_bench_sweep() {
@@ -75,6 +99,8 @@ run_bench_sweep() {
         ./target/release/perf_kernels --smoke "$@" "$BENCH_TMP"
     APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
         ./target/release/perf_infer --smoke "$@" "$BENCH_TMP"
+    APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}" \
+        ./target/release/perf_serve --smoke "$@" "$BENCH_TMP"
 }
 run_bench_sweep
 run_bench_sweep --merge

@@ -126,6 +126,22 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, so callers that need lenient,
+// schema-free parsing (optional fields with defaults — e.g. the serving
+// front-end's request bodies) can deserialize into a `Value` tree and walk
+// it by hand.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
