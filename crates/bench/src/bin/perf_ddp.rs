@@ -1,0 +1,91 @@
+//! Data-parallel scaling measurement: steps/sec of the DDP driver at 1, 2,
+//! and 4 replicas on a tiny proxy model, against the analytic
+//! `sysmodel::ThroughputModel::ddp_speedup` prediction.
+//!
+//! Prints a table and writes `BENCH_ddp.json` into the output directory
+//! (first positional argument, default `.`). Deliberately **not** part of
+//! the `perf_check` baseline set: replica scaling on a shared CI box is
+//! too noisy to gate on; the EXPERIMENTS.md table is refreshed manually
+//! from a quiet machine.
+//!
+//! Modes: `--smoke` shrinks the step count for CI sanity runs.
+
+use apollo_data::{CorpusConfig, LmBatcher, SyntheticCorpus};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_obs::Obs;
+use apollo_optim::{Apollo, Optimizer};
+use apollo_sysmodel::{Gpu, ThroughputModel};
+use apollo_tensor::Rng;
+use apollo_train::{pretrain_ddp, DdpConfig, ResilienceConfig, TrainConfig};
+
+fn measure(replicas: usize, steps: usize) -> (f64, u32) {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(0xDD9);
+    let mut model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    let batcher = LmBatcher::new(corpus, 4, cfg.max_seq);
+    let make_opt = move |i: usize| -> Box<dyn Optimizer> {
+        Box::new(Apollo::new(2, 50).with_seed(0xA90110 + i as u64))
+    };
+    let out = pretrain_ddp(
+        &mut model,
+        &make_opt,
+        &batcher,
+        &TrainConfig::quick(steps),
+        &DdpConfig::new(replicas),
+        &ResilienceConfig::default(),
+        &Obs::disabled(),
+    );
+    let loss_bits = out
+        .log
+        .train_losses
+        .last()
+        .map_or(0, |&(_, loss)| loss.to_bits());
+    (steps as f64 / out.log.wall_secs, loss_bits)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| ".".into());
+    let steps = if smoke { 6 } else { 30 };
+
+    let model = ThroughputModel::new(&ModelConfig::llama_7b(), Gpu::a100_80g(), 8, 256);
+    println!("ddp scaling (test-tiny proxy, {steps} steps, apollo, batch 4)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12}",
+        "replicas", "steps/s", "speedup", "predicted", "loss bits"
+    );
+
+    let mut rows = Vec::new();
+    let (base, base_bits) = measure(1, steps);
+    for replicas in [1usize, 2, 4] {
+        let (rate, bits) = if replicas == 1 {
+            (base, base_bits)
+        } else {
+            measure(replicas, steps)
+        };
+        let speedup = rate / base;
+        let predicted = model.ddp_speedup(replicas);
+        assert_eq!(
+            bits, base_bits,
+            "replica-invariance violated at {replicas} replicas"
+        );
+        println!("{replicas:<10} {rate:>10.2} {speedup:>9.2}x {predicted:>11.2}x   0x{bits:08x}");
+        rows.push(format!(
+            "{{\"replicas\":{replicas},\"steps_per_sec\":{rate:.4},\"speedup\":{speedup:.4},\
+             \"predicted\":{predicted:.4},\"loss_bits\":\"0x{bits:08x}\"}}"
+        ));
+    }
+    let json = format!("{{\"entries\":[{}]}}\n", rows.join(","));
+    let path = std::path::Path::new(&out_dir).join("BENCH_ddp.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

@@ -26,8 +26,9 @@ use apollo_optim::{AdamMini, AdamW, Apollo, Fira, Flora, GaLore, Optimizer, Sgd,
 use apollo_sysmodel::{Gpu, MemoryOptions, TrainingMemoryModel};
 use apollo_tensor::Rng;
 use apollo_train::{
-    eval_perplexity, finetune, load_model, pretrain_observed, save_model, FinetuneConfig,
-    RecoveryPolicy, ResilienceConfig, ResilienceReport, TrainConfig,
+    eval_perplexity, finetune, load_model, pretrain_ddp, pretrain_observed, save_model, DdpConfig,
+    FaultKind, FaultPlan, FinetuneConfig, OptimizerFactory, RecoveryPolicy, ResilienceConfig,
+    ResilienceReport, TrainConfig,
 };
 use args::Args;
 
@@ -38,6 +39,8 @@ USAGE:
   apollo pretrain [--model NAME] [--optimizer NAME] [--steps N] [--batch N]
                   [--lr F] [--rank N] [--seed N] [--quantize-weights GROUP]
                   [--save PATH] [--threads N]
+                  [--replicas N] [--virtual-slots V] [--threads-per-replica N]
+                  [--fault-plan SPEC]
                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                   [--recovery POLICY] [--lr-backoff F] [--spike-factor F]
                   [--trace-out PATH] [--metrics-every N] [--profile]
@@ -77,6 +80,20 @@ SERVING
                    non-zero when any fault probe saw the wrong response
                    or transport errors occurred. --out writes a JSON
                    report (latency percentiles, goodput, shed rate).
+
+DATA-PARALLEL
+  --replicas N       train with N data-parallel replica threads, each owning
+                     a ZeRO-style contiguous shard of the optimizer state.
+                     Losses and weights are bit-identical at every replica
+                     count (fixed virtual-slot tree reduction); supported
+                     optimizers: adamw adamw-8bit adam-mini sgd sgd-m
+                     apollo apollo-svd apollo-mini
+  --virtual-slots V  micro-batch decomposition width (default max(4, N));
+                     --batch must divide by V and N must not exceed V
+  --threads-per-replica N  kernel threads per replica (default 1)
+  --fault-plan SPEC  inject replica failures: comma-separated
+                     kill:STEP:REPLICA entries, e.g. kill:40:1 — the
+                     survivors rebalance shards and resume bit-exactly
 
 PERFORMANCE
   --threads N        kernel thread count, N >= 1. Precedence: this flag,
@@ -143,6 +160,73 @@ fn build_optimizer(
         "flora" => Box::new(Flora::new(rank, freq)),
         other => return Err(format!("unknown optimizer `{other}` (try `apollo list`)")),
     })
+}
+
+/// Builds a per-parameter optimizer factory for data-parallel runs: the
+/// instance owning parameter `i` derives exactly the state (APOLLO
+/// projector seed included) the serial optimizer would have derived for
+/// its `i`-th parameter, so sharding is invisible to the math.
+fn build_opt_factory(
+    name: &str,
+    rank: usize,
+    cfg: &ModelConfig,
+) -> Result<Box<OptimizerFactory>, String> {
+    let freq = 200;
+    let mini_alpha = (cfg.hidden as f32 / 4.0).sqrt();
+    // Apollo's default base seed; per-parameter instances shift it by the
+    // global parameter index, matching the serial `seed + local_index`.
+    let seed = 0xA90110u64;
+    Ok(match name {
+        "adamw" => Box::new(|_| Box::new(AdamW::new())),
+        "adamw-8bit" => Box::new(|_| Box::new(AdamW::adam8bit(128))),
+        "adam-mini" => Box::new(|_| Box::new(AdamMini::new())),
+        "sgd" => Box::new(|_| Box::new(Sgd::new())),
+        "sgd-m" => Box::new(|_| Box::new(SgdMomentum::new(0.9))),
+        "apollo" => Box::new(move |i| {
+            Box::new(Apollo::new(rank, freq).with_seed(seed.wrapping_add(i as u64)))
+        }),
+        "apollo-svd" => Box::new(move |i| {
+            Box::new(
+                Apollo::new(rank, freq)
+                    .with_svd()
+                    .with_seed(seed.wrapping_add(i as u64)),
+            )
+        }),
+        "apollo-mini" => Box::new(move |i| {
+            Box::new(
+                Apollo::mini(freq)
+                    .with_alpha(mini_alpha)
+                    .with_seed(seed.wrapping_add(i as u64)),
+            )
+        }),
+        other => {
+            return Err(format!(
+                "optimizer `{other}` is not supported with --replicas (its \
+                 projector seeds are not externally controllable)"
+            ))
+        }
+    })
+}
+
+/// Parses a `--fault-plan` spec: comma-separated `kill:STEP:REPLICA`.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for entry in spec.split(',').filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        match parts.as_slice() {
+            ["kill", step, replica] => {
+                let step: usize = step
+                    .parse()
+                    .map_err(|_| format!("bad step in fault `{entry}`"))?;
+                let replica: usize = replica
+                    .parse()
+                    .map_err(|_| format!("bad replica in fault `{entry}`"))?;
+                plan = plan.inject(step, FaultKind::ReplicaKill { replica });
+            }
+            _ => return Err(format!("bad fault `{entry}` (expected kill:STEP:REPLICA)")),
+        }
+    }
+    Ok(plan)
 }
 
 fn default_lr(optimizer: &str) -> f32 {
@@ -239,11 +323,13 @@ fn cmd_pretrain(a: &Args) -> Result<(), String> {
     let mut model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
     let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
     let mut batcher = LmBatcher::new(corpus, batch, cfg.max_seq);
-    let mut opt = build_optimizer(&opt_name, rank, &cfg)?;
+    let ddp_run = a.has("replicas");
     let tc = TrainConfig {
         steps,
         lr,
-        grad_clip: if opt_name.starts_with("adamw") || opt_name.starts_with("sgd") {
+        // Global-norm clipping needs a cross-shard reduction the DDP loop
+        // does not do (APOLLO-family runs use the per-tensor limiter).
+        grad_clip: if !ddp_run && (opt_name.starts_with("adamw") || opt_name.starts_with("sgd")) {
             Some(1.0)
         } else {
             None
@@ -272,12 +358,63 @@ fn cmd_pretrain(a: &Args) -> Result<(), String> {
     } else {
         Obs::disabled()
     };
-    eprintln!(
-        "pretraining {} with {} (rank {rank}, lr {lr}, {steps} steps, batch {batch})",
-        cfg.name,
-        opt.name()
-    );
-    let log = pretrain_observed(&mut model, opt.as_mut(), &mut batcher, &tc, &res, &obs);
+    let log = if ddp_run {
+        let replicas = a.get_num("replicas", 1usize)?;
+        if replicas == 0 {
+            return Err("--replicas must be >= 1".into());
+        }
+        let virtual_slots = a.get_num("virtual-slots", 4.max(replicas))?;
+        let ddp = DdpConfig {
+            replicas,
+            virtual_slots,
+            threads_per_replica: a.get_num("threads-per-replica", 1usize)?,
+        };
+        let mut res = res;
+        if a.has("fault-plan") {
+            res.fault_plan = parse_fault_plan(&a.require("fault-plan")?)?;
+        }
+        let make_opt = build_opt_factory(&opt_name, rank, &cfg)?;
+        eprintln!(
+            "pretraining {} with {} (rank {rank}, lr {lr}, {steps} steps, batch {batch}, \
+             {replicas} replicas / {virtual_slots} virtual slots)",
+            cfg.name,
+            make_opt(0).name()
+        );
+        let out = pretrain_ddp(
+            &mut model,
+            make_opt.as_ref(),
+            &batcher,
+            &tc,
+            &ddp,
+            &res,
+            &obs,
+        );
+        let d = &out.ddp;
+        println!(
+            "ddp: {} replicas started, {} finished | {} rounds, {} kills, {} rebalances",
+            d.replicas, d.survivors, d.rounds, d.replica_kills, d.rebalances
+        );
+        // Full-bit precision so replica-invariance can be checked by
+        // comparing output lines (ci.sh does exactly that).
+        if let Some(&(step, loss)) = out.log.train_losses.last() {
+            println!(
+                "final loss {loss:.6} at step {step} (bits 0x{:08x})",
+                loss.to_bits()
+            );
+        }
+        out.log
+    } else {
+        if a.has("fault-plan") {
+            return Err("--fault-plan needs --replicas".into());
+        }
+        let mut opt = build_optimizer(&opt_name, rank, &cfg)?;
+        eprintln!(
+            "pretraining {} with {} (rank {rank}, lr {lr}, {steps} steps, batch {batch})",
+            cfg.name,
+            opt.name()
+        );
+        pretrain_observed(&mut model, opt.as_mut(), &mut batcher, &tc, &res, &obs)
+    };
     for (step, ppl) in &log.eval_ppls {
         println!("step {step:>6}  val ppl {ppl:.2}");
     }

@@ -43,6 +43,19 @@ impl LmBatcher {
         self.seq
     }
 
+    /// A batcher over the same corpus and sequence length but a different
+    /// batch size, cursor reset to the start. Data-parallel replicas use
+    /// this to carve a global batch into per-slot micro-batches: a slot
+    /// batcher positioned with [`Self::set_cursor`] draws exactly the
+    /// streams its slice of the global batch would have drawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(&self, batch: usize) -> Self {
+        LmBatcher::new(self.corpus.clone(), batch, self.seq)
+    }
+
     /// Current train-stream cursor: the id the next training batch draws
     /// first. Saved into checkpoints so a resumed run replays the exact
     /// data order an uninterrupted run would have seen.
@@ -143,5 +156,22 @@ mod tests {
     fn two_batchers_with_same_corpus_agree() {
         let (mut a, mut b) = (batcher(), batcher());
         assert_eq!(a.next_batch(), b.next_batch());
+    }
+
+    #[test]
+    fn slot_batchers_tile_the_global_batch() {
+        // Two batch-2 batchers positioned at the halves of a batch-4
+        // cursor must reproduce the batch-4 output exactly.
+        let mut global = batcher();
+        let (gt, gy) = global.next_batch();
+        let mut lo = global.with_batch(2);
+        let mut hi = global.with_batch(2);
+        lo.set_cursor(1);
+        hi.set_cursor(3);
+        let (lt, ly) = lo.next_batch();
+        let (ht, hy) = hi.next_batch();
+        assert_eq!([lt, ht].concat(), gt);
+        assert_eq!([ly, hy].concat(), gy);
+        assert_eq!(lo.cursor(), 3);
     }
 }

@@ -168,6 +168,19 @@ pub enum TraceEvent {
         /// Requests in flight (accepted, not yet retired) at conclusion.
         in_flight: usize,
     },
+    /// A data-parallel replica membership change: replicas joining at round
+    /// start, a fault-injected (or real) replica death, and the shard
+    /// rebalance that follows it.
+    ReplicaEvent {
+        /// Training step at which the event fired.
+        step: usize,
+        /// Replica id the event is about.
+        replica: usize,
+        /// What happened: `"start"`, `"kill"`, `"rebalance"`, `"finish"`.
+        event: String,
+        /// Active replica count after the event.
+        replicas: usize,
+    },
     /// The serving front-end finished its graceful drain.
     ServeDrain {
         /// Scheduler tick at which the drain concluded.
@@ -198,6 +211,7 @@ impl TraceEvent {
             | TraceEvent::InferStep { step, .. }
             | TraceEvent::InferRequest { step, .. }
             | TraceEvent::ServeRequest { step, .. }
+            | TraceEvent::ReplicaEvent { step, .. }
             | TraceEvent::ServeDrain { step, .. } => step,
         }
     }
@@ -216,6 +230,7 @@ impl TraceEvent {
             TraceEvent::InferStep { .. } => "InferStep",
             TraceEvent::InferRequest { .. } => "InferRequest",
             TraceEvent::ServeRequest { .. } => "ServeRequest",
+            TraceEvent::ReplicaEvent { .. } => "ReplicaEvent",
             TraceEvent::ServeDrain { .. } => "ServeDrain",
         }
     }
@@ -377,6 +392,12 @@ mod tests {
                 step: 4,
                 kind: "clip_non_finite".into(),
                 action: "zero_step".into(),
+            },
+            TraceEvent::ReplicaEvent {
+                step: 5,
+                replica: 1,
+                event: "kill".into(),
+                replicas: 3,
             },
             TraceEvent::RunEnd {
                 step: 30,

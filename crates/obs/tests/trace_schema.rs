@@ -97,6 +97,12 @@ fn expected_events() -> Vec<TraceEvent> {
             forced: 0,
             wall_ms: 37.5,
         },
+        TraceEvent::ReplicaEvent {
+            step: 18,
+            replica: 1,
+            event: "kill".to_string(),
+            replicas: 3,
+        },
     ]
 }
 

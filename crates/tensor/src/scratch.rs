@@ -195,6 +195,49 @@ mod tests {
     }
 
     #[test]
+    fn thread_churn_returns_retained_bytes_to_baseline() {
+        // Regression guard for the `Freelist::Drop` accounting: worker
+        // threads that die with pooled buffers must hand their bytes back
+        // to the global gauge. Each thread retains far more than the rest
+        // of the (concurrently running) suite plausibly touches, so a
+        // leak of even one thread's freelist trips the allowance.
+        const THREADS: usize = 4;
+        const PER_THREAD_ELEMS: usize = 8 << 20; // 32 MiB retained per thread
+        const ALLOWANCE: usize = 8 << 20; // noise from concurrent tests
+        let baseline = stats().retained_bytes;
+        for round in 0..3 {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        // The big buffers go in first (before the count cap
+                        // fills) so each thread dies holding ~32 MiB.
+                        recycle(Vec::with_capacity(PER_THREAD_ELEMS / 2));
+                        recycle(Vec::with_capacity(PER_THREAD_ELEMS / 2));
+                        // Mixed churn: takes, recycles, cap-overflow drops.
+                        for _ in 0..MAX_BUFS + 8 {
+                            recycle(Vec::with_capacity(1024));
+                        }
+                        let a = take_zeroed(4096);
+                        let b = take_zeroed(123);
+                        recycle(a);
+                        recycle(b);
+                        assert!(pooled_buffers() > 0, "thread must die holding buffers");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let after = stats().retained_bytes;
+            assert!(
+                after <= baseline + ALLOWANCE,
+                "round {round}: retained {after} bytes vs baseline {baseline} — \
+                 dead threads leaked into the gauge"
+            );
+        }
+    }
+
+    #[test]
     fn pool_respects_count_cap() {
         for _ in 0..(MAX_BUFS + 10) {
             recycle(Vec::with_capacity(8));

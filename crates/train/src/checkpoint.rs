@@ -135,7 +135,19 @@ fn write_section(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
     w.write_all(&crc32(bytes).to_le_bytes())
 }
 
-fn read_section(r: &mut impl Read, what: &str, max: u64) -> io::Result<Vec<u8>> {
+/// Reads one framed section. `remaining` is the number of bytes left in
+/// the file *before* this section's length prefix; it is decremented by
+/// everything the section consumes. The length prefix is validated against
+/// both the hard `max` and `remaining` **before** the payload buffer is
+/// allocated, so a truncated or bit-flipped prefix can never demand an
+/// allocation larger than the file itself — it routes to the
+/// corrupt-checkpoint error path instead.
+fn read_section(
+    r: &mut impl Read,
+    what: &str,
+    max: u64,
+    remaining: &mut u64,
+) -> io::Result<Vec<u8>> {
     let mut len8 = [0u8; 8];
     r.read_exact(&mut len8)?;
     let len = u64::from_le_bytes(len8);
@@ -145,6 +157,15 @@ fn read_section(r: &mut impl Read, what: &str, max: u64) -> io::Result<Vec<u8>> 
             format!("{what} section claims {len} bytes (limit {max})"),
         ));
     }
+    // 8-byte length prefix + payload + 4-byte CRC must fit in what's left.
+    let budget = remaining.saturating_sub(8 + 4);
+    if len > budget {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what} section claims {len} bytes but only {budget} remain in the file"),
+        ));
+    }
+    *remaining -= 8 + len + 4;
     let mut bytes = vec![0u8; len as usize];
     r.read_exact(&mut bytes)?;
     let mut crc4 = [0u8; 4];
@@ -268,11 +289,12 @@ pub fn save_model(model: &LlamaModel, mode: LinearMode, path: &Path) -> io::Resu
 /// Returns an error if the file is unreadable, the magic/version/checksum
 /// mismatch, or any parameter is missing or has the wrong shape.
 pub fn load_model(path: &Path) -> io::Result<LlamaModel> {
+    let file_len = std::fs::metadata(path)?.len();
     let mut r = BufReader::new(File::open(path)?);
     let mut len8 = [0u8; 8];
     r.read_exact(&mut len8)?;
     let head_len = u64::from_le_bytes(len8);
-    if head_len > MAX_HEADER {
+    if head_len > MAX_HEADER.min(file_len.saturating_sub(8)) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "not a checkpoint",
@@ -290,8 +312,17 @@ pub fn load_model(path: &Path) -> io::Result<LlamaModel> {
     let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
     match header.version {
         V1 => {
-            // Raw params follow the header directly, no framing.
+            // Raw params follow the header directly, no framing. The total
+            // comes from the (attacker-controllable) manifest, so cap it
+            // against the bytes actually present before allocating.
             let total: usize = header.manifest.iter().map(|(_, r, c)| r * c * 4).sum();
+            let body_budget = file_len.saturating_sub(8 + head_len);
+            if total as u64 > body_budget {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("manifest expects {total} body bytes, file holds {body_budget}"),
+                ));
+            }
             let mut body = vec![0u8; total];
             r.read_exact(&mut body)?;
             fill_params(&mut model, &header.manifest, &body)?;
@@ -307,7 +338,8 @@ pub fn load_model(path: &Path) -> io::Result<LlamaModel> {
                     "header section checksum mismatch",
                 ));
             }
-            let body = read_section(&mut r, "params", MAX_SECTION)?;
+            let mut remaining = file_len.saturating_sub(8 + head_len + 4);
+            let body = read_section(&mut r, "params", MAX_SECTION, &mut remaining)?;
             fill_params(&mut model, &header.manifest, &body)?;
         }
         v => {
@@ -362,8 +394,9 @@ pub fn save_train_state(
 /// Returns a descriptive error if the file is truncated, any section's
 /// checksum fails, the header is not v2, or the manifest is inconsistent.
 pub fn load_train_state(path: &Path) -> io::Result<TrainState> {
+    let mut remaining = std::fs::metadata(path)?.len();
     let mut r = BufReader::new(File::open(path)?);
-    let head = read_section(&mut r, "header", MAX_HEADER)?;
+    let head = read_section(&mut r, "header", MAX_HEADER, &mut remaining)?;
     let header: HeaderV2 = serde_json::from_slice(&head).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -383,9 +416,9 @@ pub fn load_train_state(path: &Path) -> io::Result<TrainState> {
         ));
     }
     let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
-    let body = read_section(&mut r, "params", MAX_SECTION)?;
+    let body = read_section(&mut r, "params", MAX_SECTION, &mut remaining)?;
     fill_params(&mut model, &header.manifest, &body)?;
-    let optimizer = read_section(&mut r, "optimizer", MAX_SECTION)?;
+    let optimizer = read_section(&mut r, "optimizer", MAX_SECTION, &mut remaining)?;
     Ok(TrainState {
         model,
         mode: header.mode,
@@ -646,6 +679,157 @@ mod tests {
         assert!(latest_valid_checkpoint(&missing).unwrap().is_none());
         let empty = tmp_dir("empty");
         assert!(latest_valid_checkpoint(&empty).unwrap().is_none());
+    }
+
+    /// Byte offsets of every frame boundary in a v2 checkpoint: the start
+    /// of each section's length prefix, payload, and CRC, plus EOF.
+    fn frame_boundaries(bytes: &[u8]) -> Vec<u64> {
+        let mut bounds = Vec::new();
+        let mut off = 0u64;
+        for _ in 0..3 {
+            // header, params, optimizer
+            bounds.push(off); // length prefix
+            let len = u64::from_le_bytes(bytes[off as usize..off as usize + 8].try_into().unwrap());
+            off += 8;
+            bounds.push(off); // payload start
+            off += len;
+            bounds.push(off); // CRC start
+            off += 4;
+        }
+        bounds.push(off); // EOF
+        assert_eq!(off, bytes.len() as u64, "framing walk must cover the file");
+        bounds
+    }
+
+    fn fuzz_fixture() -> (std::path::PathBuf, Vec<u8>) {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(210);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let path = tmp("fuzz-base.ckpt");
+        save_train_state(&model, LinearMode::Dense, &test_meta(7), &[42; 96], &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        (path, bytes)
+    }
+
+    #[test]
+    fn truncation_at_every_frame_boundary_fails_gracefully() {
+        let (_, bytes) = fuzz_fixture();
+        let path = tmp("fuzz-trunc.ckpt");
+        for &b in &frame_boundaries(&bytes) {
+            // At the boundary and one byte to either side: every cut must
+            // come back as a plain Err (never a panic, never an allocation
+            // beyond what the truncated file can justify).
+            for cut in [b.saturating_sub(1), b, b + 1] {
+                let cut = cut.min(bytes.len() as u64);
+                if cut == bytes.len() as u64 {
+                    continue; // full file is the valid case
+                }
+                std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+                let err = load_train_state(&path).unwrap_err();
+                assert!(
+                    matches!(
+                        err.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    ),
+                    "cut at {cut}: unexpected error kind {:?}",
+                    err.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_at_every_frame_boundary_fail_gracefully() {
+        let (_, bytes) = fuzz_fixture();
+        let path = tmp("fuzz-flip.ckpt");
+        for &b in &frame_boundaries(&bytes) {
+            let byte = b.min(bytes.len() as u64 - 1);
+            for bit in [0u8, 7] {
+                std::fs::write(&path, &bytes).unwrap();
+                crate::resilience::flip_bit(&path, byte, bit).unwrap();
+                // A flip in a length prefix lands in the cap or the CRC; a
+                // flip in a payload or CRC lands in the checksum check.
+                assert!(
+                    load_train_state(&path).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_never_outallocates_the_file() {
+        let (_, bytes) = fuzz_fixture();
+        let path = tmp("fuzz-prefix.ckpt");
+        let mut prefix_offsets = Vec::new();
+        let mut off = 0usize;
+        for _ in 0..3 {
+            prefix_offsets.push(off);
+            let len = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            off += 8 + len as usize + 4;
+        }
+        // 8 MiB: under every per-section cap (MAX_HEADER is the smallest
+        // at 16 MiB), so only the remaining-bytes cap can reject it — and
+        // it must, before any oversized buffer is allocated.
+        let huge = (8u64 << 20).to_le_bytes();
+        for &p in &prefix_offsets {
+            let mut corrupt = bytes.clone();
+            corrupt[p..p + 8].copy_from_slice(&huge);
+            std::fs::write(&path, &corrupt).unwrap();
+            let err = load_train_state(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "prefix at {p}");
+            assert!(
+                err.to_string().contains("remain in the file"),
+                "prefix at {p}: expected the remaining-bytes cap, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_v1_manifest_never_outallocates_the_file() {
+        // A v1 header whose manifest claims gigabyte shapes on a tiny
+        // file: the body allocation must be capped by the actual file size.
+        let cfg = ModelConfig::test_tiny();
+        let header = Header {
+            magic: MAGIC.to_string(),
+            version: V1,
+            config: cfg.clone(),
+            mode: LinearMode::Dense,
+            manifest: vec![("tok_embedding".into(), 1 << 20, 1 << 10)],
+        };
+        let head = serde_json::to_vec(&header).unwrap();
+        let path = tmp("fuzz-v1-manifest.ckpt");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(head.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&head);
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("file holds"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_files_still_fall_through_the_scanner() {
+        // End-to-end: a directory of boundary-truncated checkpoints plus
+        // one good old one must resolve to the good one.
+        let dir = tmp_dir("fuzz-scan");
+        let (_, bytes) = fuzz_fixture();
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(211);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let good = dir.join(checkpoint_file_name(1));
+        save_train_state(&model, LinearMode::Dense, &test_meta(1), &[], &good).unwrap();
+        for (i, &b) in frame_boundaries(&bytes).iter().enumerate() {
+            if b == bytes.len() as u64 {
+                continue;
+            }
+            let path = dir.join(checkpoint_file_name(10 + i as u64));
+            std::fs::write(&path, &bytes[..b as usize]).unwrap();
+        }
+        let (path, state) = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(path, good);
+        assert_eq!(state.meta.step, 1);
     }
 
     #[test]

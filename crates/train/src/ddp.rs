@@ -1,0 +1,1115 @@
+//! Deterministic multi-replica data-parallel pre-training with ZeRO-style
+//! optimizer-state sharding and elastic replica recovery.
+//!
+//! # Replica-count invariance
+//!
+//! The global batch is decomposed into `virtual_slots` fixed micro-batches
+//! ("slots"). Slot `s` at step `k` always draws the same corpus streams
+//! (cursor `1 + (k·V + s)·slot_batch`), its loss and gradients are computed
+//! by exactly one replica, and the per-parameter gradients are combined by
+//! a **fixed pairwise binary tree over slots** — `((g0+g1)+(g2+g3))` for
+//! `V = 4` — then scaled by `1/V`. Replica count only changes *which
+//! replica owns which slots*, never the operands or the reduction order,
+//! so losses and weights are bit-identical at any replica count. This is
+//! the same float-op-order contract the matmul pool honors for
+//! thread-count invariance, lifted to the replica level. It also makes
+//! elastic membership free: survivors re-partition slots and replay.
+//!
+//! # ZeRO-style state sharding
+//!
+//! Optimizer state is built as one optimizer instance **per parameter**
+//! (the [`OptimizerFactory`] receives the global parameter index, so
+//! position-derived projector seeds stay stable under any sharding).
+//! Each replica owns a contiguous shard of parameters — balanced by
+//! element count — and holds only that shard's state. States are
+//! re-gathered (via [`apollo_optim::Optimizer::state_save`]) only at
+//! checkpoint time, framed per-parameter inside the v2 checkpoint's
+//! optimizer section, so a checkpoint written at one replica count resumes
+//! at any other.
+//!
+//! # Elastic recovery
+//!
+//! A [`crate::FaultKind::ReplicaKill`] fault (or any replica death) poisons
+//! the step barrier; survivors abandon the in-flight step, the driver
+//! drops the member, re-partitions shards and slots over the survivors,
+//! restores the newest recovery floor (the latest valid on-disk checkpoint,
+//! else the in-memory round-start state), and replays. Determinism makes
+//! the resumed run bit-identical to an undisturbed one.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use apollo_data::LmBatcher;
+use apollo_nn::{LlamaModel, ParamKind};
+use apollo_obs::{Obs, Phase, PhaseSample, TraceEvent};
+use apollo_optim::{Optimizer, ParamUpdate};
+use apollo_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{
+    checkpoint_file_name, latest_valid_checkpoint, prune_checkpoints, save_train_state, TrainMeta,
+};
+use crate::resilience::{ResilienceConfig, ResilienceReport};
+use crate::schedule::LrSchedule;
+use crate::trainer::{eval_perplexity, RunLog, TrainConfig};
+
+/// Builds the optimizer instance owning the state of one parameter.
+///
+/// The argument is the parameter's **global optimizer index** (position
+/// among trainable parameters), so factories can derive position-dependent
+/// state — e.g. APOLLO's per-parameter projector seeds — identically at
+/// every replica count: `Apollo::new(rank, freq).with_seed(base + index)`.
+pub type OptimizerFactory = dyn Fn(usize) -> Box<dyn Optimizer> + Sync;
+
+/// Data-parallel execution parameters.
+#[derive(Debug, Clone)]
+pub struct DdpConfig {
+    /// Replica (worker thread) count.
+    pub replicas: usize,
+    /// Fixed virtual-slot count `V`. The global batch must divide by it,
+    /// and `replicas` must not exceed it. Runs with the same `V` are
+    /// bit-identical at any replica count; changing `V` changes the
+    /// micro-batch decomposition and therefore the arithmetic.
+    pub virtual_slots: usize,
+    /// Kernel threads each replica's math may use (thread-local override;
+    /// 1 keeps replicas fully parallel with no pool contention).
+    pub threads_per_replica: usize,
+}
+
+impl DdpConfig {
+    /// `replicas` replicas over the default 4 virtual slots (widened to
+    /// `replicas` when it is larger).
+    pub fn new(replicas: usize) -> Self {
+        DdpConfig {
+            replicas,
+            virtual_slots: 4.max(replicas),
+            threads_per_replica: 1,
+        }
+    }
+}
+
+/// What the DDP driver did: membership, rounds, and recovery counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DdpReport {
+    /// Replicas the run started with.
+    pub replicas: usize,
+    /// Replicas alive at the end.
+    pub survivors: usize,
+    /// Virtual-slot count `V`.
+    pub virtual_slots: usize,
+    /// Synchronized rounds executed (1 + one per membership change).
+    pub rounds: usize,
+    /// Replicas killed (injected or real).
+    pub replica_kills: usize,
+    /// Shard re-partitions after membership changes.
+    pub rebalances: usize,
+}
+
+/// A [`RunLog`] plus the DDP driver's own audit.
+#[derive(Debug, Clone)]
+pub struct DdpRunLog {
+    /// The training log, same shape as the serial loop's.
+    pub log: RunLog,
+    /// Membership/recovery audit.
+    pub ddp: DdpReport,
+}
+
+// ---------------------------------------------------------------------------
+// Poisonable generation barrier.
+//
+// `std::sync::Barrier` has a fixed participant count and no way to release
+// waiters when a participant dies; this one adds `poison`, which wakes
+// everyone and makes every subsequent wait fail fast, so a replica death
+// unwinds the whole round instead of deadlocking it.
+
+/// Returned by [`PoisonBarrier::wait`] when the barrier was poisoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Poisoned;
+
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `n` participants arrive, or the barrier is
+    /// poisoned — whichever happens first.
+    fn wait(&self) -> Result<(), Poisoned> {
+        let mut s = self.state.lock().unwrap();
+        if s.poisoned {
+            return Err(Poisoned);
+        }
+        s.waiting += 1;
+        if s.waiting == self.n {
+            s.waiting = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        while s.generation == gen && !s.poisoned {
+            s = self.cv.wait(s).unwrap();
+        }
+        if s.generation == gen {
+            // Released by poison, not by the last arrival.
+            s.waiting -= 1;
+            Err(Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Wakes every waiter and fails all future waits.
+    fn poison(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic partitions and reductions.
+
+/// Contiguous slot range owned by replica position `pos` of `n`.
+fn slot_range(pos: usize, n: usize, total: usize) -> Range<usize> {
+    pos * total / n..(pos + 1) * total / n
+}
+
+/// Contiguous per-replica parameter shards, balanced by element count.
+/// Every shard is non-empty (requires `shards <= elems.len()`).
+fn shard_ranges(elems: &[usize], shards: usize) -> Vec<Range<usize>> {
+    assert!(
+        (1..=elems.len()).contains(&shards),
+        "need 1..={} shards, got {shards}",
+        elems.len()
+    );
+    let total: u128 = elems.iter().map(|&e| e as u128).sum();
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut cum: u128 = 0;
+    for j in 0..shards {
+        let target = total * (j as u128 + 1) / shards as u128;
+        // Leave at least one parameter for each shard still to come.
+        let max_end = elems.len() - (shards - j - 1);
+        let mut end = start;
+        while end < max_end {
+            // Take the next parameter only while it moves the boundary
+            // closer to the target (2·cum + e < 2·target ⇔ the overshoot
+            // after adding is smaller than the undershoot before).
+            if end > start && 2 * cum + elems[end] as u128 >= 2 * target {
+                break;
+            }
+            cum += elems[end] as u128;
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, elems.len(), "shards must cover every parameter");
+    out
+}
+
+/// Combines `items` with a fixed pairwise binary tree: level by level,
+/// `(0,1)(2,3)…`, odd leftovers passing through. The combine order depends
+/// only on `items.len()`, never on who calls it — the replica-invariance
+/// contract.
+fn tree_combine<T>(mut items: Vec<T>, combine: impl Fn(&mut T, T)) -> T {
+    assert!(!items.is_empty());
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                combine(&mut a, b);
+            }
+            next.push(a);
+        }
+        items = next;
+    }
+    items.pop().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Per-parameter optimizer-state framing inside the v2 checkpoint's
+// optimizer section: magic | u64 count | count × (u64 len | bytes).
+// Per-parameter blobs are what makes a checkpoint re-shardable at any
+// replica count.
+
+const OPT_MAGIC: &[u8; 8] = b"ddpopt-1";
+
+fn pack_opt_blobs(blobs: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = blobs.iter().map(|b| 8 + b.len()).sum();
+    let mut out = Vec::with_capacity(16 + total);
+    out.extend_from_slice(OPT_MAGIC);
+    out.extend_from_slice(&(blobs.len() as u64).to_le_bytes());
+    for b in blobs {
+        out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+fn unpack_opt_blobs(bytes: &[u8]) -> Result<Vec<Vec<u8>>, String> {
+    let rest = bytes
+        .strip_prefix(OPT_MAGIC)
+        .ok_or("not a sharded optimizer-state section")?;
+    let take_u64 = |rest: &mut &[u8], what: &str| -> Result<u64, String> {
+        let (head, tail) = rest
+            .split_first_chunk::<8>()
+            .ok_or_else(|| format!("truncated before {what}"))?;
+        *rest = tail;
+        Ok(u64::from_le_bytes(*head))
+    };
+    let mut rest = rest;
+    let count = take_u64(&mut rest, "blob count")?;
+    let mut blobs = Vec::new();
+    for i in 0..count {
+        let len = take_u64(&mut rest, "blob length")? as usize;
+        if len > rest.len() {
+            return Err(format!(
+                "blob {i} claims {len} bytes, {} remain",
+                rest.len()
+            ));
+        }
+        blobs.push(rest[..len].to_vec());
+        rest = &rest[len..];
+    }
+    if !rest.is_empty() {
+        return Err(format!("{} trailing bytes after blobs", rest.len()));
+    }
+    Ok(blobs)
+}
+
+// ---------------------------------------------------------------------------
+// Round state.
+
+/// The canonical run state between rounds: everything needed to (re)start
+/// a synchronized round at `step` with any membership.
+struct Canonical {
+    params: Vec<Matrix>,
+    opt_blobs: Vec<Vec<u8>>,
+    step: usize,
+    report: ResilienceReport,
+}
+
+/// One slot's published result: loss plus per-model-parameter gradients
+/// (shard owners `take` their parameters' entries during reduction).
+struct SlotOut {
+    loss: f32,
+    grads: Vec<Option<Matrix>>,
+}
+
+/// State shared by all replica threads of one round.
+struct RoundShared {
+    barrier: PoisonBarrier,
+    /// Per-slot results for the in-flight step.
+    slots: Vec<Mutex<Option<SlotOut>>>,
+    /// Post-step parameter values, published by each shard owner.
+    bcast: Vec<Mutex<Option<Matrix>>>,
+    /// Per-parameter optimizer-state blobs gathered at checkpoint time.
+    gathered: Vec<Mutex<Vec<u8>>>,
+    /// Optimizer-state footprint `(elems, bytes)` summed over shards.
+    footprint: Mutex<(usize, usize)>,
+    /// `victim_id + 1` once a replica died this round; 0 = none.
+    killed: AtomicUsize,
+}
+
+/// What the leader replica brings back from a completed round.
+struct RoundOut {
+    losses: Vec<(usize, f32)>,
+    evals: Vec<(usize, f32)>,
+    final_ppl: f32,
+    model: LlamaModel,
+    report: ResilienceReport,
+    footprint: (usize, usize),
+}
+
+enum RoundOutcome {
+    Finished(Box<RoundOut>),
+    Killed {
+        victim: usize,
+        step: usize,
+        /// The leader's partial log up to the kill (absent when the
+        /// leader itself was the victim's barrier casualty before
+        /// producing anything — never in practice, but tolerated).
+        partial: Option<Box<RoundOut>>,
+    },
+}
+
+/// Everything a round needs that does not change across rounds.
+struct RoundCtx<'a> {
+    cfg: &'a TrainConfig,
+    res: &'a ResilienceConfig,
+    obs: &'a Obs,
+    make_opt: &'a OptimizerFactory,
+    model: &'a LlamaModel,
+    batcher: &'a LmBatcher,
+    /// Model-parameter index of each optimizer parameter.
+    opt_params: &'a [usize],
+    schedule: LrSchedule,
+    virtual_slots: usize,
+    threads_per_replica: usize,
+    global_batch: usize,
+}
+
+impl RoundCtx<'_> {
+    fn checkpoint_due(&self, step: usize, start_step: usize) -> bool {
+        self.res.checkpoint_dir.is_some()
+            && self.res.checkpoint_every > 0
+            && step > 0
+            && step != start_step
+            && step.is_multiple_of(self.res.checkpoint_every)
+    }
+
+    /// Writes the crash-safe checkpoint capturing "about to run `step`",
+    /// assembling the optimizer section from the gathered per-parameter
+    /// blobs. Leader-only.
+    fn write_checkpoint(
+        &self,
+        step: usize,
+        model: &LlamaModel,
+        shared: &RoundShared,
+        report: &mut ResilienceReport,
+    ) {
+        let Some(dir) = &self.res.checkpoint_dir else {
+            return;
+        };
+        let blobs: Vec<Vec<u8>> = shared
+            .gathered
+            .iter()
+            .map(|g| g.lock().unwrap().clone())
+            .collect();
+        let optimizer = pack_opt_blobs(&blobs);
+        let meta = TrainMeta {
+            step: step as u64,
+            data_cursor: 1 + step as u64 * self.global_batch as u64,
+            rng_state: Vec::new(),
+            rng_spare: None,
+            lr_scale: 1.0,
+            spike_window: Vec::new(),
+            report: report.clone(),
+        };
+        let result = std::fs::create_dir_all(dir).and_then(|()| {
+            save_train_state(
+                model,
+                model.mode(),
+                &meta,
+                &optimizer,
+                &dir.join(checkpoint_file_name(step as u64)),
+            )
+        });
+        match result {
+            Ok(()) => {
+                report.checkpoints_written += 1;
+                self.obs.counter("ddp.checkpoints", 1);
+                let _ = prune_checkpoints(dir, self.res.keep_last.max(1));
+            }
+            Err(e) => {
+                eprintln!("warning: checkpoint write failed ({e})");
+                report.checkpoint_errors += 1;
+            }
+        }
+    }
+}
+
+/// The body of one replica thread for one round. The leader (position 0)
+/// always returns its round output — partial when the round was killed, so
+/// pre-kill loss/eval samples survive into the merged log; other replicas
+/// return `None`.
+#[allow(clippy::too_many_lines)]
+fn replica_main(
+    ctx: &RoundCtx<'_>,
+    shared: &RoundShared,
+    canonical: &Canonical,
+    members: &[usize],
+    pos: usize,
+    kill: Option<(usize, usize)>,
+) -> Option<Box<RoundOut>> {
+    apollo_tensor::set_thread_override(Some(ctx.threads_per_replica.max(1)));
+    let my_id = members[pos];
+    let leader = pos == 0;
+    let replicas = members.len();
+    let v = ctx.virtual_slots;
+    let slot_batch = ctx.global_batch / v;
+    let start_step = canonical.step;
+
+    // Private model copy seeded from the canonical weights.
+    let mut model = ctx.model.clone();
+    for (p, value) in model.params.iter_mut().zip(&canonical.params) {
+        p.value.copy_from(value);
+    }
+    // This shard's per-parameter optimizers, state restored from the
+    // canonical blobs.
+    let shard = shard_ranges(
+        &ctx.opt_params
+            .iter()
+            .map(|&mi| ctx.model.params[mi].value.len())
+            .collect::<Vec<_>>(),
+        replicas,
+    )[pos]
+        .clone();
+    let mut opts: Vec<Box<dyn Optimizer>> = shard
+        .clone()
+        .map(|j| {
+            let mut opt = (ctx.make_opt)(j);
+            if !canonical.opt_blobs[j].is_empty() {
+                opt.state_load(&canonical.opt_blobs[j])
+                    .unwrap_or_else(|e| panic!("optimizer state for param {j} is invalid: {e}"));
+            }
+            opt
+        })
+        .collect();
+    let my_slots = slot_range(pos, replicas, v);
+    let mut slot_batcher = ctx.batcher.with_batch(slot_batch);
+    let eval_batcher = ctx.batcher.clone();
+    let loss_sample_every = (ctx.cfg.steps / 200).max(1);
+
+    let mut out = Box::new(RoundOut {
+        losses: Vec::new(),
+        evals: Vec::new(),
+        final_ppl: f32::NAN,
+        model: ctx.model.clone(),
+        report: canonical.report.clone(),
+        footprint: (0, 0),
+    });
+
+    // Gathers this shard's optimizer state into the shared blob table.
+    let gather_shard = |opts: &[Box<dyn Optimizer>]| {
+        for (local, j) in shard.clone().enumerate() {
+            let blob = opts[local]
+                .state_save()
+                .unwrap_or_else(|e| panic!("state_save for param {j} failed: {e}"));
+            *shared.gathered[j].lock().unwrap() = blob;
+        }
+    };
+
+    for step in start_step..ctx.cfg.steps {
+        // Fault injection: this replica dies *now*, mid-flight, without
+        // publishing anything — survivors unwind at their next barrier.
+        if kill == Some((step, my_id)) {
+            shared.killed.store(my_id + 1, Ordering::SeqCst);
+            shared.barrier.poison();
+            return leader.then_some(out);
+        }
+        if leader {
+            ctx.obs.set_step(step);
+        }
+        let step_started = Instant::now();
+        let mut sample = PhaseSample::new();
+
+        // Periodic checkpoint: every replica contributes its shard's state,
+        // then the leader assembles and writes.
+        if ctx.checkpoint_due(step, start_step) {
+            let checkpointing = sample.time(Phase::Checkpoint, || {
+                gather_shard(&opts);
+                if shared.barrier.wait().is_err() {
+                    return Err(Poisoned);
+                }
+                if leader {
+                    ctx.write_checkpoint(step, &model, shared, &mut out.report);
+                }
+                Ok(())
+            });
+            if checkpointing.is_err() {
+                return leader.then_some(out);
+            }
+        }
+
+        // Phase A: compute this replica's slots against the synced weights.
+        for s in my_slots.clone() {
+            let (tokens, targets) = sample.time(Phase::BatchPrep, || {
+                slot_batcher
+                    .set_cursor(1 + (step as u64 * v as u64 + s as u64) * slot_batch as u64);
+                slot_batcher.next_batch()
+            });
+            let (mut graph, loss_id, pnodes) = sample.time(Phase::Forward, || {
+                model.build_loss(&tokens, &targets, slot_batch)
+            });
+            let loss = graph.value(loss_id).get(0, 0);
+            let grads = sample.time(Phase::Backward, || {
+                graph.backward(loss_id);
+                model.collect_grads(&graph, &pnodes)
+            });
+            drop(graph);
+            *shared.slots[s].lock().unwrap() = Some(SlotOut { loss, grads });
+        }
+        if shared.barrier.wait().is_err() {
+            return leader.then_some(out);
+        }
+
+        // Phase B: tree-reduce and step this shard, publish updated values.
+        let lr = ctx.schedule.lr_at(step);
+        let mut shard_sq_norm = 0.0f64;
+        sample.time(Phase::Optimizer, || {
+            for (local, j) in shard.clone().enumerate() {
+                let mi = ctx.opt_params[j];
+                let slot_grads: Vec<Matrix> = (0..v)
+                    .map(|s| {
+                        shared.slots[s].lock().unwrap().as_mut().unwrap().grads[mi]
+                            .take()
+                            .expect("trainable parameter must have a gradient")
+                    })
+                    .collect();
+                let mut g = tree_combine(slot_grads, |a, b| {
+                    a.add_assign(&b);
+                    b.recycle();
+                });
+                g.scale_assign(1.0 / v as f32);
+                let n = f64::from(g.fro_norm());
+                shard_sq_norm += n * n;
+                let p = &mut model.params[mi];
+                let mut updates = [ParamUpdate {
+                    name: &p.name,
+                    value: &mut p.value,
+                    grad: &g,
+                    projectable: p.kind == ParamKind::Projectable,
+                }];
+                opts[local].step(&mut updates, lr);
+                g.recycle();
+                let updated = p.value.clone();
+                if let Some(old) = shared.bcast[j].lock().unwrap().replace(updated) {
+                    old.recycle();
+                }
+            }
+        });
+
+        // Leader: the global loss is the same fixed tree over slot losses.
+        if leader {
+            let slot_losses: Vec<f32> = (0..v)
+                .map(|s| shared.slots[s].lock().unwrap().as_ref().unwrap().loss)
+                .collect();
+            let loss = tree_combine(slot_losses, |a, b| *a += b) / v as f32;
+            ctx.obs.counter("ddp.steps", 1);
+            if ctx.obs.sample_due() {
+                let gn = shard_sq_norm.sqrt() as f32;
+                ctx.obs.gauge("loss", f64::from(loss));
+                ctx.obs.gauge("lr", f64::from(lr));
+                ctx.obs.emit(|| TraceEvent::StepMetrics {
+                    step,
+                    loss,
+                    grad_norm: gn,
+                    lr,
+                });
+            }
+            if step.is_multiple_of(loss_sample_every) || step + 1 == ctx.cfg.steps {
+                out.losses.push((step, loss));
+            }
+        }
+        if shared.barrier.wait().is_err() {
+            return leader.then_some(out);
+        }
+
+        // Phase C: pull every other shard's updated parameters.
+        for (j, &mi) in ctx.opt_params.iter().enumerate() {
+            if !shard.contains(&j) {
+                let slot = shared.bcast[j].lock().unwrap();
+                model.params[mi]
+                    .value
+                    .copy_from(slot.as_ref().expect("owner published this parameter"));
+            }
+        }
+        if leader {
+            if ctx.cfg.eval_every > 0
+                && (step + 1).is_multiple_of(ctx.cfg.eval_every)
+                && step + 1 != ctx.cfg.steps
+            {
+                let ppl = sample.time(Phase::Eval, || {
+                    eval_perplexity(&model, &eval_batcher, ctx.cfg.eval_seqs)
+                });
+                if let Some(ppl) = ppl {
+                    out.evals.push((step + 1, ppl));
+                }
+            }
+            let total_ms = step_started.elapsed().as_secs_f32() * 1e3;
+            ctx.obs.record_step(&sample, total_ms);
+            ctx.obs.emit(|| TraceEvent::StepPhases {
+                step,
+                batch_ms: sample.get(Phase::BatchPrep),
+                forward_ms: sample.get(Phase::Forward),
+                backward_ms: sample.get(Phase::Backward),
+                clip_ms: 0.0,
+                optimizer_ms: sample.get(Phase::Optimizer),
+                checkpoint_ms: sample.get(Phase::Checkpoint),
+                eval_ms: sample.get(Phase::Eval),
+                total_ms,
+            });
+        }
+        // The pre-compute barrier of the next iteration cannot replace
+        // this one: owners overwrite `bcast` in their next Phase B, which
+        // must not race a slow replica still copying in Phase C.
+        if shared.barrier.wait().is_err() {
+            return leader.then_some(out);
+        }
+    }
+
+    // Epilogue: gather every shard once for the footprint and the final
+    // checkpoint, then the leader evaluates and reports.
+    gather_shard(&opts);
+    {
+        let mut fp = shared.footprint.lock().unwrap();
+        fp.0 += opts.iter().map(|o| o.state_elems()).sum::<usize>();
+        fp.1 += opts.iter().map(|o| o.state_bytes()).sum::<usize>();
+    }
+    if shared.barrier.wait().is_err() {
+        return leader.then_some(out);
+    }
+    if !leader {
+        return None;
+    }
+    if let Some(ppl) = eval_perplexity(&model, &eval_batcher, ctx.cfg.eval_seqs) {
+        out.final_ppl = ppl;
+        out.evals.push((ctx.cfg.steps, ppl));
+    }
+    if ctx.res.checkpoint_every > 0 && ctx.cfg.steps != start_step {
+        ctx.write_checkpoint(ctx.cfg.steps, &model, shared, &mut out.report);
+    }
+    out.footprint = *shared.footprint.lock().unwrap();
+    out.model = model;
+    Some(out)
+}
+
+fn run_round(
+    ctx: &RoundCtx<'_>,
+    canonical: &Canonical,
+    members: &[usize],
+    kill: Option<(usize, usize)>,
+) -> RoundOutcome {
+    let shared = RoundShared {
+        barrier: PoisonBarrier::new(members.len()),
+        slots: (0..ctx.virtual_slots).map(|_| Mutex::new(None)).collect(),
+        bcast: (0..ctx.opt_params.len())
+            .map(|_| Mutex::new(None))
+            .collect(),
+        gathered: (0..ctx.opt_params.len())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
+        footprint: Mutex::new((0, 0)),
+        killed: AtomicUsize::new(0),
+    };
+    let mut leader_out: Option<Box<RoundOut>> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..members.len())
+            .map(|pos| {
+                let shared = &shared;
+                s.spawn(move || replica_main(ctx, shared, canonical, members, pos, kill))
+            })
+            .collect();
+        for h in handles {
+            if let Some(out) = h.join().expect("replica thread panicked") {
+                leader_out = Some(out);
+            }
+        }
+    });
+    match shared.killed.load(Ordering::SeqCst) {
+        0 => RoundOutcome::Finished(leader_out.expect("completed round has a leader result")),
+        id_plus_one => RoundOutcome::Killed {
+            victim: id_plus_one - 1,
+            step: kill.expect("a kill was injected").0,
+            partial: leader_out,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+/// Runs multi-replica data-parallel pre-training.
+///
+/// `batcher` defines the **global** batch (shared by every replica count);
+/// `make_opt` builds one optimizer per trainable parameter (see
+/// [`OptimizerFactory`]). Losses and final weights are bit-identical for
+/// any `ddp.replicas` at a fixed `ddp.virtual_slots`. On return, `model`
+/// holds the final weights.
+///
+/// Supported resilience features: crash-safe sharded checkpoints
+/// (`checkpoint_dir`/`checkpoint_every`/`keep_last`/`resume`) and
+/// [`crate::FaultKind::ReplicaKill`] entries of the fault plan (each kill
+/// drops a member, rebalances, and resumes from the newest recovery
+/// floor). Per-step gradient sentinels, recovery policies, and the other
+/// fault kinds are serial-loop features and are ignored here.
+///
+/// # Panics
+///
+/// Panics if `cfg.steps == 0`, the global batch does not divide by
+/// `virtual_slots`, `replicas` exceeds `virtual_slots` or the trainable
+/// parameter count, every replica is killed, or `cfg` requests serial-only
+/// features (`grad_accum > 1`, `grad_clip`, `merge_every`,
+/// `quantize_weights`).
+pub fn pretrain_ddp(
+    model: &mut LlamaModel,
+    make_opt: &OptimizerFactory,
+    batcher: &LmBatcher,
+    cfg: &TrainConfig,
+    ddp: &DdpConfig,
+    res: &ResilienceConfig,
+    obs: &Obs,
+) -> DdpRunLog {
+    assert!(cfg.steps > 0, "need at least one step");
+    assert!(ddp.replicas >= 1, "need at least one replica");
+    assert!(
+        ddp.replicas <= ddp.virtual_slots,
+        "replicas ({}) must not exceed virtual slots ({})",
+        ddp.replicas,
+        ddp.virtual_slots
+    );
+    assert!(
+        batcher.batch().is_multiple_of(ddp.virtual_slots),
+        "global batch ({}) must divide by virtual slots ({})",
+        batcher.batch(),
+        ddp.virtual_slots
+    );
+    assert!(
+        cfg.grad_accum <= 1 && cfg.grad_clip.is_none(),
+        "grad_accum/grad_clip are serial-loop features"
+    );
+    assert!(
+        cfg.merge_every.is_none() && cfg.quantize_weights.is_none(),
+        "merge_every/quantize_weights are serial-loop features"
+    );
+    let opt_params: Vec<usize> = model
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.trainable)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        ddp.replicas <= opt_params.len(),
+        "more replicas ({}) than trainable parameters ({})",
+        ddp.replicas,
+        opt_params.len()
+    );
+
+    let started = Instant::now();
+    let opt_name = make_opt(0).name();
+    let mut canonical = Canonical {
+        params: model.params.iter().map(|p| p.value.clone()).collect(),
+        opt_blobs: vec![Vec::new(); opt_params.len()],
+        step: 0,
+        report: ResilienceReport::default(),
+    };
+    let restore_canonical = |canonical: &mut Canonical, state: crate::checkpoint::TrainState| {
+        for (p, saved) in model.params.iter().zip(&state.model.params) {
+            assert_eq!(p.name, saved.name, "checkpoint/model manifest mismatch");
+        }
+        canonical.params = state.model.params.into_iter().map(|p| p.value).collect();
+        canonical.step = (state.meta.step as usize).min(cfg.steps);
+        canonical.report = state.meta.report;
+        canonical.opt_blobs = if state.optimizer.is_empty() {
+            vec![Vec::new(); opt_params.len()]
+        } else {
+            match unpack_opt_blobs(&state.optimizer) {
+                Ok(blobs) if blobs.len() == opt_params.len() => blobs,
+                Ok(blobs) => {
+                    eprintln!(
+                        "warning: checkpoint has {} optimizer blobs, expected {}; starting fresh",
+                        blobs.len(),
+                        opt_params.len()
+                    );
+                    vec![Vec::new(); opt_params.len()]
+                }
+                Err(e) => {
+                    eprintln!("warning: optimizer state not restored ({e}); starting fresh");
+                    vec![Vec::new(); opt_params.len()]
+                }
+            }
+        };
+    };
+    if res.resume {
+        if let Some(dir) = &res.checkpoint_dir {
+            if let Ok(Some((_, state))) = latest_valid_checkpoint(dir) {
+                let step = state.meta.step;
+                restore_canonical(&mut canonical, state);
+                canonical.report.resumed_from_step = Some(step);
+            }
+        }
+    }
+
+    let mut kills = res.fault_plan.clone().take_replica_kills();
+    let mut members: Vec<usize> = (0..ddp.replicas).collect();
+    let mut ddp_report = DdpReport {
+        replicas: ddp.replicas,
+        survivors: ddp.replicas,
+        virtual_slots: ddp.virtual_slots,
+        ..DdpReport::default()
+    };
+    let mut losses: BTreeMap<usize, f32> = BTreeMap::new();
+    let mut evals: BTreeMap<usize, f32> = BTreeMap::new();
+
+    obs.set_step(canonical.step);
+    obs.emit(|| TraceEvent::RunStart {
+        step: canonical.step,
+        optimizer: format!("ddp×{} {opt_name}", ddp.replicas),
+        model: model.config().name.clone(),
+        steps: cfg.steps,
+    });
+
+    let ctx = RoundCtx {
+        cfg,
+        res,
+        obs,
+        make_opt,
+        model,
+        batcher,
+        opt_params: &opt_params,
+        schedule: LrSchedule::paper_default(cfg.lr, cfg.steps),
+        virtual_slots: ddp.virtual_slots,
+        threads_per_replica: ddp.threads_per_replica,
+        global_batch: batcher.batch(),
+    };
+
+    let finished = loop {
+        ddp_report.rounds += 1;
+        obs.counter("ddp.rounds", 1);
+        obs.gauge("ddp.replicas", members.len() as f64);
+        for &m in &members {
+            obs.emit(|| TraceEvent::ReplicaEvent {
+                step: canonical.step,
+                replica: m,
+                event: "start".to_string(),
+                replicas: members.len(),
+            });
+        }
+        // Only kills that can actually fire this round are armed; stale
+        // entries (already-dead target, step already passed) are dropped.
+        kills.retain(|&(step, replica)| {
+            step >= canonical.step && step < cfg.steps && members.contains(&replica)
+        });
+        let kill = kills.first().copied();
+
+        match run_round(&ctx, &canonical, &members, kill) {
+            RoundOutcome::Finished(out) => break out,
+            RoundOutcome::Killed {
+                victim,
+                step,
+                partial,
+            } => {
+                // Keep the samples the killed round produced: the replay
+                // regenerates them bit-identically, and steps before the
+                // resume point exist nowhere else.
+                if let Some(partial) = partial {
+                    for (step, loss) in partial.losses {
+                        losses.insert(step, loss);
+                    }
+                    for (step, ppl) in partial.evals {
+                        evals.insert(step, ppl);
+                    }
+                }
+                kills.remove(0);
+                members.retain(|&m| m != victim);
+                assert!(!members.is_empty(), "every replica was killed");
+                ddp_report.replica_kills += 1;
+                ddp_report.survivors = members.len();
+                obs.counter("ddp.replica_kills", 1);
+                obs.emit(|| TraceEvent::ReplicaEvent {
+                    step,
+                    replica: victim,
+                    event: "kill".to_string(),
+                    replicas: members.len(),
+                });
+                // Recovery floor: the newest on-disk checkpoint if it is
+                // ahead of the round-start state (which `canonical` still
+                // holds — rounds never mutate it), else replay the round.
+                if let Some(dir) = &res.checkpoint_dir {
+                    if let Ok(Some((_, state))) = latest_valid_checkpoint(dir) {
+                        if (state.meta.step as usize) > canonical.step {
+                            restore_canonical(&mut canonical, state);
+                        }
+                    }
+                }
+                canonical.report.resumed_from_step = Some(canonical.step as u64);
+                ddp_report.rebalances += 1;
+                obs.counter("ddp.rebalances", 1);
+                for &m in &members {
+                    obs.emit(|| TraceEvent::ReplicaEvent {
+                        step: canonical.step,
+                        replica: m,
+                        event: "rebalance".to_string(),
+                        replicas: members.len(),
+                    });
+                }
+            }
+        }
+    };
+
+    // Later rounds replay earlier steps bit-identically, so keyed merges
+    // collapse the replays into the clean run's sample sequence.
+    for (step, loss) in finished.losses {
+        losses.insert(step, loss);
+    }
+    for (step, ppl) in finished.evals {
+        evals.insert(step, ppl);
+    }
+    for (p, value) in model.params.iter_mut().zip(finished.model.params) {
+        let old = std::mem::replace(&mut p.value, value.value);
+        old.recycle();
+    }
+    for &m in &members {
+        obs.emit(|| TraceEvent::ReplicaEvent {
+            step: cfg.steps,
+            replica: m,
+            event: "finish".to_string(),
+            replicas: members.len(),
+        });
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    obs.emit(|| TraceEvent::RunEnd {
+        step: cfg.steps,
+        wall_secs,
+    });
+    if let Err(e) = obs.flush() {
+        eprintln!("warning: trace flush failed ({e})");
+    }
+    DdpRunLog {
+        log: RunLog {
+            optimizer: opt_name,
+            model: model.config().name.clone(),
+            train_losses: losses.into_iter().collect(),
+            eval_ppls: evals.into_iter().collect(),
+            final_ppl: finished.final_ppl,
+            state_elems: finished.footprint.0,
+            state_bytes: finished.footprint.1,
+            wall_secs,
+            step_times_ms: Vec::new(),
+            resilience: finished.report,
+        },
+        ddp: ddp_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_combine_is_a_fixed_pairwise_tree() {
+        // Strings record the association: the tree must not depend on the
+        // caller (only on the item count), and odd leftovers pass through.
+        let combined = tree_combine(
+            vec!["a".to_string(), "b".into(), "c".into(), "d".into()],
+            |a, b| *a = format!("({a}+{b})"),
+        );
+        assert_eq!(combined, "((a+b)+(c+d))");
+        let odd = tree_combine(vec!["a".to_string(), "b".into(), "c".into()], |a, b| {
+            *a = format!("({a}+{b})")
+        });
+        assert_eq!(odd, "((a+b)+c)");
+        assert_eq!(tree_combine(vec![7i64], |_, _| unreachable!()), 7);
+    }
+
+    #[test]
+    fn slot_ranges_partition_exactly() {
+        for n in 1..=4 {
+            let total = 4;
+            let mut covered = Vec::new();
+            for pos in 0..n {
+                covered.extend(slot_range(pos, n, total));
+            }
+            assert_eq!(covered, (0..total).collect::<Vec<_>>(), "n={n}");
+        }
+        // Uneven: 3 replicas over 4 slots.
+        assert_eq!(slot_range(0, 3, 4), 0..1);
+        assert_eq!(slot_range(1, 3, 4), 1..2);
+        assert_eq!(slot_range(2, 3, 4), 2..4);
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        let elems = vec![100, 1, 1, 1, 100, 1, 50, 50];
+        for shards in 1..=elems.len() {
+            let ranges = shard_ranges(&elems, shards);
+            assert_eq!(ranges.len(), shards);
+            let mut covered = Vec::new();
+            for r in &ranges {
+                assert!(!r.is_empty(), "shards={shards}: empty shard {r:?}");
+                covered.extend(r.clone());
+            }
+            assert_eq!(covered, (0..elems.len()).collect::<Vec<_>>());
+        }
+        // Balanced by elements, not count: the two heavy params split.
+        let two = shard_ranges(&elems, 2);
+        assert!(two[0].contains(&0) && !two[0].contains(&4));
+    }
+
+    #[test]
+    fn opt_blobs_roundtrip_and_reject_corruption() {
+        let blobs = vec![vec![1u8, 2, 3], Vec::new(), vec![9u8; 100]];
+        let packed = pack_opt_blobs(&blobs);
+        assert_eq!(unpack_opt_blobs(&packed).unwrap(), blobs);
+        assert_eq!(
+            unpack_opt_blobs(&pack_opt_blobs(&[])).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
+
+        assert!(unpack_opt_blobs(b"garbage").is_err());
+        // Truncated mid-blob.
+        assert!(unpack_opt_blobs(&packed[..packed.len() - 1]).is_err());
+        // Length prefix claiming more than remains must not allocate.
+        let mut huge = packed.clone();
+        let len_off = OPT_MAGIC.len() + 8;
+        huge[len_off..len_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = unpack_opt_blobs(&huge).unwrap_err();
+        assert!(err.contains("remain"), "{err}");
+        // Trailing garbage.
+        let mut trailing = packed;
+        trailing.push(0);
+        assert!(unpack_opt_blobs(&trailing).is_err());
+    }
+
+    #[test]
+    fn poison_barrier_releases_waiters() {
+        let barrier = PoisonBarrier::new(3);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| barrier.wait());
+            let arriver = s.spawn(|| barrier.wait());
+            // Give both a moment to block, then poison instead of arriving.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            barrier.poison();
+            assert_eq!(waiter.join().unwrap(), Err(Poisoned));
+            assert_eq!(arriver.join().unwrap(), Err(Poisoned));
+        });
+        assert_eq!(barrier.wait(), Err(Poisoned), "stays poisoned");
+    }
+
+    #[test]
+    fn poison_barrier_synchronizes_generations() {
+        let barrier = PoisonBarrier::new(2);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for round in 0..50 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait().unwrap();
+                        // Both must have bumped before anyone proceeds.
+                        assert!(counter.load(Ordering::SeqCst) >= 2 * (round + 1));
+                        barrier.wait().unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+}

@@ -28,6 +28,7 @@
 //! ```
 
 mod checkpoint;
+mod ddp;
 mod finetune;
 pub mod resilience;
 mod schedule;
@@ -37,6 +38,7 @@ pub use checkpoint::{
     checkpoint_file_name, crc32, latest_valid_checkpoint, load_model, load_train_state,
     prune_checkpoints, save_model, save_train_state, TrainMeta, TrainState,
 };
+pub use ddp::{pretrain_ddp, DdpConfig, DdpReport, DdpRunLog, OptimizerFactory};
 pub use finetune::{finetune, FinetuneConfig, FinetuneResult};
 pub use resilience::{
     FaultKind, FaultPlan, RecoveryPolicy, ResilienceConfig, ResilienceReport, SpikeDetector,

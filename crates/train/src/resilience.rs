@@ -216,6 +216,15 @@ pub enum FaultKind {
     /// Terminate the loop immediately — no final checkpoint, no final
     /// eval — as if the process was killed.
     Crash,
+    /// Kill one data-parallel replica mid-step, as if its host died. The
+    /// DDP driver drops the member, rebalances shards over the survivors,
+    /// and resumes bit-exactly from the newest valid checkpoint; the
+    /// serial trainer treats it as [`FaultKind::Crash`] (there is only one
+    /// "replica" to kill).
+    ReplicaKill {
+        /// Replica id to kill.
+        replica: usize,
+    },
 }
 
 /// A schedule of [`FaultKind`]s keyed by step, for reproducible failure
@@ -258,6 +267,23 @@ impl FaultPlan {
     /// True when no faults are scheduled.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
+    }
+
+    /// Removes and returns every [`FaultKind::ReplicaKill`] as
+    /// `(step, replica)` pairs sorted by step. The DDP driver consumes the
+    /// whole kill schedule up front (kills are membership events, not
+    /// per-step gradient faults).
+    pub fn take_replica_kills(&mut self) -> Vec<(usize, usize)> {
+        let mut kills = Vec::new();
+        self.faults.retain(|&(step, kind)| match kind {
+            FaultKind::ReplicaKill { replica } => {
+                kills.push((step, replica));
+                false
+            }
+            _ => true,
+        });
+        kills.sort_unstable();
+        kills
     }
 }
 

@@ -27,9 +27,24 @@ impl LrSchedule {
         }
     }
 
+    /// Number of warmup steps, computed in integer arithmetic so the
+    /// boundary lands exactly on `total_steps * warmup_frac` at any budget.
+    /// A float product (f32 *or* f64) drifts here: `0.1f32` is
+    /// 0.10000000149…, so `1e9 as f32 * 0.1` truncates to a warmup one step
+    /// off the exact `total_steps / 10`, and a resumed run would disagree
+    /// with the original about which step the cosine phase starts on. The
+    /// fraction is carried as a rational with a 10^6 denominator (f32 has
+    /// ~7 significant digits, so round-tripping through parts-per-million
+    /// is lossless for any sensible fraction).
+    pub fn warmup_steps(&self) -> usize {
+        let ppm = (f64::from(self.warmup_frac) * 1e6).round() as u128;
+        let warmup = (self.total_steps as u128 * ppm) / 1_000_000;
+        (warmup as usize).max(1)
+    }
+
     /// Learning rate at `step` (0-based).
     pub fn lr_at(&self, step: usize) -> f32 {
-        let warmup = ((self.total_steps as f32 * self.warmup_frac) as usize).max(1);
+        let warmup = self.warmup_steps();
         if step < warmup {
             return self.peak_lr * (step + 1) as f32 / warmup as f32;
         }
@@ -82,5 +97,30 @@ mod tests {
         let s = LrSchedule::paper_default(1.0, 1);
         assert!(s.lr_at(0).is_finite());
         assert!(s.lr_at(1).is_finite());
+    }
+
+    #[test]
+    fn warmup_is_exact_at_any_budget() {
+        // f32 can't represent 0.1, so the old `total as f32 * frac as usize`
+        // drifted off `total / 10` once the budget grew past f32's integer
+        // precision. The integer path must hit the exact tenth everywhere.
+        for total in [10, 100, 1_000, 150_000, 10_000_000, 1_000_000_000] {
+            let s = LrSchedule::paper_default(1.0, total);
+            assert_eq!(s.warmup_steps(), total / 10, "budget {total}");
+        }
+    }
+
+    #[test]
+    fn warmup_boundary_is_continuous() {
+        // The last warmup step must reach the peak exactly and the first
+        // cosine step must start at the peak (t = 0 → cos factor 1), so a
+        // run resumed on either side of the boundary sees the same curve.
+        for total in [100, 1_000, 150_000, 1_000_000_000] {
+            let s = LrSchedule::paper_default(1.0, total);
+            let warmup = s.warmup_steps();
+            assert_eq!(s.lr_at(warmup - 1), 1.0, "peak at end of warmup");
+            assert_eq!(s.lr_at(warmup), 1.0, "cosine starts at the peak");
+            assert!(s.lr_at(warmup + 1) <= 1.0);
+        }
     }
 }

@@ -512,6 +512,12 @@ pub fn pretrain_observed(
                 report.crashed = true;
                 break 'train;
             }
+            Some(FaultKind::ReplicaKill { .. }) => {
+                // The serial loop has exactly one "replica"; killing it is
+                // a crash. The DDP driver handles this kind elastically.
+                report.crashed = true;
+                break 'train;
+            }
             None => {}
         }
 

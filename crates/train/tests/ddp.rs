@@ -1,0 +1,327 @@
+//! Data-parallel integration tests: bit-exact replica invariance, elastic
+//! replica-kill recovery, and cross-replica-count checkpoint resharding.
+
+use apollo_data::{CorpusConfig, LmBatcher, SyntheticCorpus};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_obs::Obs;
+use apollo_optim::{AdamW, Apollo, Optimizer};
+use apollo_tensor::Rng;
+use apollo_train::{
+    pretrain_ddp, DdpConfig, DdpRunLog, FaultKind, FaultPlan, OptimizerFactory, ResilienceConfig,
+    TrainConfig,
+};
+
+fn setup(seed: u64) -> (LlamaModel, LmBatcher) {
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(seed);
+    let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    // Global batch 4 = the default virtual-slot count.
+    let batcher = LmBatcher::new(corpus, 4, cfg.max_seq);
+    (model, batcher)
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("apollo-ddp-it").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn apollo_factory(i: usize) -> Box<dyn Optimizer> {
+    // Position-derived seed: parameter i gets the projector stream a
+    // single-parameter optimizer at local index 0 would derive from it.
+    Box::new(Apollo::new(2, 5).with_seed(0xA901_1000 + i as u64))
+}
+
+fn adamw_factory(_i: usize) -> Box<dyn Optimizer> {
+    Box::new(AdamW::new())
+}
+
+fn run(
+    seed: u64,
+    steps: usize,
+    replicas: usize,
+    make_opt: &OptimizerFactory,
+    res: &ResilienceConfig,
+) -> (LlamaModel, DdpRunLog) {
+    let (mut model, batcher) = setup(seed);
+    let cfg = TrainConfig {
+        eval_every: 4,
+        ..TrainConfig::quick(steps)
+    };
+    let log = pretrain_ddp(
+        &mut model,
+        make_opt,
+        &batcher,
+        &cfg,
+        &DdpConfig::new(replicas),
+        res,
+        &Obs::disabled(),
+    );
+    (model, log)
+}
+
+fn assert_bit_identical(a: &(LlamaModel, DdpRunLog), b: &(LlamaModel, DdpRunLog), what: &str) {
+    let (la, lb) = (&a.1.log, &b.1.log);
+    assert_eq!(la.train_losses.len(), lb.train_losses.len(), "{what}");
+    for ((sa, xa), (sb, xb)) in la.train_losses.iter().zip(&lb.train_losses) {
+        assert_eq!(sa, sb, "{what}: sample steps differ");
+        assert_eq!(
+            xa.to_bits(),
+            xb.to_bits(),
+            "{what}: loss at step {sa} diverges ({xa} vs {xb})"
+        );
+    }
+    assert_eq!(la.eval_ppls, lb.eval_ppls, "{what}: eval curves differ");
+    assert_eq!(
+        la.final_ppl.to_bits(),
+        lb.final_ppl.to_bits(),
+        "{what}: final perplexity diverges"
+    );
+    for (pa, pb) in a.0.params.iter().zip(&b.0.params) {
+        assert_eq!(pa.name, pb.name);
+        for (i, (x, y)) in pa
+            .value
+            .as_slice()
+            .iter()
+            .zip(pb.value.as_slice())
+            .enumerate()
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: param {} diverges at element {i}",
+                pa.name
+            );
+        }
+    }
+}
+
+#[test]
+fn losses_and_weights_are_bit_identical_at_any_replica_count() {
+    // The replica-invariance contract, for both the sharded-state APOLLO
+    // path (position-derived projector seeds) and plain AdamW. Replica
+    // counts 1/2/4 partition the 4 virtual slots evenly; 3 does not.
+    let res = ResilienceConfig::default();
+    for (name, factory) in [
+        ("apollo", &apollo_factory as &OptimizerFactory),
+        ("adamw", &adamw_factory),
+    ] {
+        let baseline = run(7, 10, 1, factory, &res);
+        assert!(baseline.1.log.final_ppl.is_finite());
+        assert_eq!(baseline.1.ddp.rounds, 1);
+        for replicas in [2, 3, 4] {
+            let multi = run(7, 10, replicas, factory, &res);
+            assert_eq!(multi.1.ddp.replicas, replicas);
+            assert_eq!(multi.1.ddp.survivors, replicas);
+            assert_bit_identical(&baseline, &multi, &format!("{name} x{replicas}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_state_tracks_the_serial_optimizer_footprint() {
+    // ZeRO sharding splits the state across replicas; the union must be
+    // the same state a single replica holds.
+    let res = ResilienceConfig::default();
+    let solo = run(3, 6, 1, &apollo_factory, &res);
+    let duo = run(3, 6, 2, &apollo_factory, &res);
+    assert!(solo.1.log.state_elems > 0);
+    assert_eq!(solo.1.log.state_elems, duo.1.log.state_elems);
+    assert_eq!(solo.1.log.state_bytes, duo.1.log.state_bytes);
+}
+
+#[test]
+fn killed_replica_rebalances_and_stays_bit_exact() {
+    // Kill replica 1 of 2 at step 6: the survivor re-shards, replays from
+    // the latest checkpoint, and the run is indistinguishable from an
+    // undisturbed one.
+    let steps = 12;
+    let clean = run(11, steps, 2, &apollo_factory, &ResilienceConfig::default());
+
+    let dir = fresh_dir("kill-rebalance");
+    let plan = FaultPlan::new().inject(6, FaultKind::ReplicaKill { replica: 1 });
+    let res = ResilienceConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 4,
+        fault_plan: plan,
+        ..ResilienceConfig::default()
+    };
+    let faulted = run(11, steps, 2, &apollo_factory, &res);
+    assert_eq!(faulted.1.ddp.replica_kills, 1);
+    assert_eq!(faulted.1.ddp.rebalances, 1);
+    assert_eq!(faulted.1.ddp.rounds, 2);
+    assert_eq!(faulted.1.ddp.replicas, 2);
+    assert_eq!(faulted.1.ddp.survivors, 1);
+    assert!(faulted.1.log.resilience.checkpoints_written > 0);
+    assert_bit_identical(&clean, &faulted, "kill at step 6");
+}
+
+#[test]
+fn kill_without_checkpoints_replays_from_the_start() {
+    // No checkpoint directory: the recovery floor is the in-memory
+    // round-start state, so the survivor replays the whole run — still
+    // bit-exact, just more work.
+    let clean = run(13, 8, 2, &adamw_factory, &ResilienceConfig::default());
+    let plan = FaultPlan::new().inject(5, FaultKind::ReplicaKill { replica: 0 });
+    let res = ResilienceConfig {
+        fault_plan: plan,
+        ..ResilienceConfig::default()
+    };
+    let faulted = run(13, 8, 2, &adamw_factory, &res);
+    assert_eq!(faulted.1.ddp.replica_kills, 1);
+    assert_eq!(faulted.1.ddp.rounds, 2);
+    assert_bit_identical(&clean, &faulted, "kill, no checkpoints");
+}
+
+#[test]
+fn consecutive_kills_survive_down_to_one_replica() {
+    let clean = run(17, 10, 4, &apollo_factory, &ResilienceConfig::default());
+    let plan = FaultPlan::new()
+        .inject(3, FaultKind::ReplicaKill { replica: 2 })
+        .inject(5, FaultKind::ReplicaKill { replica: 0 })
+        .inject(7, FaultKind::ReplicaKill { replica: 3 });
+    let res = ResilienceConfig {
+        fault_plan: plan,
+        ..ResilienceConfig::default()
+    };
+    let faulted = run(17, 10, 4, &apollo_factory, &res);
+    assert_eq!(faulted.1.ddp.replica_kills, 3);
+    assert_eq!(faulted.1.ddp.rounds, 4);
+    assert_eq!(faulted.1.ddp.survivors, 1);
+    assert_bit_identical(&clean, &faulted, "three kills");
+}
+
+#[test]
+fn checkpoints_reshard_across_replica_counts() {
+    // A checkpoint written by a 2-replica run resumes at 4 replicas (and
+    // at 1), landing on exactly the uninterrupted run's weights: the
+    // per-parameter state blobs are sharding-agnostic.
+    let steps = 10;
+    let clean = run(19, steps, 2, &apollo_factory, &ResilienceConfig::default());
+
+    let dir = fresh_dir("reshard");
+    let res = ResilienceConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 6,
+        ..ResilienceConfig::default()
+    };
+    // First leg: runs to completion, but the step-6 checkpoint remains.
+    let (mut first_model, batcher) = setup(19);
+    let cfg = TrainConfig {
+        eval_every: 4,
+        ..TrainConfig::quick(steps)
+    };
+    pretrain_ddp(
+        &mut first_model,
+        &|i| apollo_factory(i),
+        &batcher,
+        &cfg,
+        &DdpConfig::new(2),
+        &res,
+        &Obs::disabled(),
+    );
+    for replicas in [1, 4] {
+        // Drop the final checkpoint (each leg rewrites it on completion)
+        // so every resume starts from the step-6 checkpoint.
+        std::fs::remove_file(dir.join(apollo_train::checkpoint_file_name(steps as u64))).unwrap();
+        let resume = ResilienceConfig {
+            resume: true,
+            ..res.clone()
+        };
+        let resumed = run(19, steps, replicas, &apollo_factory, &resume);
+        assert_eq!(
+            resumed.1.log.resilience.resumed_from_step,
+            Some(6),
+            "x{replicas}"
+        );
+        // The resumed leg replays steps 6.. only; its loss samples are a
+        // suffix of the clean curve, and the weights land bit-exactly.
+        for (step, loss) in &resumed.1.log.train_losses {
+            let clean_loss = clean
+                .1
+                .log
+                .train_losses
+                .iter()
+                .find(|(s, _)| s == step)
+                .unwrap_or_else(|| panic!("x{replicas}: no clean sample at step {step}"));
+            assert_eq!(loss.to_bits(), clean_loss.1.to_bits(), "x{replicas}");
+        }
+        assert_eq!(
+            resumed.1.log.final_ppl.to_bits(),
+            clean.1.log.final_ppl.to_bits(),
+            "x{replicas}"
+        );
+        for (pa, pb) in clean.0.params.iter().zip(&resumed.0.params) {
+            for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "x{replicas}: {}", pa.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn ddp_counters_and_replica_events_are_emitted() {
+    let dir = fresh_dir("trace");
+    let trace = dir.join("run.jsonl");
+    let obs = Obs::with_trace(&trace, 1).unwrap();
+    let (mut model, batcher) = setup(23);
+    let plan = FaultPlan::new().inject(2, FaultKind::ReplicaKill { replica: 1 });
+    let res = ResilienceConfig {
+        fault_plan: plan,
+        ..ResilienceConfig::default()
+    };
+    let log = pretrain_ddp(
+        &mut model,
+        &|i| adamw_factory(i),
+        &batcher,
+        &TrainConfig::quick(4),
+        &DdpConfig::new(2),
+        &res,
+        &obs,
+    );
+    assert_eq!(obs.counter_value("ddp.rounds"), 2);
+    assert_eq!(obs.counter_value("ddp.replica_kills"), 1);
+    assert_eq!(obs.counter_value("ddp.rebalances"), 1);
+    // Steps 0..2 ran in round 1, then 0..4 replayed in round 2.
+    assert_eq!(obs.counter_value("ddp.steps"), 2 + 4);
+    assert_eq!(log.ddp.survivors, 1);
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    for needle in [
+        "\"RunStart\"",
+        "\"RunEnd\"",
+        "\"StepPhases\"",
+        "\"StepMetrics\"",
+        "\"ReplicaEvent\"",
+    ] {
+        assert!(text.contains(needle), "trace is missing {needle}");
+    }
+    for event in ["\"start\"", "\"kill\"", "\"rebalance\"", "\"finish\""] {
+        assert!(
+            text.contains(event),
+            "trace is missing a {event} replica event"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "virtual slots")]
+fn replicas_beyond_virtual_slots_are_rejected() {
+    let (mut model, batcher) = setup(1);
+    let ddp = DdpConfig {
+        replicas: 3,
+        virtual_slots: 2,
+        threads_per_replica: 1,
+    };
+    pretrain_ddp(
+        &mut model,
+        &|i| adamw_factory(i),
+        &batcher,
+        &TrainConfig::quick(2),
+        &ddp,
+        &ResilienceConfig::default(),
+        &Obs::disabled(),
+    );
+}

@@ -45,6 +45,28 @@ APOLLO_NUM_THREADS=4 ./target/release/apollo "${GEN_ARGS[@]}" \
     >"$TRACE_TMP/gen4.txt"
 cmp "$TRACE_TMP/gen1.txt" "$TRACE_TMP/gen4.txt"
 
+echo "== replica-invariance smoke run (ddp at 1/2/4 replicas, bit-identical)"
+# The DDP driver must produce bit-identical losses at every replica count
+# (fixed virtual-slot tree reduction). Train the same tiny proxy three
+# times and compare the full-bit "final loss" lines byte-for-byte.
+for r in 1 2 4; do
+    ./target/release/apollo pretrain --model test-tiny --optimizer apollo \
+        --steps 12 --batch 4 --seed 7 --replicas "$r" 2>/dev/null \
+        | grep '^final loss' >"$TRACE_TMP/ddp$r.txt"
+    [ -s "$TRACE_TMP/ddp$r.txt" ] || { echo "ddp run at $r replicas printed no loss"; exit 1; }
+done
+cmp "$TRACE_TMP/ddp1.txt" "$TRACE_TMP/ddp2.txt"
+cmp "$TRACE_TMP/ddp1.txt" "$TRACE_TMP/ddp4.txt"
+# Elastic recovery: kill replica 1 mid-run; the survivor must rebalance,
+# resume from the crash-safe checkpoints, and land on the same bits.
+./target/release/apollo pretrain --model test-tiny --optimizer apollo \
+    --steps 12 --batch 4 --seed 7 --replicas 2 --fault-plan kill:6:1 \
+    --checkpoint-dir "$TRACE_TMP/ddp-ckpt" --checkpoint-every 4 2>/dev/null \
+    >"$TRACE_TMP/ddp-kill.txt"
+grep -q 'ddp: 2 replicas started, 1 finished' "$TRACE_TMP/ddp-kill.txt"
+grep '^final loss' "$TRACE_TMP/ddp-kill.txt" >"$TRACE_TMP/ddp-kill-loss.txt"
+cmp "$TRACE_TMP/ddp1.txt" "$TRACE_TMP/ddp-kill-loss.txt"
+
 echo "== serve smoke run (loopback server + fault-injected loadgen + drain)"
 # Bring up the HTTP front-end on a loopback ephemeral port, drive it with
 # the deterministic load generator at the default fault mix (slow-loris,
