@@ -217,6 +217,22 @@ fn check_serve(fresh_dir: &str, base_dir: &str) -> (usize, usize) {
                     regressions += 1;
                 }
             }
+            // Memory footprint: lower is better and deterministic (it is
+            // a function of model geometry, not machine load), so growth
+            // past tolerance is a real regression — a cache over-allocated
+            // or a quantized path silently materializing f32 weights.
+            "bytes" => {
+                let delta = delta_pct(b.value, f.value);
+                let regressed = delta > TOLERANCE_PCT;
+                let flag = if regressed { "  REGRESSED" } else { "" };
+                println!(
+                    "{:<32} {:9.0} -> {:9.0} {:<9} {delta:+7.1}%{flag}",
+                    b.metric, b.value, f.value, b.unit
+                );
+                if regressed {
+                    regressions += 1;
+                }
+            }
             // Shed rate under deliberate overload: informational only —
             // it tracks the offered-vs-capacity ratio, not code quality.
             "ratio" => {

@@ -14,9 +14,9 @@ use std::time::Instant;
 
 use apollo_bench::perf::{InferEntry, InferReport};
 use apollo_infer::{generate, sample, GenConfig, GenRequest, SchedConfig, Scheduler};
-use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_nn::{DecodeBackend, LinearMode, LlamaModel, ModelConfig, QuantizedModel};
 use apollo_obs::Obs;
-use apollo_tensor::{current_threads, Matrix, Rng};
+use apollo_tensor::{current_threads, set_numerics_override, simd_tier, Matrix, NumericsMode, Rng};
 
 /// Single-sequence workload: 128-token prompt, 64 decoded tokens, so the
 /// naive-vs-KV comparison runs at sequence length ≥ 128 throughout.
@@ -97,6 +97,38 @@ fn time_kv_decode(model: &LlamaModel, prompt: &[u32], t: Timing) -> (f64, Vec<u3
             out.push(tok);
             let hidden = model.forward_cached(&mut caches, &[(0, tok)]);
             logits = last_logits(model, &hidden);
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    (secs, out)
+}
+
+/// LM-head logits of the last hidden row, via the backend interface.
+fn last_logits_backend(backend: &DecodeBackend, hidden: &Matrix) -> Vec<f32> {
+    let mut row = Matrix::zeros(1, hidden.cols());
+    row.row_mut(0)
+        .copy_from_slice(hidden.row(hidden.rows() - 1));
+    backend.lm_logits(&row).as_slice().to_vec()
+}
+
+/// Greedy KV-cached decode through a [`DecodeBackend`] — same workload as
+/// [`time_kv_decode`], used for the INT8+BF16 snapshot path.
+fn time_backend_decode(backend: &DecodeBackend, prompt: &[u32], t: Timing) -> (f64, Vec<u32>) {
+    let greedy = GenConfig::default();
+    let rows: Vec<(usize, u32)> = prompt.iter().map(|&t| (0, t)).collect();
+    let mut out = Vec::new();
+    let secs = median_of(t.reps, t.min_secs, || {
+        let mut caches = backend.new_caches(1, prompt.len() + DECODE_TOKENS);
+        let hidden = backend.forward_cached(&mut caches, &rows);
+        let mut logits = last_logits_backend(backend, &hidden);
+        let mut rng = Rng::seed_from_u64(0);
+        out.clear();
+        let t0 = Instant::now();
+        for _ in 0..DECODE_TOKENS {
+            let tok = sample(&logits, &greedy, &mut rng);
+            out.push(tok);
+            let hidden = backend.forward_cached(&mut caches, &[(0, tok)]);
+            logits = last_logits_backend(backend, &hidden);
         }
         t0.elapsed().as_secs_f64()
     });
@@ -216,6 +248,32 @@ fn main() {
     let kv_tps = DECODE_TOKENS as f64 / kv_secs;
     eprintln!("[infer] kv decode        {kv_tps:9.1} tok/s ({DECODE_TOKENS} tokens)");
 
+    // Fast-tier decode: same exact-f32 model and workload, relaxed SIMD
+    // kernels via the thread-local numerics override. Tokens are not
+    // asserted byte-identical — the fast tier trades the bitwise contract
+    // for throughput — but the decode must still run to completion over
+    // the full workload.
+    set_numerics_override(Some(NumericsMode::Fast));
+    let (fast_secs, fast_tokens) = time_kv_decode(&model, &prompt, t);
+    set_numerics_override(None);
+    let fast_tps = DECODE_TOKENS as f64 / fast_secs;
+    let fast_speedup = fast_tps / kv_tps;
+    eprintln!("[infer] fast kv decode   {fast_tps:9.1} tok/s  (vs exact {fast_speedup:.2}x)");
+    assert_eq!(fast_tokens.len(), DECODE_TOKENS, "fast decode truncated");
+
+    // INT8 weights + BF16 KV decode: group-128 quantized snapshot through
+    // the fused dequant-gemv path (always the relaxed tier).
+    let int8: DecodeBackend = QuantizedModel::from_model(&model).into();
+    let (int8_secs, int8_tokens) = time_backend_decode(&int8, &prompt, t);
+    let int8_tps = DECODE_TOKENS as f64 / int8_secs;
+    let int8_speedup = int8_tps / kv_tps;
+    eprintln!("[infer] int8 decode      {int8_tps:9.1} tok/s  (vs exact {int8_speedup:.2}x)");
+    assert_eq!(int8_tokens.len(), DECODE_TOKENS, "int8 decode truncated");
+    assert!(
+        int8_tokens.iter().all(|&t| (t as usize) < cfg.vocab_size),
+        "int8 decode emitted out-of-vocab tokens"
+    );
+
     let (naive_secs, naive_tokens) = time_naive_decode(&model, &prompt, t);
     let naive_tps = DECODE_TOKENS as f64 / naive_secs;
     let kv_speedup = kv_tps / naive_tps;
@@ -252,12 +310,17 @@ fn main() {
         model: cfg.name.to_string(),
         threads: current_threads(),
         mode,
+        numerics: NumericsMode::Exact.name().to_string(),
+        simd_tier: simd_tier().name().to_string(),
         prompt_tokens: PROMPT_TOKENS,
         decode_tokens: DECODE_TOKENS,
         batch_requests: BATCH_REQUESTS,
         entries: vec![
             entry("prefill_tok_per_sec", prefill_tps, "tok/s"),
             entry("kv_decode_tok_per_sec", kv_tps, "tok/s"),
+            entry("fast_kv_decode_tok_per_sec", fast_tps, "tok/s"),
+            entry("int8_decode_tok_per_sec", int8_tps, "tok/s"),
+            entry("int8_decode_speedup", int8_speedup, "x"),
             entry("naive_decode_tok_per_sec", naive_tps, "tok/s"),
             entry("kv_speedup", kv_speedup, "x"),
             entry("serial_gen_tok_per_sec", serial_tps, "tok/s"),

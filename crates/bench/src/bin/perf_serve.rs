@@ -21,9 +21,9 @@ use std::time::Duration;
 
 use apollo_bench::perf::{InferEntry, ServeReport};
 use apollo_infer::{run_loadgen, FaultMix, Frontend, LoadConfig, SchedConfig, ServeConfig};
-use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig, QuantizedModel};
 use apollo_obs::Obs;
-use apollo_tensor::{current_threads, Rng};
+use apollo_tensor::{current_numerics, current_threads, simd_tier, Rng};
 
 /// Per-request workload: short prompts and decodes so a steady run stays
 /// well inside the tiny proxy's capacity and the tail reflects queueing,
@@ -101,7 +101,10 @@ fn main() {
         default_deadline: Duration::from_secs(30),
         ..ServeConfig::default()
     };
-    let front = Frontend::start(Arc::clone(&model), sched, serve, Obs::disabled())
+    // Metrics-enabled Obs so the scheduler's run-start `infer.mem.*`
+    // gauges (weight + KV-cache footprint) land in the report.
+    let obs = Obs::enabled(usize::MAX);
+    let front = Frontend::start(Arc::clone(&model), sched, serve, obs.clone())
         .expect("bind loopback listener");
     let steady = run_loadgen(&loadcfg(
         front.local_addr().to_string(),
@@ -126,6 +129,48 @@ fn main() {
         steady.p99_ms,
         steady.p999_ms,
         steady.goodput_rps
+    );
+    let metrics = obs.metrics().expect("metrics-enabled obs");
+    let weight_bytes = metrics
+        .gauge("infer.mem.weight_bytes")
+        .expect("scheduler emits weight-footprint gauge at start");
+    let kv_bytes = metrics
+        .gauge("infer.mem.kv_bytes")
+        .expect("scheduler emits KV-footprint gauge at start");
+
+    // INT8+BF16 footprint: start (and immediately drain) a front-end over
+    // the quantized snapshot of the same model — the run-start gauges are
+    // all this measurement needs, and going through `Frontend::start`
+    // keeps the number tied to what serving actually allocates.
+    let int8_obs = Obs::enabled(usize::MAX);
+    let int8_sched = SchedConfig {
+        max_active: 4,
+        queue_cap: 64,
+        prefill_chunk: 16,
+        kv_capacity: PROMPT_LEN + MAX_NEW_TOKENS,
+    };
+    let int8_front = Frontend::start(
+        QuantizedModel::from_model(&model),
+        int8_sched,
+        ServeConfig::default(),
+        int8_obs.clone(),
+    )
+    .expect("bind loopback listener");
+    int8_front.shutdown();
+    let int8_metrics = int8_obs.metrics().expect("metrics-enabled obs");
+    let int8_weight_bytes = int8_metrics
+        .gauge("infer.mem.weight_bytes")
+        .expect("scheduler emits weight-footprint gauge at start");
+    let int8_kv_bytes = int8_metrics
+        .gauge("infer.mem.kv_bytes")
+        .expect("scheduler emits KV-footprint gauge at start");
+    eprintln!(
+        "[serve] memory: f32 weights {:.0} B + kv {:.0} B | int8 weights {:.0} B + bf16 kv {:.0} B",
+        weight_bytes, kv_bytes, int8_weight_bytes, int8_kv_bytes
+    );
+    assert!(
+        int8_weight_bytes < weight_bytes && int8_kv_bytes < kv_bytes,
+        "quantized serving must allocate strictly less than f32 serving"
     );
 
     // Overload: a single decode slot and a tiny queue at ~10x capacity.
@@ -172,6 +217,8 @@ fn main() {
         model: cfg.name.to_string(),
         threads: current_threads(),
         mode,
+        numerics: current_numerics().name().to_string(),
+        simd_tier: simd_tier().name().to_string(),
         requests: spec.steady_requests,
         rate: spec.steady_rate,
         entries: vec![
@@ -180,6 +227,10 @@ fn main() {
             entry("steady_p999_ms", f64::from(steady.p999_ms), "ms"),
             entry("steady_goodput_rps", f64::from(steady.goodput_rps), "req/s"),
             entry("overload_shed_rate", f64::from(overload.shed_rate), "ratio"),
+            entry("mem_weight_bytes", weight_bytes, "bytes"),
+            entry("mem_kv_bytes", kv_bytes, "bytes"),
+            entry("int8_mem_weight_bytes", int8_weight_bytes, "bytes"),
+            entry("int8_mem_kv_bytes", int8_kv_bytes, "bytes"),
         ],
     };
     let path = std::path::Path::new(&out_dir).join("BENCH_serve.json");

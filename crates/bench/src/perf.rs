@@ -89,6 +89,13 @@ pub struct InferReport {
     pub threads: usize,
     /// `full` or `smoke` (fewer timing reps).
     pub mode: String,
+    /// Numerics mode of the *exact-path* measurements (`exact`); the
+    /// `fast_*` / `int8_*` entries always run the relaxed tier.
+    pub numerics: String,
+    /// Runtime-detected SIMD tier the fast entries dispatched to
+    /// (`avx2` / `portable`) — fast-mode numbers from different tiers are
+    /// not comparable.
+    pub simd_tier: String,
     /// Prompt length of the single-sequence measurements.
     pub prompt_tokens: usize,
     /// Decoded tokens per single-sequence measurement.
@@ -111,6 +118,10 @@ pub struct ServeReport {
     pub threads: usize,
     /// `full` or `smoke` (fewer requests).
     pub mode: String,
+    /// Numerics mode the serving measurements ran under.
+    pub numerics: String,
+    /// Runtime-detected SIMD tier (`avx2` / `portable`).
+    pub simd_tier: String,
     /// Requests in the steady-load measurement.
     pub requests: usize,
     /// Offered steady-load arrival rate (req/s).
@@ -122,13 +133,13 @@ pub struct ServeReport {
 
 impl ServeReport {
     /// Per-metric best-merge of a previous run into this one. Direction
-    /// follows the unit: latency (`ms`) keeps the minimum, everything
-    /// else keeps the maximum — "best observed" either way, which is what
-    /// the regression gate compares.
+    /// follows the unit: latency (`ms`) and memory (`bytes`) keep the
+    /// minimum, everything else keeps the maximum — "best observed" either
+    /// way, which is what the regression gate compares.
     pub fn merge_best(&mut self, prev: &Self) {
         for e in &mut self.entries {
             if let Some(p) = prev.entries.iter().find(|p| p.metric == e.metric) {
-                e.value = if e.unit == "ms" {
+                e.value = if e.unit == "ms" || e.unit == "bytes" {
                     e.value.min(p.value)
                 } else {
                     e.value.max(p.value)

@@ -38,7 +38,7 @@ apollo — APOLLO optimizer reproduction CLI
 USAGE:
   apollo pretrain [--model NAME] [--optimizer NAME] [--steps N] [--batch N]
                   [--lr F] [--rank N] [--seed N] [--quantize-weights GROUP]
-                  [--save PATH] [--threads N]
+                  [--save PATH] [--threads N] [--numerics exact|fast]
                   [--replicas N] [--virtual-slots V] [--threads-per-replica N]
                   [--fault-plan SPEC]
                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
@@ -50,6 +50,7 @@ USAGE:
   apollo generate --resume PATH (--prompt TEXT | --prompt-ids \"1,2,3\")
                   [--max-new-tokens N] [--temperature F] [--top-k N]
                   [--top-p F] [--seed N] [--stop-token N] [--threads N]
+                  [--numerics exact|fast] [--int8-decode]
   apollo memory   [--model NAME] [--method NAME] [--rank N] [--gpu NAME]
   apollo serve    --resume PATH [--addr HOST:PORT] [--addr-file PATH]
                   [--shutdown-file PATH] [--run-secs N]
@@ -58,6 +59,7 @@ USAGE:
                   [--default-deadline-ms N] [--drain-deadline-ms N]
                   [--idle-timeout-ms N] [--header-deadline-ms N]
                   [--max-new-tokens-cap N] [--trace-out PATH] [--threads N]
+                  [--numerics exact|fast] [--int8-decode]
   apollo loadgen  --addr HOST:PORT [--requests N] [--rate F] [--seed N]
                   [--prompt-len N] [--max-new-tokens N] [--deadline-ms N]
                   [--stream] [--max-retries N] [--faults none|default]
@@ -100,6 +102,15 @@ PERFORMANCE
                      then the APOLLO_NUM_THREADS environment variable, then
                      min(available cores, 8). Results are bit-identical at
                      every thread count; only throughput changes.
+  --numerics MODE    exact (default) keeps the bitwise-reproducibility
+                     contract; fast enables explicit-SIMD (AVX2/FMA where
+                     available) and reassociated kernels, bounded by
+                     tolerance tests instead of bit equality. Precedence:
+                     this flag, then APOLLO_NUMERICS, then exact.
+  --int8-decode      (generate/serve) snapshot the checkpoint to group-128
+                     INT8 weights and decode against BF16 KV caches via
+                     fused dequantize-GEMV kernels. Implies fast-tier
+                     arithmetic on the decode path.
 
 OBSERVABILITY
   --trace-out PATH   stream a JSONL trace (phase timings, loss/grad-norm/LR,
@@ -306,8 +317,34 @@ fn apply_threads(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies `--numerics exact|fast` as the process-wide kernel tier.
+/// `exact` (the default) keeps the bitwise-reproducibility contract;
+/// `fast` enables the explicit-SIMD / reassociated kernels, which are
+/// held to tolerance bounds instead. The flag takes precedence over the
+/// `APOLLO_NUMERICS` environment variable.
+fn apply_numerics(a: &Args) -> Result<(), String> {
+    if a.has("numerics") {
+        let raw = a.require("numerics")?;
+        let mode = apollo_tensor::NumericsMode::parse(&raw)
+            .ok_or_else(|| format!("--numerics must be `exact` or `fast`, got `{raw}`"))?;
+        apollo_tensor::set_numerics_default(mode);
+    }
+    Ok(())
+}
+
+/// Records the resolved numerics mode and probed SIMD tier on an [`Obs`]
+/// handle at run start, so traces and bench reports carry the tier that
+/// actually executed (free when the handle is disabled).
+fn observe_numerics(obs: &Obs) {
+    let mode = apollo_tensor::current_numerics().name();
+    let tier = apollo_tensor::simd_tier().name();
+    obs.counter(&format!("numerics.mode.{mode}"), 1);
+    obs.counter(&format!("numerics.simd_tier.{tier}"), 1);
+}
+
 fn cmd_pretrain(a: &Args) -> Result<(), String> {
     apply_threads(a)?;
+    apply_numerics(a)?;
     let cfg = model_config(&a.get("model", "tiny-60m"))?;
     if cfg.name.starts_with("llama-") {
         return Err("paper-scale geometries are for `apollo memory`; pick a tiny-* model".into());
@@ -358,6 +395,7 @@ fn cmd_pretrain(a: &Args) -> Result<(), String> {
     } else {
         Obs::disabled()
     };
+    observe_numerics(&obs);
     let log = if ddp_run {
         let replicas = a.get_num("replicas", 1usize)?;
         if replicas == 0 {
@@ -495,9 +533,10 @@ fn cmd_eval(a: &Args) -> Result<(), String> {
 fn cmd_generate(a: &Args) -> Result<(), String> {
     use std::io::Write;
     apply_threads(a)?;
+    apply_numerics(a)?;
     let path = PathBuf::from(a.require("resume")?);
     let model = load_model(&path).map_err(|e| e.to_string())?;
-    let cfg = model.config();
+    let cfg = model.config().clone();
     let vocab = cfg.vocab_size;
     // Text prompts go through the byte tokenizer, which needs the model's
     // vocabulary to cover all 256 byte values; smaller vocabularies (the
@@ -544,13 +583,24 @@ fn cmd_generate(a: &Args) -> Result<(), String> {
             None
         },
     };
+    // --int8-decode snapshots the checkpoint into INT8 weights + BF16 KV
+    // caches; the exact model is dropped before decoding starts.
+    let backend: apollo_nn::DecodeBackend = if a.has("int8-decode") {
+        apollo_nn::QuantizedModel::from_model(&model).into()
+    } else {
+        model.into()
+    };
     eprintln!(
-        "generating up to {} tokens from {} ({} prompt tokens, temperature {}, seed {})",
+        "generating up to {} tokens from {} ({} prompt tokens, temperature {}, seed {}, \
+         backend {}, numerics {}, simd {})",
         gen.max_new_tokens,
         cfg.name,
         prompt.len(),
         gen.temperature,
-        gen.seed
+        gen.seed,
+        backend.mode_name(),
+        apollo_tensor::current_numerics().name(),
+        apollo_tensor::simd_tier().name(),
     );
 
     // Stream tokens as they are decided: decoded text for byte-covering
@@ -558,7 +608,7 @@ fn cmd_generate(a: &Args) -> Result<(), String> {
     let mut stream = DecodeStream::new(&tok);
     let mut stdout = std::io::stdout();
     let t0 = std::time::Instant::now();
-    let out = apollo_infer::generate(&model, &prompt, &gen, |t| {
+    let out = apollo_infer::generate_backend(&backend, &prompt, &gen, |t| {
         if text_io {
             let chunk = stream.push(t);
             print!("{chunk}");
@@ -632,6 +682,7 @@ fn cmd_memory(a: &Args) -> Result<(), String> {
 fn cmd_serve(a: &Args) -> Result<(), String> {
     use std::time::Duration;
     apply_threads(a)?;
+    apply_numerics(a)?;
     let path = PathBuf::from(a.require("resume")?);
     let model = load_model(&path).map_err(|e| e.to_string())?;
     let sched = apollo_infer::SchedConfig {
@@ -656,10 +707,21 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     } else {
         Obs::enabled(1)
     };
+    observe_numerics(&obs);
 
-    let frontend =
-        apollo_infer::Frontend::start(std::sync::Arc::new(model), sched, serve, obs.clone())
-            .map_err(|e| format!("bind: {e}"))?;
+    let backend: apollo_nn::DecodeBackend = if a.has("int8-decode") {
+        apollo_nn::QuantizedModel::from_model(&model).into()
+    } else {
+        model.into()
+    };
+    eprintln!(
+        "decode backend {} (numerics {}, simd {})",
+        backend.mode_name(),
+        apollo_tensor::current_numerics().name(),
+        apollo_tensor::simd_tier().name(),
+    );
+    let frontend = apollo_infer::Frontend::start(backend, sched, serve, obs.clone())
+        .map_err(|e| format!("bind: {e}"))?;
     let addr = frontend.local_addr();
     eprintln!("serving on {addr}");
     // Publish the resolved address atomically (temp + rename), so a

@@ -4,7 +4,7 @@
 //! `generate` subcommand) and the byte-identity reference the
 //! continuous-batching scheduler is tested against.
 
-use apollo_nn::LlamaModel;
+use apollo_nn::{DecodeBackend, LlamaModel};
 use apollo_tensor::{Matrix, Rng};
 
 use crate::sample::{sample, GenConfig};
@@ -50,10 +50,54 @@ pub fn generate(
     out
 }
 
+/// Serial generation against any [`DecodeBackend`] — the exact f32 model
+/// or an INT8+BF16 snapshot. Semantics match [`generate`] (same sampling,
+/// same stopping rules); with [`DecodeBackend::Exact`] the produced tokens
+/// are byte-identical to [`generate`] on the wrapped model.
+///
+/// # Panics
+///
+/// Panics if the prompt is empty or a token is out of vocabulary.
+pub fn generate_backend(
+    backend: &DecodeBackend,
+    prompt: &[u32],
+    cfg: &GenConfig,
+    mut on_token: impl FnMut(u32),
+) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "generate_backend: empty prompt");
+    let mut caches = backend.new_caches(1, prompt.len() + cfg.max_new_tokens);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.max_new_tokens);
+
+    let rows: Vec<(usize, u32)> = prompt.iter().map(|&t| (0, t)).collect();
+    let hidden = backend.forward_cached(&mut caches, &rows);
+    let mut last = last_row_logits_backend(backend, &hidden);
+
+    while out.len() < cfg.max_new_tokens {
+        let tok = sample(&last, cfg, &mut rng);
+        out.push(tok);
+        on_token(tok);
+        if cfg.stop_token == Some(tok) || out.len() == cfg.max_new_tokens {
+            break;
+        }
+        let hidden = backend.forward_cached(&mut caches, &[(0, tok)]);
+        last = last_row_logits_backend(backend, &hidden);
+    }
+    out
+}
+
 /// LM-head logits of the last hidden row only.
 fn last_row_logits(model: &LlamaModel, hidden: &Matrix) -> Vec<f32> {
     let mut row = Matrix::zeros(1, hidden.cols());
     row.row_mut(0)
         .copy_from_slice(hidden.row(hidden.rows() - 1));
     model.lm_logits(&row).as_slice().to_vec()
+}
+
+/// LM-head logits of the last hidden row only, via the backend interface.
+fn last_row_logits_backend(backend: &DecodeBackend, hidden: &Matrix) -> Vec<f32> {
+    let mut row = Matrix::zeros(1, hidden.cols());
+    row.row_mut(0)
+        .copy_from_slice(hidden.row(hidden.rows() - 1));
+    backend.lm_logits(&row).as_slice().to_vec()
 }

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use apollo_nn::LlamaModel;
+use apollo_nn::DecodeBackend;
 use apollo_obs::{Obs, TraceEvent};
 use serde::Value;
 
@@ -126,7 +126,7 @@ impl Frontend {
     ///
     /// Propagates bind failures.
     pub fn start(
-        model: Arc<LlamaModel>,
+        model: impl Into<DecodeBackend>,
         sched: SchedConfig,
         cfg: ServeConfig,
         obs: Obs,
@@ -134,6 +134,7 @@ impl Frontend {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let model = model.into();
         let vocab_size = model.config().vocab_size;
         let server = Server::start(model, sched, obs.clone());
         let inner = Arc::new(Inner {

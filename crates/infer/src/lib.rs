@@ -38,7 +38,7 @@ mod sample;
 mod scheduler;
 mod server;
 
-pub use engine::generate;
+pub use engine::{generate, generate_backend};
 pub use frontend::{DrainReport, Frontend, ServeConfig};
 pub use loadgen::{run_loadgen, FaultMix, LoadConfig, LoadReport};
 pub use sample::{sample, GenConfig};

@@ -15,10 +15,9 @@
 //! `tests/scheduler.rs` pins this.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use apollo_nn::{KvCache, LlamaModel};
+use apollo_nn::{DecodeBackend, DecodeCaches};
 use apollo_obs::{Obs, TraceEvent};
 use apollo_tensor::{Matrix, Rng};
 
@@ -184,12 +183,12 @@ impl Active {
 /// drives it by calling [`Scheduler::tick`] (the threaded [`crate::Server`]
 /// wraps it in a worker loop).
 pub struct Scheduler {
-    model: Arc<LlamaModel>,
+    backend: DecodeBackend,
     cfg: SchedConfig,
     obs: Obs,
     queue: VecDeque<Pending>,
     slots: Vec<Option<Active>>,
-    caches: Vec<KvCache>,
+    caches: DecodeCaches,
     finished: Vec<GenResult>,
     /// Tokens sampled since the last [`Scheduler::take_progress`] call,
     /// in sampling order — the feed for chunked response streaming.
@@ -199,15 +198,22 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Creates a scheduler with one KV cache per slot.
-    pub fn new(model: Arc<LlamaModel>, cfg: SchedConfig, obs: Obs) -> Self {
+    /// Creates a scheduler with one KV cache per slot. Accepts anything
+    /// convertible to a [`DecodeBackend`] — an `Arc<LlamaModel>` for exact
+    /// decode (all pre-existing call sites) or an `Arc<QuantizedModel>`
+    /// for the INT8 fast path.
+    pub fn new(model: impl Into<DecodeBackend>, cfg: SchedConfig, obs: Obs) -> Self {
         assert!(cfg.max_active > 0, "scheduler needs at least one slot");
         assert!(cfg.prefill_chunk > 0, "prefill_chunk must be positive");
-        let caches = (0..cfg.max_active)
-            .map(|_| model.new_kv_cache(cfg.kv_capacity))
-            .collect();
+        let backend = model.into();
+        let caches = backend.new_caches(cfg.max_active, cfg.kv_capacity);
+        // Resident-memory gauges: weights are shared across slots, the KV
+        // pool scales with `max_active × kv_capacity`. Emitted once — both
+        // are fixed for the scheduler's lifetime.
+        obs.gauge("infer.mem.weight_bytes", backend.weight_bytes() as f64);
+        obs.gauge("infer.mem.kv_bytes", caches.memory_bytes() as f64);
         Scheduler {
-            model,
+            backend,
             slots: (0..cfg.max_active).map(|_| None).collect(),
             caches,
             cfg,
@@ -333,9 +339,9 @@ impl Scheduler {
         }
         let p0 = Instant::now();
         if !prefill_rows.is_empty() {
-            let hidden = self.model.forward_cached(&mut self.caches, &prefill_rows);
+            let hidden = self.backend.forward_cached(&mut self.caches, &prefill_rows);
             let picked = gather_rows(&hidden, sample_after_prefill.iter().map(|&(_, r)| r));
-            let logits = self.model.lm_logits(&picked);
+            let logits = self.backend.lm_logits(&picked);
             for (i, &(slot, _)) in sample_after_prefill.iter().enumerate() {
                 self.sample_into_slot(slot, logits.row(i));
             }
@@ -353,7 +359,7 @@ impl Scheduler {
             let Some(&last) = act.generated.last() else {
                 continue;
             };
-            if self.caches[slot].remaining() == 0 {
+            if self.caches.remaining(slot) == 0 {
                 continue; // retired as CacheFull below
             }
             decode_rows.push((slot, last));
@@ -361,8 +367,8 @@ impl Scheduler {
         }
         let d0 = Instant::now();
         if !decode_rows.is_empty() {
-            let hidden = self.model.forward_cached(&mut self.caches, &decode_rows);
-            let logits = self.model.lm_logits(&hidden);
+            let hidden = self.backend.forward_cached(&mut self.caches, &decode_rows);
+            let logits = self.backend.lm_logits(&hidden);
             for (i, &slot) in decode_slots.iter().enumerate() {
                 self.sample_into_slot(slot, logits.row(i));
             }
@@ -417,7 +423,7 @@ impl Scheduler {
             let Some(Pending { id, req, submitted }) = self.queue.pop_front() else {
                 break;
             };
-            self.caches[slot].clear();
+            self.caches.clear(slot);
             self.slots[slot] = Some(Active {
                 id,
                 rng: Rng::seed_from_u64(req.cfg.seed),
@@ -501,7 +507,7 @@ impl Scheduler {
             act.outcome = Some(Outcome::StopToken);
         } else if act.generated.len() >= act.cfg.max_new_tokens {
             act.outcome = Some(Outcome::Done);
-        } else if self.caches[slot].remaining() == 0 {
+        } else if self.caches.remaining(slot) == 0 {
             act.outcome = Some(Outcome::CacheFull);
         }
     }

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use apollo_nn::LlamaModel;
+use apollo_nn::DecodeBackend;
 use apollo_obs::Obs;
 
 use crate::scheduler::{
@@ -159,8 +159,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Spawns the worker thread around a fresh [`Scheduler`].
-    pub fn start(model: Arc<LlamaModel>, cfg: SchedConfig, obs: Obs) -> Self {
+    /// Spawns the worker thread around a fresh [`Scheduler`]. Accepts any
+    /// decode backend (`Arc<LlamaModel>` or an INT8 `QuantizedModel`).
+    pub fn start(model: impl Into<DecodeBackend>, cfg: SchedConfig, obs: Obs) -> Self {
+        let model = model.into();
         let (tx, rx) = mpsc::sync_channel::<Envelope>(cfg.queue_cap.max(1));
         let (cancel_tx, cancel_rx) = mpsc::channel::<u64>();
         let in_flight = Arc::new(AtomicUsize::new(0));

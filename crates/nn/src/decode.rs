@@ -27,7 +27,7 @@
 //! `nn/tests/decode_equivalence.rs` pins this contract across adversarial
 //! sequence lengths, prefill chunkings, and interleaved batches.
 
-use apollo_tensor::{fused, Matrix};
+use apollo_tensor::{current_numerics, fused, simd, Matrix, NumericsMode};
 
 use crate::model::LlamaModel;
 
@@ -69,6 +69,15 @@ impl KvCache {
     /// so the buffers need no clearing.
     pub fn clear(&mut self) {
         self.len = 0;
+    }
+
+    /// Bytes of K/V storage across all layers (4 per f32 element).
+    pub fn memory_bytes(&self) -> usize {
+        self.k
+            .iter()
+            .chain(self.v.iter())
+            .map(|m| m.len() * 4)
+            .sum()
     }
 }
 
@@ -143,6 +152,9 @@ impl LlamaModel {
         }
 
         let scale = 1.0 / (hd as f32).sqrt();
+        // Numerics tier, resolved once per call so one forward never mixes
+        // tiers across layers.
+        let fast = current_numerics() == NumericsMode::Fast;
         // RoPE frequency table, hoisted out of the per-layer/per-row loops
         // (pure `powf` of the geometry, so precomputing is bit-exact).
         let freqs = fused::rope_freqs(hd, self.cfg.rope_theta);
@@ -176,6 +188,23 @@ impl LlamaModel {
                 for hh in 0..heads {
                     let lanes = hh * hd..(hh + 1) * hd;
                     let qh = &qrow[lanes.clone()];
+                    if fast {
+                        // Fast tier: fused whole-head score and mix kernels
+                        // (one dispatched call each per head, not one per
+                        // cached position), with the softmax denominator
+                        // folded into the probabilities. Reassociated, so
+                        // covered by the tolerance tests rather than the
+                        // bitwise contract.
+                        s.resize(pos + 1, 0.0);
+                        simd::attn_scores(qh, kc.as_slice(), h, hh * hd, scale, &mut s);
+                        let maxv = simd::max_slice(&s);
+                        let inv = 1.0 / simd::softmax_exp_sum(&mut s, maxv);
+                        for pj in s.iter_mut() {
+                            *pj *= inv;
+                        }
+                        simd::attn_mix(&s, vc.as_slice(), h, hh * hd, &mut orow[lanes]);
+                        continue;
+                    }
                     // Scaled scores against every cached position: the same
                     // ascending-dimension dot and per-element scale as the
                     // graph's `q·kᵀ` / `scale_assign`.

@@ -33,14 +33,18 @@
 //! assert!(loss > 0.0);
 //! ```
 
+mod backend;
 mod config;
 mod decode;
 mod linear;
 mod model;
 mod param;
+mod quantized;
 
+pub use backend::{DecodeBackend, DecodeCaches};
 pub use config::ModelConfig;
 pub use decode::KvCache;
 pub use linear::{Linear, LinearMode};
 pub use model::LlamaModel;
 pub use param::{Param, ParamKind};
+pub use quantized::{Bf16KvCache, QuantizedModel, DECODE_QUANT_GROUP};

@@ -156,6 +156,42 @@ impl Linear {
         }
     }
 
+    /// Materializes the effective dense weight `W_effective` (`in × out`)
+    /// regardless of parameterization — the matrix [`Linear::forward`]
+    /// multiplies by. Used to quantize a trained model for INT8 decode.
+    pub fn effective_weight(&self, params: &[Param]) -> Matrix {
+        match self.mode {
+            LinearMode::Dense => params[self.w0.unwrap()].value.clone(),
+            LinearMode::LoRa { rank, alpha } => {
+                let mut w = params[self.w0.unwrap()].value.clone();
+                let delta = params[self.a.unwrap()]
+                    .value
+                    .matmul(&params[self.b.unwrap()].value);
+                w.axpy(alpha / rank as f32, &delta);
+                w
+            }
+            LinearMode::Factored { .. } => params[self.a.unwrap()]
+                .value
+                .matmul(&params[self.b.unwrap()].value),
+        }
+    }
+
+    /// Replaces a dense layer's weight in place (used to build dequantized
+    /// oracle models for the quantized-decode tolerance tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the layer is [`LinearMode::Dense`] and `w` has the
+    /// layer's shape.
+    pub fn overwrite_dense(&self, params: &mut [Param], w: Matrix) {
+        assert!(
+            matches!(self.mode, LinearMode::Dense),
+            "overwrite_dense requires a dense layer"
+        );
+        assert_eq!(w.shape(), (self.in_dim, self.out_dim), "weight shape");
+        params[self.w0.unwrap()].value = w;
+    }
+
     /// Merges the LoRA adapter into the backbone and re-initializes the
     /// adapter (ReLoRA's periodic merge). No-op for other modes.
     pub fn merge_adapter(&self, params: &mut [Param], rng: &mut Rng) {

@@ -26,7 +26,7 @@
 //! assert!(err < 0.05); // bounded by scale/2 per group
 //! ```
 
-use apollo_tensor::Matrix;
+use apollo_tensor::{simd, Matrix};
 
 /// An INT8 matrix with per-group absmax scales.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +96,47 @@ impl QuantizedMatrix {
     /// The worst-case absolute reconstruction error (`scale / 2` per group).
     pub fn max_quantization_error(&self) -> f32 {
         self.scales.iter().fold(0.0f32, |m, &s| m.max(s / 2.0))
+    }
+
+    /// Computes `out = x · W` for a single activation row without ever
+    /// materializing the f32 weight matrix: each INT8 row segment with a
+    /// constant group scale is folded into one fused `out += (x_p·scale)·q`
+    /// pass (the INT8 decode fast path).
+    ///
+    /// Groups are laid out over *flat* row-major elements, so a group can
+    /// span row boundaries; the inner loop walks constant-scale segments of
+    /// each row, which degenerates to one segment per row whenever `cols`
+    /// divides the group size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn dequant_gemv_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "dequant_gemv_into: x length mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "dequant_gemv_into: out length mismatch"
+        );
+        out.fill(0.0);
+        // One dispatched call for the whole GEMV — the constant-scale
+        // segment walk happens inside the kernel.
+        simd::i8_gemv(x, &self.data, &self.scales, self.cols, self.group, out);
+    }
+
+    /// Multi-row version of [`Self::dequant_gemv_into`]: `x · W` where `x`
+    /// is `(m × rows)`. Used for prompt prefill against INT8 weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != rows`.
+    pub fn dequant_matmul(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.rows, "dequant_matmul: inner dim mismatch");
+        let mut out = Matrix::zeros(x.rows(), self.cols);
+        for r in 0..x.rows() {
+            self.dequant_gemv_into(x.row(r), out.row_mut(r));
+        }
+        out
     }
 
     /// Applies a full-precision update to the quantized weight:
@@ -216,6 +257,82 @@ mod tests {
         let q = QuantizedMatrix::quantize(&m, 4);
         assert_eq!(q.dequantize().shape(), (1, 10));
         assert_eq!(q.memory_bytes(), 10 + 4 * 3);
+    }
+
+    #[test]
+    fn dequant_gemv_matches_materialized_matmul() {
+        // Shapes chosen so groups both align with and straddle row
+        // boundaries (cols 64 with group 128 → 2 rows per group; cols 50
+        // with group 16 → segments inside a row).
+        let mut rng = Rng::seed_from_u64(65);
+        for (rows, cols, group) in [(64usize, 64usize, 128usize), (37, 50, 16), (8, 512, 128)] {
+            let w = Matrix::randn(rows, cols, &mut rng);
+            let q = QuantizedMatrix::quantize(&w, group);
+            let x = Matrix::randn(1, rows, &mut rng);
+            let mut out = vec![0.0f32; cols];
+            q.dequant_gemv_into(x.as_slice(), &mut out);
+            let reference = x.matmul(&q.dequantize());
+            for (a, b) in out.iter().zip(reference.as_slice()) {
+                let tol = 1e-4 * b.abs().max(1.0);
+                assert!((a - b).abs() <= tol, "{rows}x{cols}/g{group}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dequant_matmul_matches_per_row_gemv() {
+        let mut rng = Rng::seed_from_u64(66);
+        let w = Matrix::randn(24, 40, &mut rng);
+        let q = QuantizedMatrix::quantize(&w, 128);
+        let x = Matrix::randn(5, 24, &mut rng);
+        let got = q.dequant_matmul(&x);
+        for r in 0..x.rows() {
+            let mut row = vec![0.0f32; 40];
+            q.dequant_gemv_into(x.row(r), &mut row);
+            assert_eq!(got.row(r), &row[..]);
+        }
+    }
+
+    #[test]
+    fn dequant_gemv_skips_zero_rows_consistently() {
+        let mut rng = Rng::seed_from_u64(67);
+        let w = Matrix::randn(16, 32, &mut rng);
+        let q = QuantizedMatrix::quantize(&w, 8);
+        let mut x = vec![0.0f32; 16];
+        x[3] = 1.5;
+        x[11] = -0.25;
+        let mut out = vec![0.0f32; 32];
+        q.dequant_gemv_into(&x, &mut out);
+        let reference = Matrix::from_vec(1, 16, x).matmul(&q.dequantize());
+        for (a, b) in out.iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_update_drift_stays_near_fresh_quantization() {
+        // Property (satellite): N straight-through updates must land within
+        // one quantization step of quantizing the exactly-accumulated
+        // weight from scratch — requantization error must not compound.
+        let mut rng = Rng::seed_from_u64(68);
+        let w0 = Matrix::randn(8, 32, &mut rng);
+        let mut q = QuantizedMatrix::quantize(&w0, 32);
+        let mut exact = w0.clone();
+        for step in 0..50 {
+            let delta = Matrix::randn(8, 32, &mut rng).scale(0.01);
+            q.apply_update(&delta);
+            exact.add_assign(&delta);
+            let fresh = QuantizedMatrix::quantize(&exact, 32);
+            let drift = q.dequantize().sub(&fresh.dequantize()).max_abs();
+            let bound = q.max_quantization_error() + fresh.max_quantization_error();
+            assert!(
+                drift <= bound * (1.0 + step as f32),
+                "step {step}: drift {drift} bound {bound}"
+            );
+        }
+        // And the end state tracks the exact accumulation itself.
+        let err = q.dequantize().sub(&exact).max_abs();
+        assert!(err < 0.2, "terminal drift {err}");
     }
 
     #[test]

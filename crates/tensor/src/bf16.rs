@@ -26,13 +26,58 @@ pub fn bf16_round_matrix(m: &Matrix) -> Matrix {
     m.map(bf16_round)
 }
 
+/// Encodes one `f32` as its 16-bit BF16 payload (round-to-nearest-even) —
+/// the element-level primitive behind [`bf16_pack`] and the BF16 KV-cache
+/// storage in `apollo-nn`.
+///
+/// NaNs encode as a sign-preserving quiet NaN: truncating a NaN whose
+/// payload sits entirely in the low 16 mantissa bits would otherwise
+/// produce the infinity bit pattern.
+#[inline]
+pub fn bf16_encode(x: f32) -> u16 {
+    if x.is_nan() {
+        return ((x.to_bits() >> 16) as u16 & 0x8000) | 0x7FC0;
+    }
+    (bf16_round(x).to_bits() >> 16) as u16
+}
+
+/// Decodes a 16-bit BF16 payload back to `f32` (exact: bf16 values are a
+/// subset of f32).
+#[inline]
+pub fn bf16_decode(bits: u16) -> f32 {
+    f32::from_bits(u32::from(bits) << 16)
+}
+
+/// Encodes an `f32` slice into a BF16 payload slice in place.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn bf16_encode_slice(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len(), "bf16_encode_slice: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = bf16_encode(s);
+    }
+}
+
+/// Decodes a BF16 payload slice into an `f32` slice in place.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn bf16_decode_slice(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "bf16_decode_slice: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = bf16_decode(s);
+    }
+}
+
 /// Packs an `f32` slice into raw BF16 bytes (2 per element) — the storage
 /// format a BF16 checkpoint would use.
 pub fn bf16_pack(xs: &[f32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(xs.len() * 2);
     for &x in xs {
-        let hi = (bf16_round(x).to_bits() >> 16) as u16;
-        out.extend_from_slice(&hi.to_le_bytes());
+        out.extend_from_slice(&bf16_encode(x).to_le_bytes());
     }
     out
 }

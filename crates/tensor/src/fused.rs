@@ -35,8 +35,16 @@
 //! `apollo-nn` pins it end-to-end against the staged graph arm.
 
 use crate::matmul::{current_threads, should_parallelize};
+use crate::numerics::{current_numerics, NumericsMode};
 use crate::pool;
-use crate::Matrix;
+use crate::{simd, Matrix};
+
+/// Whether kernels issued from this thread run the relaxed SIMD tier
+/// (resolved once at kernel entry, on the issuing thread — see
+/// `crate::numerics`).
+fn fast_mode() -> bool {
+    current_numerics() == NumericsMode::Fast
+}
 
 // Per-element cost estimates feeding the shared parallelism gate
 // (`should_parallelize`, threshold 2^20 FLOPs). Transcendental-heavy
@@ -144,6 +152,24 @@ pub fn fused_rmsnorm_fwd(x: &Matrix, gain: &Matrix, eps: f32) -> (Matrix, Vec<f3
     let gs = gain.row(0);
     let yp = BandPtr(y.as_mut_slice().as_mut_ptr());
     let ip = BandPtr(inv_rms.as_mut_ptr());
+    if fast_mode() {
+        // Relaxed tier: 8-lane reassociated mean-square reduction and a
+        // SIMD gain write per row (tolerances pinned by fast_numerics.rs).
+        par_bands(rows, rows * cols * RMSNORM_FWD_FLOPS, |lo, hi| {
+            // SAFETY: bands are disjoint row ranges; `y` and `inv_rms`
+            // outlive the blocking pool call.
+            let yband = unsafe { yp.slice(lo * cols, (hi - lo) * cols) };
+            let iband = unsafe { ip.slice(lo, hi - lo) };
+            for r in lo..hi {
+                let row = &xs[r * cols..][..cols];
+                let inv = 1.0 / (simd::sum_squares(row) / n + eps).sqrt();
+                iband[r - lo] = inv;
+                let out = &mut yband[(r - lo) * cols..][..cols];
+                simd::scale_gain(out, row, inv, &gs[..cols]);
+            }
+        });
+        return (y, inv_rms);
+    }
     par_bands(rows, rows * cols * RMSNORM_FWD_FLOPS, |lo, hi| {
         // SAFETY: bands are disjoint row ranges; `y` and `inv_rms` outlive
         // the blocking pool call.
@@ -311,11 +337,17 @@ pub fn fused_swiglu_fwd(a: &Matrix, b: &Matrix) -> Matrix {
     let avs = a.as_slice();
     let bvs = b.as_slice();
     let op = BandPtr(out.as_mut_slice().as_mut_ptr());
+    let fast = fast_mode();
     par_bands(rows, rows * cols * SWIGLU_FWD_FLOPS, |lo, hi| {
         // SAFETY: disjoint row bands of `out`, which outlives the call.
         let band = unsafe { op.slice(lo * cols, (hi - lo) * cols) };
         let aband = &avs[lo * cols..hi * cols];
         let bband = &bvs[lo * cols..hi * cols];
+        if fast {
+            // Relaxed tier: vectorized polynomial exp inside the sigmoid.
+            simd::silu_mul(aband, bband, band);
+            return;
+        }
         for_each_lane(band, |i| {
             let av = aband[i];
             av * sigmoid(av) * bband[i]
@@ -388,6 +420,7 @@ pub fn fused_softmax_xent_fwd(logits: &Matrix, targets: &[u32]) -> (f32, Matrix,
     let ls = logits.as_slice();
     let ep = BandPtr(exps.as_mut_slice().as_mut_ptr());
     let dp = BandPtr(denoms.as_mut_ptr());
+    let fast = fast_mode();
     par_bands(rows, rows * cols * XENT_FLOPS, |lo, hi| {
         // SAFETY: disjoint row bands of `exps`/`denoms`, which outlive the
         // call.
@@ -395,10 +428,17 @@ pub fn fused_softmax_xent_fwd(logits: &Matrix, targets: &[u32]) -> (f32, Matrix,
         let dband = unsafe { dp.slice(lo, hi - lo) };
         for r in lo..hi {
             let row = &ls[r * cols..(r + 1) * cols];
+            let erow = &mut eband[(r - lo) * cols..(r - lo + 1) * cols];
+            if fast {
+                // Relaxed tier: SIMD max, vectorized exp, reassociated sum.
+                let maxv = simd::max_slice(row);
+                erow.copy_from_slice(row);
+                dband[r - lo] = simd::softmax_exp_sum(erow, maxv);
+                continue;
+            }
             // Pass 1: row max (sequential fold, reference order).
             let maxv = row.iter().cloned().fold(f32::MIN, f32::max);
             // Pass 2: shifted exponentials and their ascending sum.
-            let erow = &mut eband[(r - lo) * cols..(r - lo + 1) * cols];
             let mut denom = 0.0f32;
             for (e, &x) in erow.iter_mut().zip(row) {
                 *e = (x - maxv).exp();
@@ -613,6 +653,7 @@ pub fn fused_adam_update(
     let wp = BandPtr(w.as_mut_slice().as_mut_ptr());
     let mp = BandPtr(m.as_mut_slice().as_mut_ptr());
     let vp = BandPtr(v.as_mut_slice().as_mut_ptr());
+    let fast = fast_mode();
     par_bands(rows, rows * cols * ADAM_FLOPS, |lo, hi| {
         // SAFETY: disjoint row bands of `w`/`m`/`v`, which outlive the
         // call.
@@ -620,6 +661,14 @@ pub fn fused_adam_update(
         let mband = unsafe { mp.slice(lo * cols, (hi - lo) * cols) };
         let vband = unsafe { vp.slice(lo * cols, (hi - lo) * cols) };
         let gband = &gs[lo * cols..hi * cols];
+        if fast {
+            // Relaxed tier: FMA moment chain with vector sqrt (divides by
+            // bc become multiplies by the reciprocal).
+            simd::adam_weight_update(
+                wband, gband, mband, vband, beta1, beta2, bc1, bc2, eps, lr, decay,
+            );
+            return;
+        }
         for i in 0..gband.len() {
             let gv = gband[i];
             let mv = beta1 * mband[i] + (1.0 - beta1) * gv;
@@ -692,7 +741,20 @@ pub fn fused_apollo_scale(
             }
         }
     };
-    if parallel {
+    if fast_mode() {
+        // Relaxed tier: banded write plus one reassociated f32 SIMD
+        // norm sweep instead of the latency-bound serial f64 chain.
+        let up = BandPtr(update.as_mut_slice().as_mut_ptr());
+        par_bands(rows, flops, |lo, hi| {
+            // SAFETY: disjoint row bands of `update`, which outlives the
+            // call.
+            let band = unsafe { up.slice(lo * cols, (hi - lo) * cols) };
+            for r in lo..hi {
+                write_row(r, &mut band[(r - lo) * cols..(r - lo + 1) * cols]);
+            }
+        });
+        simd::sum_squares(update.as_slice()).sqrt()
+    } else if parallel {
         let up = BandPtr(update.as_mut_slice().as_mut_ptr());
         par_bands(rows, flops, |lo, hi| {
             // SAFETY: disjoint row bands of `update`, which outlives the

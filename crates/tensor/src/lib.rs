@@ -23,15 +23,21 @@ pub mod bf16;
 
 mod matmul;
 mod matrix;
+mod numerics;
 mod rng;
 
 pub mod fused;
 pub mod linalg;
 pub mod pool;
 pub mod scratch;
+pub mod simd;
 
 pub use matmul::{current_threads, set_thread_override};
 pub use matrix::Matrix;
+pub use numerics::{
+    current_numerics, set_numerics_default, set_numerics_override, simd_tier, NumericsMode,
+    SimdTier,
+};
 pub use rng::Rng;
 
 /// Machine-epsilon-scale tolerance used by tests and iterative algorithms.

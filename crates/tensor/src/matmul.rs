@@ -20,7 +20,15 @@
 //! never on pool scheduling.
 
 use crate::matrix::Matrix;
-use crate::{pool, scratch};
+use crate::numerics::{current_numerics, NumericsMode};
+use crate::{pool, scratch, simd};
+
+/// Whether kernels issued from this thread run the relaxed SIMD tier.
+/// Resolved once per kernel entry (on the issuing thread) so a single
+/// call never mixes tiers across pool bands.
+fn fast_mode() -> bool {
+    current_numerics() == NumericsMode::Fast
+}
 
 /// Multiplications below this many FLOPs (`2 * m * k * n`) run
 /// single-threaded; the dispatch cost dominates for tiny matrices.
@@ -169,6 +177,7 @@ fn pack_panels_transposed(src: &[f32], n: usize, k: usize) -> Vec<f32> {
 /// `a_rows` (stride `k`) against a packed panel of the second operand.
 /// Panel band outer, rows inner, so one `k×NR` block stays cache-hot
 /// across the whole row band.
+#[allow(clippy::too_many_arguments)]
 fn run_packed(
     a_rows: &[f32],
     k: usize,
@@ -177,6 +186,7 @@ fn run_packed(
     lo: usize,
     hi: usize,
     out: &mut [f32],
+    fast: bool,
 ) {
     if k == 0 {
         return; // out is pre-zeroed; an empty inner dim contributes nothing
@@ -187,7 +197,14 @@ fn run_packed(
     while j0 < n {
         let w = NR.min(n - j0);
         let block = &panel[j0 * k..(j0 + w) * k];
-        if w == NR {
+        if w == NR && fast {
+            // Relaxed tier: the FMA register tile replaces both the paired
+            // and single-row exact tiles (tails below stay on the exact
+            // tile — they are a < NR-column sliver, within tolerance).
+            for (band_r, arow) in rows.chunks_exact(k).enumerate() {
+                simd::tile_packed32(arow, block, &mut out[band_r * n + j0..band_r * n + j0 + NR]);
+            }
+        } else if w == NR {
             // Rows in pairs: one block load feeds two accumulator sets,
             // doubling FLOPs per byte of L1 traffic.
             let mut band_r = 0;
@@ -339,9 +356,14 @@ fn parallel_rows(
 fn gemv(arow: &[f32], b: &Matrix) -> Vec<f32> {
     let (k, n) = b.shape();
     let threads = current_threads();
+    let fast = fast_mode();
     let mut out = scratch::take_zeroed(n);
     if !should_parallelize_gemv(threads, n, matmul_flops(1, k, n)) {
-        gemv_band(arow, b, 0, n, &mut out);
+        if fast {
+            simd::gemv_band(arow, b.as_slice(), n, 0, n, &mut out);
+        } else {
+            gemv_band(arow, b, 0, n, &mut out);
+        }
         return out;
     }
     let band = n.div_ceil(threads);
@@ -353,7 +375,11 @@ fn gemv(arow: &[f32], b: &Matrix) -> Vec<f32> {
         // SAFETY: bands are disjoint column ranges of `out`, which outlives
         // the blocking `Pool::run` call.
         let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
-        gemv_band(arow, b, lo, hi, chunk);
+        if fast {
+            simd::gemv_band(arow, b.as_slice(), n, lo, hi, chunk);
+        } else {
+            gemv_band(arow, b, lo, hi, chunk);
+        }
     });
     out
 }
@@ -393,6 +419,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         let data = gemv(a.row(0), b);
         return Matrix::from_vec(1, n, data);
     }
+    let fast = fast_mode();
     // Packing costs k·n copies against 2·m·k·n FLOPs of compute; for a
     // handful of rows the straight row-sweep wins.
     if m < 4 {
@@ -400,6 +427,10 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
             for (band_r, r) in (lo..hi).enumerate() {
                 let arow = a.row(r);
                 let crow = &mut out[band_r * n..(band_r + 1) * n];
+                if fast {
+                    simd::gemv_band(arow, b.as_slice(), n, 0, n, crow);
+                    continue;
+                }
                 for (p, &av) in arow.iter().enumerate() {
                     let brow = b.row(p);
                     for (cv, &bv) in crow.iter_mut().zip(brow) {
@@ -415,7 +446,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let data = parallel_rows(
         m,
         matmul_flops(m, k, n),
-        |lo, hi, out| run_packed(a.as_slice(), k, &panel, n, lo, hi, out),
+        |lo, hi, out| run_packed(a.as_slice(), k, &panel, n, lo, hi, out, fast),
         n,
     );
     scratch::recycle(panel);
@@ -444,6 +475,7 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let fast = fast_mode();
     // Packing costs k·n writes against 2·m·k·n FLOPs of compute; below a
     // few rows the scalar dot loop wins (and rank-1 projector products with
     // k = 0 or n = 0 have nothing to pack).
@@ -453,11 +485,15 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
                 let arow = a.row(r);
                 for c in 0..n {
                     let brow = b.row(c);
-                    let mut acc = 0.0f32;
-                    for p in 0..k {
-                        acc += arow[p] * brow[p];
-                    }
-                    out[band_r * n + c] = acc;
+                    out[band_r * n + c] = if fast {
+                        simd::dot(arow, brow)
+                    } else {
+                        let mut acc = 0.0f32;
+                        for p in 0..k {
+                            acc += arow[p] * brow[p];
+                        }
+                        acc
+                    };
                 }
             }
         };
@@ -468,7 +504,7 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
     let data = parallel_rows(
         m,
         matmul_flops(m, k, n),
-        |lo, hi, out| run_packed(a.as_slice(), k, &panel, n, lo, hi, out),
+        |lo, hi, out| run_packed(a.as_slice(), k, &panel, n, lo, hi, out, fast),
         n,
     );
     scratch::recycle(panel);
@@ -538,10 +574,11 @@ pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
         pb = p_hi;
     }
     let panel = pack_panels(b.as_slice(), k, n);
+    let fast = fast_mode();
     let data = parallel_rows(
         m,
         matmul_flops(m, k, n),
-        |lo, hi, out| run_packed(&at, k, &panel, n, lo, hi, out),
+        |lo, hi, out| run_packed(&at, k, &panel, n, lo, hi, out, fast),
         n,
     );
     scratch::recycle(panel);

@@ -1,5 +1,6 @@
 //! Property-based tests of the tensor kernels.
 
+use apollo_tensor::bf16::{bf16_decode, bf16_encode, bf16_pack, bf16_round, bf16_unpack};
 use apollo_tensor::linalg::{qr_thin, svd_jacobi};
 use apollo_tensor::{Matrix, Rng};
 use proptest::prelude::*;
@@ -138,4 +139,70 @@ proptest! {
         let b = Matrix::randn(3, 4, &mut r2).scale(std);
         prop_assert!(close(&a, &b, 1e-5));
     }
+
+    #[test]
+    fn bf16_pack_unpack_roundtrips_every_bit_pattern(
+        // Raw bit patterns: covers normals, subnormals, ±0, ±Inf, and NaNs;
+        // lengths 0..67 include odd and non-multiple-of-8 sizes.
+        bits in proptest::collection::vec(any::<u32>(), 0..67),
+    ) {
+        let xs: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let packed = bf16_pack(&xs);
+        prop_assert_eq!(packed.len(), xs.len() * 2);
+        let un = bf16_unpack(&packed);
+        prop_assert_eq!(un.len(), xs.len());
+        for (&x, &d) in xs.iter().zip(&un) {
+            if x.is_nan() {
+                // NaN payloads are not preserved, but NaN-ness and sign are
+                // (and never collapse to infinity).
+                prop_assert!(d.is_nan(), "NaN {:#x} decoded to {d}", x.to_bits());
+                prop_assert_eq!(d.is_sign_negative(), x.is_sign_negative());
+            } else {
+                // decode∘encode is exactly round-to-nearest-even at bf16.
+                prop_assert_eq!(d.to_bits(), bf16_round(x).to_bits());
+            }
+        }
+        // Unpacked values are exactly representable: re-packing is identity.
+        prop_assert_eq!(bf16_pack(&un), packed);
+    }
+
+    #[test]
+    fn bf16_subnormals_round_within_one_storage_ulp(
+        mant in 1u32..0x80_0000,
+        neg in any::<bool>(),
+    ) {
+        // `from_bits` of a bare mantissa is exactly the f32 subnormal range
+        // (2^-149 ..= (1-2^-23)·2^-126), all below the smallest bf16
+        // normal: the round-trip may flush toward zero but never by more
+        // than one bf16 subnormal step (2^-133), and never flips sign.
+        let mag = f32::from_bits(mant);
+        let x = if neg { -mag } else { mag };
+        let d = bf16_decode(bf16_encode(x));
+        prop_assert!((d - x).abs() <= 2f32.powi(-133), "{x:e} -> {d:e}");
+        prop_assert!(d == 0.0 || d.is_sign_negative() == x.is_sign_negative());
+    }
+}
+
+#[test]
+fn bf16_specials_roundtrip_through_encode() {
+    assert_eq!(bf16_decode(bf16_encode(f32::INFINITY)), f32::INFINITY);
+    assert_eq!(
+        bf16_decode(bf16_encode(f32::NEG_INFINITY)),
+        f32::NEG_INFINITY
+    );
+    assert_eq!(bf16_decode(bf16_encode(0.0)).to_bits(), 0);
+    assert_eq!(
+        bf16_decode(bf16_encode(-0.0)).to_bits(),
+        (-0.0f32).to_bits()
+    );
+    // Adversarial NaN whose payload sits entirely in the truncated low 16
+    // mantissa bits: naive truncation would decode it as infinity.
+    for bits in [0x7F80_0001u32, 0xFF80_0001, 0x7F80_FFFF] {
+        let x = f32::from_bits(bits);
+        assert!(x.is_nan());
+        let d = bf16_decode(bf16_encode(x));
+        assert!(d.is_nan(), "{bits:#x} decoded to {d}");
+    }
+    // f32::MAX is above the largest bf16; round-to-nearest sends it to ∞.
+    assert_eq!(bf16_decode(bf16_encode(f32::MAX)), f32::INFINITY);
 }

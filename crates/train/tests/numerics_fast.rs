@@ -1,0 +1,52 @@
+//! Fast-tier training parity: a short pretrain run under
+//! `NumericsMode::Fast` must land within a small loss delta of the exact
+//! run from identical init and data. The fast tier reassociates every
+//! reduction, so the trajectories diverge bit-wise almost immediately —
+//! the contract is that the *optimization* is unaffected, not the bits.
+
+use apollo_data::{CorpusConfig, LmBatcher, SyntheticCorpus};
+use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_optim::Apollo;
+use apollo_tensor::{set_numerics_override, NumericsMode, Rng};
+use apollo_train::{pretrain, TrainConfig};
+
+/// Runs a short APOLLO pretrain under the given numerics mode and returns
+/// the per-step losses and the final loss.
+fn run_with(mode: NumericsMode) -> (Vec<f32>, f32) {
+    set_numerics_override(Some(mode));
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(7);
+    let mut model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let corpus = SyntheticCorpus::new(CorpusConfig::with_vocab(cfg.vocab_size));
+    let mut batcher = LmBatcher::new(corpus, 2, cfg.max_seq);
+    let mut opt = Apollo::new(4, 5);
+    let log = pretrain(&mut model, &mut opt, &mut batcher, &TrainConfig::quick(20));
+    set_numerics_override(None);
+    let losses: Vec<f32> = log.train_losses.iter().map(|&(_, l)| l).collect();
+    let last = *losses.last().expect("no losses recorded");
+    (losses, last)
+}
+
+#[test]
+fn fast_mode_pretrain_matches_exact_loss_within_tolerance() {
+    let (exact_losses, exact_final) = run_with(NumericsMode::Exact);
+    let (fast_losses, fast_final) = run_with(NumericsMode::Fast);
+    assert_eq!(exact_losses.len(), fast_losses.len());
+
+    // Step losses track closely throughout, not just at the end: a fast
+    // kernel with a real defect (dropped tail lanes, wrong reduction)
+    // shows up as divergence within a few steps.
+    for (step, (e, f)) in exact_losses.iter().zip(&fast_losses).enumerate() {
+        assert!(
+            (e - f).abs() <= 0.05 * e.abs().max(1.0),
+            "step {step}: exact {e} vs fast {f}"
+        );
+    }
+    assert!(
+        (exact_final - fast_final).abs() <= 0.02 * exact_final.abs().max(1.0),
+        "final loss: exact {exact_final} vs fast {fast_final}"
+    );
+    // Both runs actually train.
+    assert!(exact_final < exact_losses[0], "exact run did not improve");
+    assert!(fast_final < fast_losses[0], "fast run did not improve");
+}

@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
 # Reproducible performance benchmark: emits BENCH_kernels.json,
-# BENCH_train.json, BENCH_infer.json, and BENCH_serve.json at the
-# repo root.
+# BENCH_train.json, BENCH_infer.json, BENCH_serve.json, and
+# BENCH_ddp.json at the repo root.
 #
 # Usage: scripts/bench.sh [--smoke]
 #
 # The kernel thread count is pinned (default 1) so numbers are comparable
 # across machines and runs; override with APOLLO_NUM_THREADS=<n>.
+#
+# BENCH_ddp.json is committed for reference but deliberately exempt from
+# the perf_check gate: replica scaling on a shared CI box is too noisy to
+# gate on (see crates/bench/src/bin/perf_ddp.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}"
 
 cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer \
-    --bin perf_serve
+    --bin perf_serve --bin perf_ddp
 ./target/release/perf_kernels "$@" .
 ./target/release/perf_infer "$@" .
 ./target/release/perf_serve "$@" .
+./target/release/perf_ddp "$@" .

@@ -45,6 +45,25 @@ APOLLO_NUM_THREADS=4 ./target/release/apollo "${GEN_ARGS[@]}" \
     >"$TRACE_TMP/gen4.txt"
 cmp "$TRACE_TMP/gen1.txt" "$TRACE_TMP/gen4.txt"
 
+echo "== fast-numerics smoke (ULP sweep, pretrain loss delta, INT8 decode)"
+# The exact-mode stages above are untouched: this stage opts into the
+# Fast tier explicitly and checks its three contracts in release mode —
+# the per-kernel ULP envelopes vs exact, training-loss parity on a tiny
+# pretrain, and end-to-end generation through the quantized backend.
+cargo test -q --release -p apollo-tensor --test fast_numerics
+cargo test -q --release -p apollo-train --test numerics_fast
+cargo test -q --release -p apollo-infer --test quantized_generation
+# INT8-decode generation smoke through the CLI: the group-128 INT8
+# weights + BF16 KV cache path must stream in-vocab tokens and be
+# run-to-run deterministic (seeded sampling, deterministic kernels).
+FAST_ARGS=(generate --resume "$TRACE_TMP/gen.ckpt" --prompt-ids "5,9,2,14"
+           --max-new-tokens 24 --temperature 0.8 --top-k 16 --seed 11
+           --numerics fast --int8-decode)
+./target/release/apollo "${FAST_ARGS[@]}" >"$TRACE_TMP/gen_int8_a.txt"
+./target/release/apollo "${FAST_ARGS[@]}" >"$TRACE_TMP/gen_int8_b.txt"
+cmp "$TRACE_TMP/gen_int8_a.txt" "$TRACE_TMP/gen_int8_b.txt"
+[ -s "$TRACE_TMP/gen_int8_a.txt" ] || { echo "int8 generate printed nothing"; exit 1; }
+
 echo "== replica-invariance smoke run (ddp at 1/2/4 replicas, bit-identical)"
 # The DDP driver must produce bit-identical losses at every replica count
 # (fixed virtual-slot tree reduction). Train the same tiny proxy three
