@@ -1,0 +1,106 @@
+//! Evolved-vs-static quality measurement: runs the population-based
+//! search on the tiny proxy model with the static fig4 grid trained
+//! alongside at the same step budget, and records the final perplexities.
+//!
+//! Prints a table and writes `BENCH_search.json` into the output directory
+//! (first positional argument, default `.`). Deliberately **not** part of
+//! the `perf_check` baseline set (the checker loads only the kernel /
+//! train / infer / serve files): this probe gates on *quality* — the
+//! evolved best must end within 1% of the best static configuration —
+//! which is deterministic, while its wall-clock column is informational
+//! only.
+//!
+//! Modes: `--smoke` shrinks the population and step budget for CI runs.
+
+use std::time::Instant;
+
+use apollo_obs::Obs;
+use apollo_search::{run_search, ModelConfig, SearchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| ".".into());
+
+    let cfg = SearchConfig {
+        model: ModelConfig::test_tiny(),
+        population: if smoke { 4 } else { 6 },
+        rounds: if smoke { 2 } else { 4 },
+        round_steps: if smoke { 5 } else { 25 },
+        quantile: 0.25,
+        seed: 7,
+        threads_per_member: 1,
+        batch: 4,
+        eval_seqs: 16,
+        baseline: true,
+    };
+    let total = cfg.total_steps();
+    println!(
+        "search quality ({}, population {}, {} rounds x {} steps, seed {})",
+        cfg.model.name, cfg.population, cfg.rounds, cfg.round_steps, cfg.seed
+    );
+
+    let started = Instant::now();
+    let report = run_search(&cfg, &Obs::disabled()).expect("search config is valid");
+    let wall = started.elapsed().as_secs_f64();
+
+    println!("{:<44} {:>10}", "configuration", "final ppl");
+    let mut static_rows = Vec::new();
+    for b in &report.baseline {
+        println!("static  {:<36} {:>10.2}", b.label, b.ppl);
+        static_rows.push(format!(
+            "{{\"label\":{},\"ppl\":{:.4}}}",
+            serde_json::to_string(&b.label).expect("string serializes"),
+            b.ppl
+        ));
+    }
+    let best_static = report
+        .baseline
+        .iter()
+        .map(|b| b.ppl)
+        .fold(f32::INFINITY, f32::min);
+    println!(
+        "evolved {:<36} {:>10.2}",
+        report.best.genome.label(),
+        report.best.ppl
+    );
+    let ratio = report.best.ppl / best_static;
+    println!(
+        "evolved/static ratio {ratio:.4} | {} lineage events | {:.1}s",
+        report.lineage.len(),
+        wall
+    );
+    assert!(
+        ratio <= 1.01,
+        "evolved best ppl {} worse than 1% over best static {}",
+        report.best.ppl,
+        best_static
+    );
+
+    let json = format!(
+        "{{\"model\":\"{}\",\"population\":{},\"rounds\":{},\"round_steps\":{},\
+         \"total_steps\":{total},\"seed\":{},\"evolved_ppl\":{:.4},\
+         \"evolved_label\":{},\"best_static_ppl\":{best_static:.4},\
+         \"evolved_over_static\":{ratio:.4},\"lineage_events\":{},\
+         \"static\":[{}],\"wall_secs\":{wall:.2}}}\n",
+        cfg.model.name,
+        cfg.population,
+        cfg.rounds,
+        cfg.round_steps,
+        cfg.seed,
+        report.best.ppl,
+        serde_json::to_string(&report.best.genome.label()).expect("string serializes"),
+        report.lineage.len(),
+        static_rows.join(","),
+    );
+    let path = std::path::Path::new(&out_dir).join("BENCH_search.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

@@ -181,6 +181,39 @@ pub enum TraceEvent {
         /// Active replica count after the event.
         replicas: usize,
     },
+    /// One exploit/explore round of the population-based search driver
+    /// (`apollo-search`): members ranked by eval perplexity, the bottom
+    /// quantile replaced by perturbed clones of leaders.
+    SearchRound {
+        /// Per-member training step at the round boundary.
+        step: usize,
+        /// Round index (0-based).
+        round: usize,
+        /// Population size.
+        population: usize,
+        /// Member id with the lowest eval perplexity this round.
+        best_member: usize,
+        /// Best eval perplexity in the population.
+        best_ppl: f32,
+        /// Worst eval perplexity in the population.
+        worst_ppl: f32,
+        /// Members replaced by clones this round.
+        cloned: usize,
+    },
+    /// A population-search member lifecycle event.
+    MemberEvent {
+        /// Per-member training step at which the event fired.
+        step: usize,
+        /// Member id the event is about.
+        member: usize,
+        /// What happened: `"start"`, `"clone"`, `"perturb"`, `"finish"`.
+        event: String,
+        /// Clone source (leader) member id; the member's own id otherwise.
+        source: usize,
+        /// The member's eval perplexity at the event (NaN-free: the driver
+        /// reports the most recent ranking value, 0 before the first eval).
+        ppl: f32,
+    },
     /// The serving front-end finished its graceful drain.
     ServeDrain {
         /// Scheduler tick at which the drain concluded.
@@ -212,6 +245,8 @@ impl TraceEvent {
             | TraceEvent::InferRequest { step, .. }
             | TraceEvent::ServeRequest { step, .. }
             | TraceEvent::ReplicaEvent { step, .. }
+            | TraceEvent::SearchRound { step, .. }
+            | TraceEvent::MemberEvent { step, .. }
             | TraceEvent::ServeDrain { step, .. } => step,
         }
     }
@@ -231,6 +266,8 @@ impl TraceEvent {
             TraceEvent::InferRequest { .. } => "InferRequest",
             TraceEvent::ServeRequest { .. } => "ServeRequest",
             TraceEvent::ReplicaEvent { .. } => "ReplicaEvent",
+            TraceEvent::SearchRound { .. } => "SearchRound",
+            TraceEvent::MemberEvent { .. } => "MemberEvent",
             TraceEvent::ServeDrain { .. } => "ServeDrain",
         }
     }

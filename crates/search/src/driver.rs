@@ -1,0 +1,321 @@
+//! The deterministic PBT driver: train the population concurrently, rank
+//! at round boundaries, clone leaders over the bottom quantile, perturb,
+//! repeat.
+//!
+//! # Determinism contract
+//!
+//! Two runs with the same [`SearchConfig`] produce byte-identical
+//! [`FrontierReport`] JSON and identical trace-event sequences, because:
+//!
+//! - members train on worker threads, but every kernel is bit-identical
+//!   regardless of thread count (the tensor crate's partitioning
+//!   invariant, pinned per member by [`ThreadOverrideGuard`]);
+//! - all ranking, cloning, mutation, and trace emission happen on the
+//!   driver thread, in member-slot order;
+//! - mutation RNGs are derived from `(seed, round, member)` alone, and
+//!   projector reseeds stay position-derived inside the optimizer, so a
+//!   restored clone replays exactly;
+//! - the report carries no wall-clock fields.
+
+use std::thread;
+
+use apollo_obs::{Obs, TraceEvent};
+use apollo_tensor::{Rng, ThreadOverrideGuard};
+
+use crate::genome::Genome;
+use crate::member::Member;
+use crate::report::{
+    BaselineEntry, BestEntry, FrontierReport, LineageEvent, MemberReport, RoundReport,
+};
+
+pub use apollo_nn::ModelConfig;
+
+/// Everything a search run needs. All fields are plain values so configs
+/// can be logged and reports replayed.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Proxy model every member trains.
+    pub model: ModelConfig,
+    /// Population size (≥ 2 for exploitation to act).
+    pub population: usize,
+    /// Exploit/explore rounds.
+    pub rounds: usize,
+    /// Optimizer steps per round.
+    pub round_steps: usize,
+    /// Bottom fraction replaced at each boundary (clamped to at least one
+    /// member and at most half the population).
+    pub quantile: f32,
+    /// Master seed: model init, data streams, and mutation draws all
+    /// derive from it.
+    pub seed: u64,
+    /// Worker threads pinned per member while its segment trains.
+    pub threads_per_member: usize,
+    /// Sequences per training batch.
+    pub batch: usize,
+    /// Held-out sequences per evaluation (must be > 0).
+    pub eval_seqs: usize,
+    /// Also train the static fig4 grid straight through the same step
+    /// budget, for the evolved-vs-static comparison.
+    pub baseline: bool,
+}
+
+impl SearchConfig {
+    /// A small smoke configuration on the test-tiny proxy model.
+    pub fn tiny(seed: u64) -> SearchConfig {
+        SearchConfig {
+            model: ModelConfig::test_tiny(),
+            population: 4,
+            rounds: 2,
+            round_steps: 5,
+            quantile: 0.25,
+            seed,
+            threads_per_member: 1,
+            batch: 4,
+            eval_seqs: 8,
+            baseline: false,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.population == 0 {
+            return Err("population must be at least 1".into());
+        }
+        if self.rounds == 0 || self.round_steps == 0 {
+            return Err("rounds and round-steps must be positive".into());
+        }
+        if !(0.0..=0.5).contains(&self.quantile) {
+            return Err(format!("quantile {} outside [0, 0.5]", self.quantile));
+        }
+        if self.eval_seqs == 0 {
+            return Err("eval-seqs must be positive (members are ranked by eval ppl)".into());
+        }
+        if self.batch == 0 {
+            return Err("batch must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Total optimizer steps each member takes.
+    pub fn total_steps(&self) -> usize {
+        self.rounds * self.round_steps
+    }
+}
+
+/// Mutation RNG for `(seed, round, member)` — decoupled from everything
+/// else so population size and thread count never shift the draws.
+fn mutation_rng(seed: u64, round: usize, member: usize) -> Rng {
+    Rng::seed_from_u64(seed ^ (((round as u64 + 1) << 32) | member as u64))
+}
+
+/// Trains each member one segment and evaluates it, concurrently — one
+/// worker thread per member, each pinned to `threads_per_member` kernel
+/// threads.
+fn train_round(members: &mut [Member], cfg: &SearchConfig) {
+    let total = cfg.total_steps();
+    thread::scope(|s| {
+        for m in members.iter_mut() {
+            s.spawn(move || {
+                let _pin = ThreadOverrideGuard::new(cfg.threads_per_member.max(1));
+                m.train_segment(cfg.round_steps, total);
+                m.eval(cfg.eval_seqs);
+            });
+        }
+    });
+}
+
+/// Member indices sorted best-first: ascending perplexity, ties broken by
+/// slot so ranking is total and deterministic.
+fn rank(members: &[Member]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&a, &b| {
+        members[a]
+            .last_ppl
+            .total_cmp(&members[b].last_ppl)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Runs the full population-based search and returns its frontier report.
+/// Deterministic given `cfg` (see the module docs for the contract).
+pub fn run_search(cfg: &SearchConfig, obs: &Obs) -> Result<FrontierReport, String> {
+    cfg.validate()?;
+    let grid = Genome::static_grid(&cfg.model);
+    let mut members: Vec<Member> = (0..cfg.population)
+        .map(|i| {
+            // Cycle the static grid; extra members explore a hotter LR so
+            // large populations start spread out instead of duplicated.
+            let mut g = grid[i % grid.len()].clone();
+            for _ in 0..(i / grid.len()) {
+                g.peak_lr = (g.peak_lr * 1.25).clamp(1e-4, 0.3);
+            }
+            Member::new(i, g, cfg)
+        })
+        .collect();
+
+    obs.set_step(0);
+    for m in &members {
+        obs.emit(|| TraceEvent::MemberEvent {
+            step: 0,
+            member: m.id,
+            event: "start".to_string(),
+            source: m.id,
+            ppl: 0.0,
+        });
+    }
+
+    let mut rounds_log = Vec::with_capacity(cfg.rounds);
+    let mut lineage = Vec::new();
+    for round in 0..cfg.rounds {
+        train_round(&mut members, cfg);
+        let step = (round + 1) * cfg.round_steps;
+        obs.set_step(step);
+        obs.counter("search.rounds", 1);
+        obs.counter("search.evals", members.len() as u64);
+        obs.counter(
+            "search.member_steps",
+            (cfg.round_steps * members.len()) as u64,
+        );
+
+        let order = rank(&members);
+        let best = order[0];
+        let worst = *order.last().expect("population is non-empty");
+        // Replacements happen at every boundary except the last (nothing
+        // would train after a final-round clone).
+        let n_replace = if round + 1 < cfg.rounds {
+            (((cfg.population as f32) * cfg.quantile).floor() as usize)
+                .max(1)
+                .min(cfg.population / 2)
+        } else {
+            0
+        };
+        obs.emit(|| TraceEvent::SearchRound {
+            step,
+            round,
+            population: cfg.population,
+            best_member: best,
+            best_ppl: members[best].last_ppl,
+            worst_ppl: members[worst].last_ppl,
+            cloned: n_replace,
+        });
+        rounds_log.push(RoundReport {
+            round,
+            step,
+            best_member: best,
+            best_ppl: members[best].last_ppl,
+            members: members
+                .iter()
+                .map(|m| MemberReport {
+                    member: m.id,
+                    genome: m.genome.clone(),
+                    ppl: m.last_ppl,
+                })
+                .collect(),
+        });
+
+        for j in 0..n_replace {
+            let loser = order[cfg.population - 1 - j];
+            let leader = order[j];
+            let donor = members[leader].genome.clone();
+            let blob = members[leader]
+                .snapshot()
+                .map_err(|e| format!("snapshot of member {leader} failed: {e}"))?;
+            let ppl_before = members[loser].last_ppl;
+            obs.emit(|| TraceEvent::MemberEvent {
+                step,
+                member: loser,
+                event: "clone".to_string(),
+                source: leader,
+                ppl: ppl_before,
+            });
+            let mut rng = mutation_rng(cfg.seed, round, loser);
+            let (mutated, changes) = donor.mutate(&mut rng, &cfg.model);
+            obs.emit(|| TraceEvent::MemberEvent {
+                step,
+                member: loser,
+                event: "perturb".to_string(),
+                source: loser,
+                ppl: ppl_before,
+            });
+            obs.counter("search.clones", 1);
+            obs.counter("search.perturbations", changes.len() as u64);
+            let (child, outcome) = Member::restore(loser, &blob, &donor, mutated, cfg)
+                .map_err(|e| format!("restore of member {loser} failed: {e}"))?;
+            members[loser] = child;
+            lineage.push(LineageEvent {
+                round,
+                member: loser,
+                source: leader,
+                ppl_before,
+                changes,
+                optimizer_state: outcome.to_string(),
+            });
+        }
+    }
+
+    let order = rank(&members);
+    let winner = &members[order[0]];
+    for m in &members {
+        obs.emit(|| TraceEvent::MemberEvent {
+            step: cfg.total_steps(),
+            member: m.id,
+            event: "finish".to_string(),
+            source: m.id,
+            ppl: m.last_ppl,
+        });
+    }
+
+    let baseline = if cfg.baseline {
+        run_baseline(cfg, &grid)
+    } else {
+        Vec::new()
+    };
+
+    let report = FrontierReport {
+        model: cfg.model.name.clone(),
+        population: cfg.population,
+        rounds: cfg.rounds,
+        round_steps: cfg.round_steps,
+        quantile: cfg.quantile,
+        seed: cfg.seed,
+        rounds_log,
+        lineage,
+        best: BestEntry {
+            member: winner.id,
+            genome: winner.genome.clone(),
+            ppl: winner.last_ppl,
+        },
+        baseline,
+    };
+    if let Err(e) = obs.flush() {
+        eprintln!("warning: trace flush failed ({e})");
+    }
+    Ok(report)
+}
+
+/// Trains each static-grid genome straight through the same step budget
+/// (same model init, same data stream) for the evolved-vs-static table.
+fn run_baseline(cfg: &SearchConfig, grid: &[Genome]) -> Vec<BaselineEntry> {
+    let mut runs: Vec<Member> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, g)| Member::new(i, g.clone(), cfg))
+        .collect();
+    let total = cfg.total_steps();
+    thread::scope(|s| {
+        for m in runs.iter_mut() {
+            s.spawn(move || {
+                let _pin = ThreadOverrideGuard::new(cfg.threads_per_member.max(1));
+                m.train_segment(total, total);
+                m.eval(cfg.eval_seqs);
+            });
+        }
+    });
+    runs.iter()
+        .map(|m| BaselineEntry {
+            label: m.genome.label(),
+            genome: m.genome.clone(),
+            ppl: m.last_ppl,
+        })
+        .collect()
+}

@@ -1,0 +1,261 @@
+//! The searchable hyper-parameter genome and its mutation operator.
+//!
+//! A [`Genome`] is the complete knob set one population member trains
+//! under: optimizer family, projector rank, gradient-scale α, projector
+//! refresh period, and the LR schedule's peak / warmup fraction. Mutation
+//! is a pure function of `(genome, rng)`, so a search driven by a seeded
+//! [`Rng`] is bit-reproducible.
+
+use apollo_nn::ModelConfig;
+use apollo_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which optimizer a member trains with. The three families cover the
+/// paper's main comparison: APOLLO (channel-wise, rank r), APOLLO-Mini
+/// (tensor-wise, rank 1), and the channel-wise AdamW control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptFamily {
+    /// Channel-wise APOLLO at the genome's rank.
+    Apollo,
+    /// Rank-1 tensor-wise APOLLO-Mini (α defaults to √(hidden/4)).
+    ApolloMini,
+    /// Channel-wise AdamW with the norm-growth limiter (full-rank control;
+    /// the rank/α/refresh knobs are inert for this family).
+    AdamWChannelwise,
+}
+
+impl OptFamily {
+    /// Stable label used in lineage strings and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptFamily::Apollo => "apollo",
+            OptFamily::ApolloMini => "apollo-mini",
+            OptFamily::AdamWChannelwise => "adamw-channelwise",
+        }
+    }
+}
+
+/// One member's complete hyper-parameter assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Genome {
+    /// Optimizer family.
+    pub family: OptFamily,
+    /// Projector rank r (ignored by `AdamWChannelwise`; 1 for Mini).
+    pub rank: usize,
+    /// Gradient scale α.
+    pub alpha: f32,
+    /// Projector refresh period T in steps.
+    pub update_freq: usize,
+    /// Peak learning rate of the warmup+cosine schedule.
+    pub peak_lr: f32,
+    /// Warmup fraction of the schedule.
+    pub warmup_frac: f32,
+}
+
+/// APOLLO-Mini's paper default α = √(hidden/4) for a given model width.
+pub fn mini_alpha(hidden: usize) -> f32 {
+    (((hidden / 4).max(1)) as f32).sqrt()
+}
+
+impl Genome {
+    /// The family's paper-default genome for `model` (LR knobs at the
+    /// APOLLO paper defaults: peak 0.01, 10% warmup).
+    pub fn seed_for(family: OptFamily, model: &ModelConfig) -> Genome {
+        let (rank, alpha) = match family {
+            OptFamily::Apollo => (model.default_rank(), 1.0),
+            OptFamily::ApolloMini => (1, mini_alpha(model.hidden)),
+            OptFamily::AdamWChannelwise => (0, 1.0),
+        };
+        Genome {
+            family,
+            rank,
+            alpha,
+            update_freq: 200,
+            peak_lr: 0.01,
+            warmup_frac: 0.1,
+        }
+    }
+
+    /// The static Fig. 4-style comparison grid: APOLLO at the default rank,
+    /// APOLLO at half rank, APOLLO-Mini, and the channel-wise AdamW
+    /// control. The search's initial population cycles this grid, so every
+    /// static configuration is also an evolutionary starting point.
+    pub fn static_grid(model: &ModelConfig) -> Vec<Genome> {
+        let half = Genome {
+            rank: (model.default_rank() / 2).max(1),
+            ..Genome::seed_for(OptFamily::Apollo, model)
+        };
+        vec![
+            Genome::seed_for(OptFamily::Apollo, model),
+            half,
+            Genome::seed_for(OptFamily::ApolloMini, model),
+            Genome::seed_for(OptFamily::AdamWChannelwise, model),
+        ]
+    }
+
+    /// Short human-readable label for tables and traces.
+    pub fn label(&self) -> String {
+        match self.family {
+            OptFamily::AdamWChannelwise => {
+                format!("{} lr={}", self.family.label(), self.peak_lr)
+            }
+            _ => format!(
+                "{} r={} a={} T={} lr={}",
+                self.family.label(),
+                self.rank,
+                self.alpha,
+                self.update_freq,
+                self.peak_lr
+            ),
+        }
+    }
+
+    /// Whether a member with `self`'s optimizer state can keep that state
+    /// verbatim when re-configured to `other`. The moment layout depends on
+    /// the family and (for APOLLO families) the rank; α, refresh period,
+    /// and LR knobs transplant freely.
+    pub fn transplant_ok(&self, other: &Genome) -> bool {
+        self.family == other.family
+            && (self.family == OptFamily::AdamWChannelwise || self.rank == other.rank)
+    }
+
+    /// Draws a mutated child genome. Deterministic in `(self, rng state)`;
+    /// always changes at least one knob. Returns the child and a
+    /// human-readable list of the changes for the lineage log.
+    pub fn mutate(&self, rng: &mut Rng, model: &ModelConfig) -> (Genome, Vec<String>) {
+        let mut g = self.clone();
+        let mut changes = Vec::new();
+
+        // Rare family hop (1 in 8): restart from the target family's seed
+        // genome but carry the evolved LR knobs along.
+        if rng.below(8) == 0 {
+            let next = match g.family {
+                OptFamily::Apollo => OptFamily::ApolloMini,
+                OptFamily::ApolloMini => OptFamily::AdamWChannelwise,
+                OptFamily::AdamWChannelwise => OptFamily::Apollo,
+            };
+            changes.push(format!("family {} -> {}", g.family.label(), next.label()));
+            let carried = (g.peak_lr, g.warmup_frac);
+            g = Genome::seed_for(next, model);
+            g.peak_lr = carried.0;
+            g.warmup_frac = carried.1;
+        }
+
+        // Peak LR: the paper's most sensitive knob, perturbed half the time.
+        if rng.below(2) == 0 {
+            let old = g.peak_lr;
+            let factor = if rng.below(2) == 0 { 1.25 } else { 0.8 };
+            g.peak_lr = (old * factor).clamp(1e-4, 0.3);
+            changes.push(format!("peak_lr {} -> {}", old, g.peak_lr));
+        }
+        // Warmup fraction, multiplicative walk on [0.02, 0.3].
+        if rng.below(4) == 0 {
+            let old = g.warmup_frac;
+            let factor = if rng.below(2) == 0 { 1.5 } else { 0.75 };
+            g.warmup_frac = (old * factor).clamp(0.02, 0.3);
+            changes.push(format!("warmup_frac {} -> {}", old, g.warmup_frac));
+        }
+        if g.family != OptFamily::AdamWChannelwise {
+            // Gradient scale α.
+            if rng.below(2) == 0 {
+                let old = g.alpha;
+                let factor = if rng.below(2) == 0 { 1.25 } else { 0.8 };
+                g.alpha = (old * factor).clamp(0.05, 64.0);
+                changes.push(format!("alpha {} -> {}", old, g.alpha));
+            }
+            // Projector refresh period, doubling walk on [10, 400].
+            if rng.below(3) == 0 {
+                let old = g.update_freq;
+                g.update_freq = if rng.below(2) == 0 {
+                    (old * 2).min(400)
+                } else {
+                    (old / 2).max(10)
+                };
+                if g.update_freq != old {
+                    changes.push(format!("update_freq {} -> {}", old, g.update_freq));
+                }
+            }
+            // Rank doubling/halving (full APOLLO only; Mini is pinned to 1).
+            if g.family == OptFamily::Apollo && rng.below(4) == 0 {
+                let old = g.rank;
+                let max_rank = (model.hidden / 2).max(1);
+                g.rank = if rng.below(2) == 0 {
+                    (old * 2).min(max_rank)
+                } else {
+                    (old / 2).max(1)
+                };
+                if g.rank != old {
+                    changes.push(format!("rank {} -> {}", old, g.rank));
+                }
+            }
+        }
+
+        // Exploration must move: if every coin came up "keep", nudge LR.
+        if changes.is_empty() {
+            let old = g.peak_lr;
+            g.peak_lr = (old * 1.1).clamp(1e-4, 0.3);
+            changes.push(format!("peak_lr {} -> {}", old, g.peak_lr));
+        }
+        (g, changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_and_always_changes_something() {
+        let model = ModelConfig::test_tiny();
+        let base = Genome::seed_for(OptFamily::Apollo, &model);
+        for seed in 0..64u64 {
+            let (a, ca) = base.mutate(&mut Rng::seed_from_u64(seed), &model);
+            let (b, cb) = base.mutate(&mut Rng::seed_from_u64(seed), &model);
+            assert_eq!(a, b, "same seed must give the same child");
+            assert_eq!(ca, cb);
+            assert_ne!(a, base, "mutation must change at least one knob");
+            assert!(!ca.is_empty());
+            assert!(a.rank <= (model.hidden / 2).max(1));
+            assert!(a.update_freq >= 1);
+            assert!(a.peak_lr > 0.0 && a.peak_lr.is_finite());
+        }
+    }
+
+    #[test]
+    fn transplant_rules_track_state_layout() {
+        let model = ModelConfig::test_tiny();
+        let a = Genome::seed_for(OptFamily::Apollo, &model);
+        // α / refresh / LR changes keep the moment layout.
+        let mut tweaked = a.clone();
+        tweaked.alpha = 2.0;
+        tweaked.update_freq = 50;
+        tweaked.peak_lr = 0.02;
+        assert!(a.transplant_ok(&tweaked));
+        // Rank changes re-shape the low-rank moments.
+        let mut reranked = a.clone();
+        reranked.rank = a.rank * 2;
+        assert!(!a.transplant_ok(&reranked));
+        // Family changes swap the optimizer entirely...
+        let mini = Genome::seed_for(OptFamily::ApolloMini, &model);
+        assert!(!a.transplant_ok(&mini));
+        // ...except AdamW, whose state ignores the projector knobs.
+        let adamw = Genome::seed_for(OptFamily::AdamWChannelwise, &model);
+        let mut adamw2 = adamw.clone();
+        adamw2.rank = 7;
+        adamw2.peak_lr = 0.005;
+        assert!(adamw.transplant_ok(&adamw2));
+    }
+
+    #[test]
+    fn static_grid_covers_all_three_families() {
+        let model = ModelConfig::test_tiny();
+        let grid = Genome::static_grid(&model);
+        assert_eq!(grid.len(), 4);
+        assert!(grid.iter().any(|g| g.family == OptFamily::Apollo));
+        assert!(grid.iter().any(|g| g.family == OptFamily::ApolloMini));
+        assert!(grid.iter().any(|g| g.family == OptFamily::AdamWChannelwise));
+        let json = serde_json::to_string(&grid).unwrap();
+        let back: Vec<Genome> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, grid);
+    }
+}

@@ -1,0 +1,34 @@
+//! `apollo-search`: deterministic population-based evolutionary search
+//! over APOLLO's hyper-parameters.
+//!
+//! The paper fixes APOLLO's knobs — projector rank r, gradient scale α,
+//! subspace refresh period T, and the LR schedule — by hand-tuned grids
+//! (Fig. 4, Appendix A.4). This crate searches that space instead:
+//! a population of tiny-proxy pretrain runs trains concurrently, and at
+//! every round boundary the bottom quantile clones a leader's full train
+//! state (weights, optimizer moments, projector bases, data cursor — the
+//! in-memory v2 checkpoint blob) and perturbs its knobs with seed-derived
+//! mutations. The result is an exploit/explore trajectory through
+//! hyper-parameter space that is **bit-reproducible**: same seed, same
+//! frontier file, byte for byte.
+//!
+//! Layering:
+//!
+//! - [`Genome`] / [`OptFamily`] — the knob set and its mutation operator;
+//! - [`Member`] / [`MemberOpt`] — one concurrent proxy run, with
+//!   snapshot/restore built on [`apollo_train`]'s checkpoint blobs;
+//! - [`run_search`] / [`SearchConfig`] — the driver loop;
+//! - [`FrontierReport`] — the serializable outcome (per-round rankings,
+//!   clone/perturb lineage, final best, optional static-grid baseline).
+
+mod driver;
+mod genome;
+mod member;
+mod report;
+
+pub use driver::{run_search, ModelConfig, SearchConfig};
+pub use genome::{mini_alpha, Genome, OptFamily};
+pub use member::{base_batcher, Member, MemberOpt};
+pub use report::{
+    BaselineEntry, BestEntry, FrontierReport, LineageEvent, MemberReport, RoundReport,
+};

@@ -1,0 +1,102 @@
+//! The serializable outcome of a search run.
+//!
+//! Everything here is plain data with a deterministic `serde_json`
+//! encoding — no wall-clock times, no hash-map iteration order — so two
+//! runs with the same seed produce byte-identical frontier files. That
+//! byte-equality is the determinism contract `scripts/ci.sh` checks with
+//! `cmp`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::genome::Genome;
+
+/// One member's standing at a round boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberReport {
+    /// Population slot.
+    pub member: usize,
+    /// The genome the member trained this round under.
+    pub genome: Genome,
+    /// Held-out perplexity at the round boundary.
+    pub ppl: f32,
+}
+
+/// The population ranking at one round boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Global optimizer step at the boundary.
+    pub step: usize,
+    /// Best member's slot.
+    pub best_member: usize,
+    /// Best member's perplexity.
+    pub best_ppl: f32,
+    /// Every member, in slot order.
+    pub members: Vec<MemberReport>,
+}
+
+/// One exploit/explore action: who cloned whom and what was perturbed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageEvent {
+    /// Round whose boundary triggered the action.
+    pub round: usize,
+    /// The replaced (bottom-quantile) member.
+    pub member: usize,
+    /// The leader whose train state was cloned.
+    pub source: usize,
+    /// The replaced member's perplexity before the clone.
+    pub ppl_before: f32,
+    /// Human-readable knob changes from the mutation.
+    pub changes: Vec<String>,
+    /// `"transplanted"` if the leader's optimizer state was kept verbatim,
+    /// `"reset"` if a layout-changing mutation forced a fresh optimizer.
+    pub optimizer_state: String,
+}
+
+/// A static-grid reference run trained with the same step budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Genome label.
+    pub label: String,
+    /// The static configuration.
+    pub genome: Genome,
+    /// Final held-out perplexity.
+    pub ppl: f32,
+}
+
+/// The final winner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestEntry {
+    /// Winning member's slot.
+    pub member: usize,
+    /// Winning genome.
+    pub genome: Genome,
+    /// Final held-out perplexity.
+    pub ppl: f32,
+}
+
+/// Complete record of a population-based search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierReport {
+    /// Model name.
+    pub model: String,
+    /// Population size.
+    pub population: usize,
+    /// Exploit/explore rounds.
+    pub rounds: usize,
+    /// Steps per round.
+    pub round_steps: usize,
+    /// Bottom quantile replaced each round.
+    pub quantile: f32,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-round rankings, oldest first.
+    pub rounds_log: Vec<RoundReport>,
+    /// Clone/perturb lineage, in the order the actions were taken.
+    pub lineage: Vec<LineageEvent>,
+    /// The final best configuration.
+    pub best: BestEntry,
+    /// Static fig4-grid reference runs (empty unless requested).
+    pub baseline: Vec<BaselineEntry>,
+}

@@ -1,0 +1,182 @@
+//! End-to-end determinism and behaviour tests for the PBT driver.
+
+use apollo_obs::{Obs, TraceEvent};
+use apollo_search::{run_search, SearchConfig};
+
+fn tiny(seed: u64) -> SearchConfig {
+    SearchConfig {
+        rounds: 3,
+        round_steps: 4,
+        batch: 2,
+        eval_seqs: 4,
+        ..SearchConfig::tiny(seed)
+    }
+}
+
+#[test]
+fn same_seed_gives_byte_identical_frontier_json() {
+    let cfg = tiny(7);
+    let a = run_search(&cfg, &Obs::disabled()).unwrap();
+    let b = run_search(&cfg, &Obs::disabled()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "two runs with the same seed must serialize byte-identically"
+    );
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_search(&tiny(7), &Obs::disabled()).unwrap();
+    let b = run_search(&tiny(8), &Obs::disabled()).unwrap();
+    assert_ne!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    // The per-member thread pin changes scheduling, never numerics: the
+    // tensor kernels partition deterministically at any thread count.
+    let one = tiny(9);
+    let four = SearchConfig {
+        threads_per_member: 4,
+        ..tiny(9)
+    };
+    let a = run_search(&one, &Obs::disabled()).unwrap();
+    let b = run_search(&four, &Obs::disabled()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "thread count must not leak into the frontier"
+    );
+}
+
+#[test]
+fn exploit_replaces_the_bottom_quantile_each_round() {
+    let cfg = tiny(7);
+    let report = run_search(&cfg, &Obs::disabled()).unwrap();
+    // quantile 0.25 of 4 members = 1 clone per boundary, no clone after
+    // the final round.
+    assert_eq!(report.lineage.len(), cfg.rounds - 1);
+    assert_eq!(report.rounds_log.len(), cfg.rounds);
+    for (i, r) in report.rounds_log.iter().enumerate() {
+        assert_eq!(r.round, i);
+        assert_eq!(r.step, (i + 1) * cfg.round_steps);
+        assert_eq!(r.members.len(), cfg.population);
+        assert!(r.best_ppl.is_finite());
+        assert!(r.members.iter().all(|m| m.ppl >= r.best_ppl));
+    }
+    for l in &report.lineage {
+        assert_ne!(l.member, l.source, "a member never clones itself");
+        assert!(!l.changes.is_empty(), "every clone must perturb something");
+        assert!(matches!(
+            l.optimizer_state.as_str(),
+            "transplanted" | "reset"
+        ));
+    }
+    assert!(report.best.ppl.is_finite());
+    let last = report.rounds_log.last().unwrap();
+    assert_eq!(report.best.member, last.best_member);
+    assert_eq!(report.best.ppl, last.best_ppl);
+}
+
+#[test]
+fn search_emits_pinned_trace_events_and_counters() {
+    let dir = std::env::temp_dir().join("apollo-search-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("search-trace.jsonl");
+    let cfg = SearchConfig {
+        rounds: 2,
+        round_steps: 3,
+        batch: 2,
+        eval_seqs: 4,
+        ..SearchConfig::tiny(3)
+    };
+    let obs = Obs::with_trace(&path, 1).unwrap();
+    let report = run_search(&cfg, &obs).unwrap();
+    let events = apollo_obs::read_trace(&path).unwrap();
+    let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+    assert_eq!(count("SearchRound"), cfg.rounds);
+    // start + finish per member, clone + perturb per lineage entry.
+    assert_eq!(
+        count("MemberEvent"),
+        2 * cfg.population + 2 * report.lineage.len()
+    );
+    for e in &events {
+        if let TraceEvent::MemberEvent { event, .. } = e {
+            assert!(matches!(
+                event.as_str(),
+                "start" | "clone" | "perturb" | "finish"
+            ));
+        }
+    }
+    assert_eq!(obs.counter_value("search.rounds"), cfg.rounds as u64);
+    assert_eq!(
+        obs.counter_value("search.clones"),
+        report.lineage.len() as u64
+    );
+    assert_eq!(
+        obs.counter_value("search.evals"),
+        (cfg.rounds * cfg.population) as u64
+    );
+    assert!(obs.counter_value("search.perturbations") >= obs.counter_value("search.clones"));
+}
+
+#[test]
+fn baseline_runs_the_static_grid_with_the_same_budget() {
+    let cfg = SearchConfig {
+        rounds: 2,
+        round_steps: 3,
+        batch: 2,
+        eval_seqs: 4,
+        baseline: true,
+        ..SearchConfig::tiny(5)
+    };
+    let report = run_search(&cfg, &Obs::disabled()).unwrap();
+    assert_eq!(report.baseline.len(), 4, "fig4 grid has four configs");
+    assert!(report.baseline.iter().all(|b| b.ppl.is_finite()));
+    // Population 4 starts as exactly the static grid with shared init and
+    // data, so a never-replaced survivor matches its static twin exactly;
+    // the evolved best can only do at least as well as that.
+    let best_static = report
+        .baseline
+        .iter()
+        .map(|b| b.ppl)
+        .fold(f32::INFINITY, f32::min);
+    assert!(
+        report.best.ppl <= best_static * 1.01,
+        "evolved best {} should be within 1% of best static {}",
+        report.best.ppl,
+        best_static
+    );
+}
+
+#[test]
+fn invalid_configs_are_rejected() {
+    assert!(run_search(
+        &SearchConfig {
+            rounds: 0,
+            ..SearchConfig::tiny(1)
+        },
+        &Obs::disabled()
+    )
+    .is_err());
+    assert!(run_search(
+        &SearchConfig {
+            quantile: 0.9,
+            ..SearchConfig::tiny(1)
+        },
+        &Obs::disabled()
+    )
+    .is_err());
+    assert!(run_search(
+        &SearchConfig {
+            eval_seqs: 0,
+            ..SearchConfig::tiny(1)
+        },
+        &Obs::disabled()
+    )
+    .is_err());
+}

@@ -32,7 +32,7 @@ pub mod pool;
 pub mod scratch;
 pub mod simd;
 
-pub use matmul::{current_threads, set_thread_override};
+pub use matmul::{current_threads, set_thread_override, ThreadOverrideGuard};
 pub use matrix::Matrix;
 pub use numerics::{
     current_numerics, set_numerics_default, set_numerics_override, simd_tier, NumericsMode,

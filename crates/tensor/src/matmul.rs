@@ -116,6 +116,34 @@ pub fn current_threads() -> usize {
         .unwrap_or_else(env_threads)
 }
 
+/// Scoped (RAII) form of [`set_thread_override`]: pins the calling thread's
+/// kernel thread count to `n` (clamped to ≥ 1) and restores the *previous*
+/// override — including "no override" — when the guard drops.
+///
+/// Long-lived worker threads that pin a thread count for one task (DDP
+/// replicas, population-search members) must use this instead of a raw
+/// [`set_thread_override`] call, which would leak the override into
+/// whatever runs on the thread next.
+#[must_use = "the override is reverted when the guard drops"]
+#[derive(Debug)]
+pub struct ThreadOverrideGuard {
+    prev: Option<usize>,
+}
+
+impl ThreadOverrideGuard {
+    /// Pins the calling thread's kernel thread count until drop.
+    pub fn new(n: usize) -> Self {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+        ThreadOverrideGuard { prev }
+    }
+}
+
+impl Drop for ThreadOverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
 /// Register-tiled row-band kernel: `out[lo..hi] = a_rows[lo..hi] · b` where
 /// `a_rows` is row-major with stride `k` and `b` row-major with stride `n`.
 ///
@@ -721,6 +749,61 @@ mod tests {
             }
         }
         set_thread_override(None);
+    }
+
+    #[test]
+    fn thread_override_guard_restores_previous_state() {
+        // Guards must restore whatever was in effect before them — a raw
+        // override, another guard's value, or no override at all — and
+        // nest correctly.
+        let baseline = current_threads();
+        {
+            let _g = ThreadOverrideGuard::new(3);
+            assert_eq!(current_threads(), 3);
+            {
+                let _inner = ThreadOverrideGuard::new(5);
+                assert_eq!(current_threads(), 5);
+            }
+            assert_eq!(current_threads(), 3, "inner guard must restore outer");
+        }
+        assert_eq!(current_threads(), baseline, "guard leaked an override");
+        // A guard over a raw override restores the raw override, and the
+        // clamp matches set_thread_override's.
+        set_thread_override(Some(7));
+        {
+            let _g = ThreadOverrideGuard::new(0);
+            assert_eq!(current_threads(), 1, "zero clamps to one");
+        }
+        assert_eq!(current_threads(), 7);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn thread_override_guard_isolates_concurrent_members() {
+        // Two worker threads pinned to different counts (the
+        // population-search member setup) must each see their own override
+        // while it is live and their thread's original state after it
+        // drops — no cross-thread or post-drop leakage.
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for threads in [2usize, 6] {
+                handles.push(s.spawn(move || {
+                    let before = current_threads();
+                    {
+                        let _g = ThreadOverrideGuard::new(threads);
+                        assert_eq!(current_threads(), threads);
+                        // Give the sibling time to overlap: overrides are
+                        // thread-local, so the sibling's pin is invisible.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        assert_eq!(current_threads(), threads, "sibling leaked in");
+                    }
+                    assert_eq!(current_threads(), before, "override leaked out");
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
     }
 
     #[test]

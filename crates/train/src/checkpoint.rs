@@ -126,6 +126,93 @@ pub struct TrainState {
     pub optimizer: Vec<u8>,
 }
 
+impl TrainState {
+    /// Serializes this state to the v2 checkpoint byte format, entirely in
+    /// memory. The bytes are exactly what [`save_train_state`] would write
+    /// to disk, so a blob can be handed to [`TrainState::from_blob`] (e.g.
+    /// population-based-search cloning) or persisted verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the header fails to serialize.
+    pub fn to_blob(&self) -> io::Result<Vec<u8>> {
+        train_state_blob(&self.model, self.mode, &self.meta, &self.optimizer)
+    }
+
+    /// Parses a v2 checkpoint blob produced by [`TrainState::to_blob`] (or
+    /// read verbatim from a [`save_train_state`] file), validating every
+    /// section's framing and CRC against the blob's actual length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error if the blob is truncated, any section's
+    /// checksum fails, the header is not v2, or the manifest is
+    /// inconsistent.
+    pub fn from_blob(bytes: &[u8]) -> io::Result<TrainState> {
+        let mut remaining = bytes.len() as u64;
+        let mut r = bytes;
+        let head = read_section(&mut r, "header", MAX_HEADER, &mut remaining)?;
+        let header: HeaderV2 = serde_json::from_slice(&head).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("not a v2 checkpoint: {e}"),
+            )
+        })?;
+        if header.magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a checkpoint",
+            ));
+        }
+        if header.version != V2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a v2 checkpoint, found version {}", header.version),
+            ));
+        }
+        let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
+        let body = read_section(&mut r, "params", MAX_SECTION, &mut remaining)?;
+        fill_params(&mut model, &header.manifest, &body)?;
+        let optimizer = read_section(&mut r, "optimizer", MAX_SECTION, &mut remaining)?;
+        Ok(TrainState {
+            model,
+            mode: header.mode,
+            meta: header.train,
+            optimizer,
+        })
+    }
+}
+
+/// Serializes a full training state to the v2 framed byte format (header,
+/// params, optimizer — each `u64 len | bytes | u32 crc`) without touching
+/// disk. [`save_train_state`] writes exactly these bytes atomically.
+///
+/// # Errors
+///
+/// Returns an error if the header fails to serialize.
+pub fn train_state_blob(
+    model: &LlamaModel,
+    mode: LinearMode,
+    meta: &TrainMeta,
+    optimizer: &[u8],
+) -> io::Result<Vec<u8>> {
+    let header = HeaderV2 {
+        magic: MAGIC.to_string(),
+        version: V2,
+        config: model.config().clone(),
+        mode,
+        manifest: manifest_of(model),
+        train: meta.clone(),
+    };
+    let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
+    let body = params_bytes(model);
+    let mut out = Vec::with_capacity(head.len() + body.len() + optimizer.len() + 36);
+    write_section(&mut out, &head)?;
+    write_section(&mut out, &body)?;
+    write_section(&mut out, optimizer)?;
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // Section framing (v2): u64 length | bytes | u32 crc.
 
@@ -370,21 +457,8 @@ pub fn save_train_state(
     optimizer: &[u8],
     path: &Path,
 ) -> io::Result<()> {
-    let header = HeaderV2 {
-        magic: MAGIC.to_string(),
-        version: V2,
-        config: model.config().clone(),
-        mode,
-        manifest: manifest_of(model),
-        train: meta.clone(),
-    };
-    let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
-    let body = params_bytes(model);
-    atomic_write(path, |w| {
-        write_section(w, &head)?;
-        write_section(w, &body)?;
-        write_section(w, optimizer)
-    })
+    let blob = train_state_blob(model, mode, meta, optimizer)?;
+    atomic_write(path, |w| w.write_all(&blob))
 }
 
 /// Loads a full-state (v2) checkpoint saved by [`save_train_state`].
@@ -394,37 +468,7 @@ pub fn save_train_state(
 /// Returns a descriptive error if the file is truncated, any section's
 /// checksum fails, the header is not v2, or the manifest is inconsistent.
 pub fn load_train_state(path: &Path) -> io::Result<TrainState> {
-    let mut remaining = std::fs::metadata(path)?.len();
-    let mut r = BufReader::new(File::open(path)?);
-    let head = read_section(&mut r, "header", MAX_HEADER, &mut remaining)?;
-    let header: HeaderV2 = serde_json::from_slice(&head).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("not a v2 checkpoint: {e}"),
-        )
-    })?;
-    if header.magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a checkpoint",
-        ));
-    }
-    if header.version != V2 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("expected a v2 checkpoint, found version {}", header.version),
-        ));
-    }
-    let mut model = LlamaModel::new(&header.config, header.mode, &mut Rng::seed_from_u64(0));
-    let body = read_section(&mut r, "params", MAX_SECTION, &mut remaining)?;
-    fill_params(&mut model, &header.manifest, &body)?;
-    let optimizer = read_section(&mut r, "optimizer", MAX_SECTION, &mut remaining)?;
-    Ok(TrainState {
-        model,
-        mode: header.mode,
-        meta: header.train,
-        optimizer,
-    })
+    TrainState::from_blob(&std::fs::read(path)?)
 }
 
 /// The canonical file name for the checkpoint taken before `step`.
@@ -598,6 +642,43 @@ mod tests {
         for (a, b) in model.params.iter().zip(&state.model.params) {
             assert_eq!(a.value, b.value, "{}", a.name);
         }
+    }
+
+    #[test]
+    fn blob_roundtrip_is_bit_exact_and_matches_disk() {
+        // to_blob → from_blob → to_blob must reproduce the same bytes, and
+        // the blob must be byte-identical to what save_train_state puts on
+        // disk (the PBT cloning path and the checkpoint path are one
+        // format).
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(212);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let opt_bytes = AdamW::new().state_save().unwrap();
+        let meta = test_meta(23);
+        let blob = train_state_blob(&model, LinearMode::Dense, &meta, &opt_bytes).unwrap();
+        let state = TrainState::from_blob(&blob).unwrap();
+        assert_eq!(state.meta, meta);
+        assert_eq!(state.optimizer, opt_bytes);
+        for (a, b) in model.params.iter().zip(&state.model.params) {
+            assert_eq!(a.value, b.value, "{}", a.name);
+        }
+        assert_eq!(state.to_blob().unwrap(), blob, "re-serialization drifted");
+        let path = tmp("blob-vs-disk.ckpt");
+        save_train_state(&model, LinearMode::Dense, &meta, &opt_bytes, &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), blob);
+    }
+
+    #[test]
+    fn from_blob_rejects_truncation_and_garbage() {
+        let cfg = ModelConfig::test_tiny();
+        let mut rng = Rng::seed_from_u64(213);
+        let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+        let blob = train_state_blob(&model, LinearMode::Dense, &test_meta(1), &[7; 16]).unwrap();
+        assert!(TrainState::from_blob(&blob[..blob.len() - 5]).is_err());
+        assert!(TrainState::from_blob(b"definitely not a checkpoint").is_err());
+        let mut flipped = blob.clone();
+        flipped[blob.len() / 2] ^= 0x10;
+        assert!(TrainState::from_blob(&flipped).is_err());
     }
 
     #[test]

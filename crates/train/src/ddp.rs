@@ -447,7 +447,7 @@ fn replica_main(
     pos: usize,
     kill: Option<(usize, usize)>,
 ) -> Option<Box<RoundOut>> {
-    apollo_tensor::set_thread_override(Some(ctx.threads_per_replica.max(1)));
+    let _threads = apollo_tensor::ThreadOverrideGuard::new(ctx.threads_per_replica.max(1));
     let my_id = members[pos];
     let leader = pos == 0;
     let replicas = members.len();

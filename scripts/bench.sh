@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Reproducible performance benchmark: emits BENCH_kernels.json,
-# BENCH_train.json, BENCH_infer.json, BENCH_serve.json, and
-# BENCH_ddp.json at the repo root.
+# BENCH_train.json, BENCH_infer.json, BENCH_serve.json, BENCH_ddp.json,
+# and BENCH_search.json at the repo root.
 #
 # Usage: scripts/bench.sh [--smoke]
 #
@@ -10,15 +10,19 @@
 #
 # BENCH_ddp.json is committed for reference but deliberately exempt from
 # the perf_check gate: replica scaling on a shared CI box is too noisy to
-# gate on (see crates/bench/src/bin/perf_ddp.rs).
+# gate on (see crates/bench/src/bin/perf_ddp.rs). BENCH_search.json is
+# likewise exempt (perf_check loads only the kernel/train/infer/serve
+# files): perf_search gates on the deterministic evolved-vs-static quality
+# ratio internally, and its wall-clock column is informational only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export APOLLO_NUM_THREADS="${APOLLO_NUM_THREADS:-1}"
 
 cargo build --release -p apollo-bench --bin perf_kernels --bin perf_infer \
-    --bin perf_serve --bin perf_ddp
+    --bin perf_serve --bin perf_ddp --bin perf_search
 ./target/release/perf_kernels "$@" .
 ./target/release/perf_infer "$@" .
 ./target/release/perf_serve "$@" .
 ./target/release/perf_ddp "$@" .
+./target/release/perf_search "$@" .

@@ -110,6 +110,21 @@ touch "$TRACE_TMP/serve.stop"
 wait "$SERVE_PID"
 ./target/release/apollo trace-check --trace "$TRACE_TMP/serve_trace.jsonl"
 
+echo "== search smoke run (PBT determinism: byte-identical frontier + trace)"
+# Two identical seeded population-based searches must produce byte-identical
+# frontier JSON and identical trace-event sequences — the determinism
+# contract in DESIGN.md. trace-check then validates the SearchRound /
+# MemberEvent stream the run emitted.
+SEARCH_ARGS=(search --population 4 --rounds 2 --round-steps 5 --batch 2
+             --eval-seqs 8 --seed 7 --quantile 0.25)
+./target/release/apollo "${SEARCH_ARGS[@]}" \
+    --out "$TRACE_TMP/frontier_a.json" --trace-out "$TRACE_TMP/search_a.jsonl"
+./target/release/apollo "${SEARCH_ARGS[@]}" \
+    --out "$TRACE_TMP/frontier_b.json" --trace-out "$TRACE_TMP/search_b.jsonl"
+cmp "$TRACE_TMP/frontier_a.json" "$TRACE_TMP/frontier_b.json"
+cmp "$TRACE_TMP/search_a.jsonl" "$TRACE_TMP/search_b.jsonl"
+./target/release/apollo trace-check --trace "$TRACE_TMP/search_a.jsonl"
+
 echo "== fused-kernel bit-identity (release mode)"
 # The fused single-pass kernels must stay bitwise equal to the staged
 # references at every thread count. Debug-mode runs are covered by the
