@@ -135,6 +135,38 @@ fn time_backend_decode(backend: &DecodeBackend, prompt: &[u32], t: Timing) -> (f
     (secs, out)
 }
 
+/// Greedy KV-cached decode with a LoRA adapter's low-rank delta applied
+/// to every projection — the multi-tenant serving fast path. Same
+/// workload as [`time_kv_decode`], so the ratio of the two is the cost of
+/// carrying a tenant's delta without materializing its dense weights.
+fn time_adapter_decode(
+    model: &LlamaModel,
+    adapter: &apollo_nn::LoraAdapter,
+    prompt: &[u32],
+    t: Timing,
+) -> (f64, Vec<u32>) {
+    let greedy = GenConfig::default();
+    let rows: Vec<(usize, u32)> = prompt.iter().map(|&t| (0, t)).collect();
+    let ads = vec![Some(adapter); rows.len()];
+    let mut out = Vec::new();
+    let secs = median_of(t.reps, t.min_secs, || {
+        let mut caches = vec![model.new_kv_cache(prompt.len() + DECODE_TOKENS)];
+        let hidden = model.forward_cached_with(&mut caches, &rows, &ads);
+        let mut logits = last_logits(model, &hidden);
+        let mut rng = Rng::seed_from_u64(0);
+        out.clear();
+        let t0 = Instant::now();
+        for _ in 0..DECODE_TOKENS {
+            let tok = sample(&logits, &greedy, &mut rng);
+            out.push(tok);
+            let hidden = model.forward_cached_with(&mut caches, &[(0, tok)], &[Some(adapter)]);
+            logits = last_logits(model, &hidden);
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    (secs, out)
+}
+
 /// Greedy decode recomputing the full forward over the whole sequence for
 /// every token — the no-KV-cache baseline.
 fn time_naive_decode(model: &LlamaModel, prompt: &[u32], t: Timing) -> (f64, Vec<u32>) {
@@ -168,6 +200,7 @@ fn batch_requests(vocab: usize) -> Vec<GenRequest> {
                 ..GenConfig::default()
             },
             deadline: None,
+            adapter: None,
         })
         .collect()
 }
@@ -193,6 +226,7 @@ fn time_batched(model: &Arc<LlamaModel>, reqs: &[GenRequest], t: Timing) -> (f64
         queue_cap: BATCH_REQUESTS,
         prefill_chunk: 16,
         kv_capacity: 64,
+        prefix_cache_bytes: 0,
     };
     let mut outs = Vec::new();
     let secs = median_of(t.reps, t.min_secs, || {
@@ -274,6 +308,43 @@ fn main() {
         "int8 decode emitted out-of-vocab tokens"
     );
 
+    // Adapter decode: the exact path plus one tenant's low-rank delta on
+    // all seven projections per layer — the per-row cost of multi-tenant
+    // serving over a shared base model.
+    let adapter = {
+        let mut lrng = Rng::seed_from_u64(0xADA9);
+        let mut lora = LlamaModel::new(
+            &cfg,
+            LinearMode::LoRa {
+                rank: 4,
+                alpha: 8.0,
+            },
+            &mut lrng,
+        );
+        for p in &mut lora.params {
+            if p.name.ends_with(".lora_b") {
+                p.value = apollo_tensor::Matrix::randn(p.value.rows(), p.value.cols(), &mut lrng);
+            }
+        }
+        apollo_nn::LoraAdapter::from_model(&lora).expect("LoRA source model")
+    };
+    let (adapter_secs, adapter_tokens) = time_adapter_decode(&model, &adapter, &prompt, t);
+    let adapter_tps = DECODE_TOKENS as f64 / adapter_secs;
+    let adapter_relative = adapter_tps / kv_tps;
+    eprintln!(
+        "[infer] adapter decode   {adapter_tps:9.1} tok/s  (vs base {adapter_relative:.2}x, rank {})",
+        adapter.rank()
+    );
+    assert_eq!(
+        adapter_tokens.len(),
+        DECODE_TOKENS,
+        "adapter decode truncated"
+    );
+    assert_ne!(
+        adapter_tokens, kv_tokens,
+        "a nonzero adapter delta must change the decoded tokens"
+    );
+
     let (naive_secs, naive_tokens) = time_naive_decode(&model, &prompt, t);
     let naive_tps = DECODE_TOKENS as f64 / naive_secs;
     let kv_speedup = kv_tps / naive_tps;
@@ -321,6 +392,8 @@ fn main() {
             entry("fast_kv_decode_tok_per_sec", fast_tps, "tok/s"),
             entry("int8_decode_tok_per_sec", int8_tps, "tok/s"),
             entry("int8_decode_speedup", int8_speedup, "x"),
+            entry("adapter_decode_tok_per_sec", adapter_tps, "tok/s"),
+            entry("adapter_decode_relative", adapter_relative, "x"),
             entry("naive_decode_tok_per_sec", naive_tps, "tok/s"),
             entry("kv_speedup", kv_speedup, "x"),
             entry("serial_gen_tok_per_sec", serial_tps, "tok/s"),

@@ -13,19 +13,20 @@ mod args;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use apollo_data::{
     commonsense_suite, mmlu_suite, ByteTokenizer, CorpusConfig, DecodeStream, LmBatcher,
     SyntheticCorpus, Tokenize,
 };
 use apollo_infer::GenConfig;
-use apollo_nn::{LinearMode, LlamaModel, ModelConfig};
+use apollo_nn::{AdapterRegistry, LinearMode, LlamaModel, LoraAdapter, ModelConfig};
 use apollo_obs::{read_trace, Obs, TraceEvent};
 use apollo_optim::memory::MethodSpec;
 use apollo_optim::{AdamMini, AdamW, Apollo, Fira, Flora, GaLore, Optimizer, Sgd, SgdMomentum};
 use apollo_search::{run_search, SearchConfig};
 use apollo_sysmodel::{Gpu, MemoryOptions, TrainingMemoryModel};
-use apollo_tensor::Rng;
+use apollo_tensor::{Matrix, Rng};
 use apollo_train::{
     eval_perplexity, finetune, load_model, pretrain_ddp, pretrain_observed, save_model, DdpConfig,
     FaultKind, FaultPlan, FinetuneConfig, OptimizerFactory, RecoveryPolicy, ResilienceConfig,
@@ -61,10 +62,15 @@ USAGE:
                   [--idle-timeout-ms N] [--header-deadline-ms N]
                   [--max-new-tokens-cap N] [--trace-out PATH] [--threads N]
                   [--numerics exact|fast] [--int8-decode]
+                  [--adapters NAME=PATH,NAME=PATH,...]
+                  [--max-resident-adapters N] [--prefix-cache-mb N]
   apollo loadgen  --addr HOST:PORT [--requests N] [--rate F] [--seed N]
                   [--prompt-len N] [--max-new-tokens N] [--deadline-ms N]
                   [--stream] [--max-retries N] [--faults none|default]
+                  [--prefix-reuse F] [--prefix-len N] [--adapters N]
                   [--expect-clean] [--out PATH]
+  apollo make-adapter --resume PATH --out PATH [--rank N] [--alpha F]
+                  [--seed N] [--delta-scale F]
   apollo search   [--model NAME] [--population N] [--rounds N]
                   [--round-steps N] [--quantile F] [--seed N]
                   [--threads-per-member N] [--batch N] [--eval-seqs N]
@@ -101,6 +107,28 @@ SERVING
                    non-zero when any fault probe saw the wrong response
                    or transport errors occurred. --out writes a JSON
                    report (latency percentiles, goodput, shed rate).
+                   --prefix-reuse F opens that fraction of requests with
+                   a shared --prefix-len token prefix (the system-prompt
+                   shape prefix caching serves); --adapters N spreads
+                   requests over the first N adapters from /healthz.
+
+MULTI-TENANT SERVING
+  --adapters       NAME=PATH list of LoRA adapter checkpoints served over
+                   the shared base model. Requests pick a tenant with
+                   `\"adapter\": NAME`; one decode tick batches rows across
+                   adapters bit-identically to serving each alone.
+                   Exact backend only (not --int8-decode).
+  --max-resident-adapters N  keep at most N adapters' weights in memory;
+                   the rest lazy-load from their checkpoints on demand
+                   with LRU eviction (default: all resident).
+  --prefix-cache-mb N  radix-tree prefix cache budget over exported KV
+                   blocks; prompts sharing a cached prefix skip its
+                   prefill bit-exactly (default 32, 0 disables).
+  make-adapter     derive a rank-N LoRA adapter checkpoint from a dense
+                   base checkpoint (seeded random deltas; use different
+                   --seed values to make distinguishable tenants).
+  GET /stats       serving counters as JSON: prefix-cache hit rate,
+                   resident/evicted adapters, KV bytes, in-flight.
 
 DATA-PARALLEL
   --replicas N       train with N data-parallel replica threads, each owning
@@ -698,6 +726,102 @@ fn cmd_memory(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--adapters NAME=PATH,...` into a registry. With
+/// `--max-resident-adapters` below the adapter count, weights lazy-load
+/// through the checkpoint format on first use and LRU-evict at the cap;
+/// otherwise everything loads up front (failing fast on a bad file).
+/// Either way each checkpoint is verified against the base geometry at
+/// load time.
+fn build_adapter_registry(a: &Args, base: &ModelConfig) -> Result<AdapterRegistry, String> {
+    if !a.has("adapters") {
+        return Ok(AdapterRegistry::empty());
+    }
+    let spec = a.require("adapters")?;
+    let mut names: Vec<String> = Vec::new();
+    let mut table: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    for entry in spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let (name, path) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--adapters entry `{entry}` is not NAME=PATH"))?;
+        let (name, path) = (name.trim().to_string(), path.trim().to_string());
+        if name.is_empty() || path.is_empty() {
+            return Err(format!("--adapters entry `{entry}` is not NAME=PATH"));
+        }
+        if table.insert(name.clone(), path).is_some() {
+            return Err(format!("--adapters name `{name}` given twice"));
+        }
+        names.push(name);
+    }
+    if names.is_empty() {
+        return Err("--adapters is empty".into());
+    }
+    let base_cfg = base.clone();
+    let load_one = move |name: &str| -> Result<LoraAdapter, String> {
+        let path = table
+            .get(name)
+            .ok_or_else(|| format!("unknown adapter `{name}`"))?;
+        let model = load_model(&PathBuf::from(path)).map_err(|e| format!("{path}: {e}"))?;
+        let adapter = LoraAdapter::from_model(&model).map_err(|e| format!("{path}: {e}"))?;
+        adapter
+            .check_compatible(&base_cfg)
+            .map_err(|e| format!("adapter `{name}` ({path}): {e}"))?;
+        Ok(adapter)
+    };
+    let max_resident = a.get_num("max-resident-adapters", names.len())?;
+    if max_resident == 0 {
+        return Err("--max-resident-adapters must be at least 1".into());
+    }
+    if max_resident >= names.len() {
+        let mut resident = Vec::new();
+        for name in &names {
+            resident.push((name.clone(), load_one(name)?));
+        }
+        Ok(AdapterRegistry::resident(resident))
+    } else {
+        Ok(AdapterRegistry::with_loader(
+            names,
+            max_resident,
+            Box::new(load_one),
+        ))
+    }
+}
+
+/// Derives a LoRA adapter checkpoint from a dense base checkpoint:
+/// frozen backbone plus seeded random low-rank deltas, written in the
+/// same checkpoint format `serve --adapters` loads.
+fn cmd_make_adapter(a: &Args) -> Result<(), String> {
+    let path = PathBuf::from(a.require("resume")?);
+    let out = PathBuf::from(a.require("out")?);
+    let model = load_model(&path).map_err(|e| e.to_string())?;
+    if model.params.iter().any(|p| p.name.contains(".lora_")) {
+        return Err(format!(
+            "{} is already a LoRA checkpoint; make-adapter needs a dense base",
+            path.display()
+        ));
+    }
+    let rank = a.get_num("rank", 4usize)?;
+    let alpha = a.get_num("alpha", 2.0 * rank as f32)?;
+    let seed = a.get_num("seed", 0u64)?;
+    let scale = a.get_num("delta-scale", 0.02f32)?;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut lora = model.to_lora(rank, alpha, &mut rng);
+    // `to_lora` zero-initializes lora_b, which would make the adapter a
+    // no-op; seed-derived deltas give each tenant distinguishable output.
+    let mut delta_rng = Rng::seed_from_u64(seed ^ 0xada9_7e50);
+    for p in &mut lora.params {
+        if p.name.ends_with(".lora_b") {
+            p.value = Matrix::randn_scaled(p.value.rows(), p.value.cols(), scale, &mut delta_rng);
+        }
+    }
+    save_model(&lora, LinearMode::LoRa { rank, alpha }, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote rank-{rank} adapter over {} to {} (seed {seed}, delta scale {scale})",
+        model.config().name,
+        out.display()
+    );
+    Ok(())
+}
+
 fn cmd_serve(a: &Args) -> Result<(), String> {
     use std::time::Duration;
     apply_threads(a)?;
@@ -709,7 +833,9 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         queue_cap: a.get_num("queue-cap", 64usize)?,
         prefill_chunk: a.get_num("prefill-chunk", 16usize)?,
         kv_capacity: a.get_num("kv-capacity", 512usize)?,
+        prefix_cache_bytes: a.get_num("prefix-cache-mb", 32usize)? * (1 << 20),
     };
+    let registry = build_adapter_registry(a, model.config())?;
     let mut serve = apollo_infer::ServeConfig {
         addr: a.get("addr", "127.0.0.1:0"),
         shed_watermark: a.get_num("shed-watermark", sched.queue_cap.saturating_sub(8).max(1))?,
@@ -729,6 +855,13 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     observe_numerics(&obs);
 
     let backend: apollo_nn::DecodeBackend = if a.has("int8-decode") {
+        if !registry.is_empty() {
+            return Err(
+                "--adapters needs the exact decode backend: INT8 folds the projection \
+                 weights, so there is no base/delta split to apply adapters to"
+                    .into(),
+            );
+        }
         apollo_nn::QuantizedModel::from_model(&model).into()
     } else {
         model.into()
@@ -739,8 +872,17 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         apollo_tensor::current_numerics().name(),
         apollo_tensor::simd_tier().name(),
     );
-    let frontend = apollo_infer::Frontend::start(backend, sched, serve, obs.clone())
-        .map_err(|e| format!("bind: {e}"))?;
+    if !registry.is_empty() {
+        eprintln!(
+            "serving {} adapters ({} resident): {}",
+            registry.len(),
+            registry.resident_count(),
+            registry.names().join(", ")
+        );
+    }
+    let frontend =
+        apollo_infer::Frontend::start_multi(backend, sched, serve, obs.clone(), Arc::new(registry))
+            .map_err(|e| format!("bind: {e}"))?;
     let addr = frontend.local_addr();
     eprintln!("serving on {addr}");
     // Publish the resolved address atomically (temp + rename), so a
@@ -787,8 +929,14 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         "serve.disconnected",
         "serve.malformed",
         "serve.drained",
+        "serve.unknown_adapter",
+        "infer.prefix.lookups",
+        "infer.prefix.hits",
+        "infer.prefix.hit_tokens",
+        "infer.prefix.evictions",
+        "infer.adapter.load_failed",
     ] {
-        eprintln!("  {counter:<20} {}", obs.counter_value(counter));
+        eprintln!("  {counter:<24} {}", obs.counter_value(counter));
     }
     obs.flush().map_err(|e| e.to_string())?;
     if report.forced > 0 {
@@ -816,17 +964,27 @@ fn cmd_loadgen(a: &Args) -> Result<(), String> {
         max_retries: a.get_num("max-retries", 3usize)?,
         timeout: Duration::from_millis(a.get_num("timeout-ms", 30_000u64)?),
         faults,
+        prefix_reuse: a.get_num("prefix-reuse", 0.0f64)?,
+        prefix_len: a.get_num("prefix-len", 0usize)?,
+        adapters: a.get_num("adapters", 0usize)?,
         ..apollo_infer::LoadConfig::default()
     };
+    if !(0.0..=1.0).contains(&cfg.prefix_reuse) {
+        return Err("--prefix-reuse must be in [0, 1]".into());
+    }
+    if cfg.prefix_reuse > 0.0 && cfg.prefix_len == 0 {
+        return Err("--prefix-reuse needs --prefix-len".into());
+    }
     let report = apollo_infer::run_loadgen(&cfg)?;
     println!(
-        "sent {} | ok {} | shed {} | rejected {} | timed out {} | transport {}",
+        "sent {} | ok {} | shed {} | rejected {} | timed out {} | transport {} | prefixed {}",
         report.sent,
         report.ok,
         report.shed,
         report.rejected,
         report.timed_out,
-        report.transport_errors
+        report.transport_errors,
+        report.prefix_sent
     );
     println!(
         "faults {}/{} behaved | p50 {:.1} ms | p99 {:.1} ms | p99.9 {:.1} ms | goodput {:.1} req/s | shed rate {:.3}",
@@ -842,7 +1000,7 @@ fn cmd_loadgen(a: &Args) -> Result<(), String> {
         let json = format!(
             "{{\n  \"sent\": {},\n  \"ok\": {},\n  \"shed\": {},\n  \"rejected\": {},\n  \
              \"timed_out\": {},\n  \"transport_errors\": {},\n  \"faults_injected\": {},\n  \
-             \"faults_expected\": {},\n  \"p50_ms\": {},\n  \"p99_ms\": {},\n  \
+             \"faults_expected\": {},\n  \"prefix_sent\": {},\n  \"p50_ms\": {},\n  \"p99_ms\": {},\n  \
              \"p999_ms\": {},\n  \"goodput_rps\": {},\n  \"shed_rate\": {},\n  \
              \"wall_ms\": {}\n}}\n",
             report.sent,
@@ -853,6 +1011,7 @@ fn cmd_loadgen(a: &Args) -> Result<(), String> {
             report.transport_errors,
             report.faults_injected,
             report.faults_expected,
+            report.prefix_sent,
             report.p50_ms,
             report.p99_ms,
             report.p999_ms,
@@ -1082,6 +1241,7 @@ fn run() -> Result<(), String> {
         "memory" => cmd_memory(&a),
         "serve" => cmd_serve(&a),
         "loadgen" => cmd_loadgen(&a),
+        "make-adapter" => cmd_make_adapter(&a),
         "search" => cmd_search(&a),
         "trace-check" => cmd_trace_check(&a),
         "list" => {

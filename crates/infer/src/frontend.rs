@@ -6,13 +6,18 @@
 //! keep-alive. The endpoints:
 //!
 //! - `GET /healthz` — JSON snapshot: `vocab_size`, `kv_capacity`,
-//!   `in_flight`, `draining`. Load generators read their token range and
-//!   prompt bound from here.
-//! - `POST /generate` — JSON body `{prompt: [u32], max_new_tokens?,
-//!   deadline_ms?, temperature?, top_k?, top_p?, seed?, stop_token?,
-//!   stream?}`. Non-streaming returns one JSON object; `stream: true`
-//!   returns chunked NDJSON — one `{"token": n}` line per sampled token,
-//!   then a final `{"done": ...}` line.
+//!   `in_flight`, `draining`, `adapters` (registered names). Load
+//!   generators read their token range, prompt bound, and adapter pool
+//!   from here.
+//! - `GET /stats` — serving counters: prefix-cache hit rate, resident
+//!   and evicted adapters, KV bytes in use, in-flight requests (see
+//!   [`crate::ServeStats`]).
+//! - `POST /generate` — JSON body `{prompt: [u32], adapter?,
+//!   max_new_tokens?, deadline_ms?, temperature?, top_k?, top_p?, seed?,
+//!   stop_token?, stream?}`. `adapter` names a registered LoRA adapter
+//!   (unknown names get 400). Non-streaming returns one JSON object;
+//!   `stream: true` returns chunked NDJSON — one `{"token": n}` line per
+//!   sampled token, then a final `{"done": ...}` line.
 //!
 //! Admission control maps [`SubmitError`] onto status codes — 429
 //! (`Retry-After`) for queue-full, 413 for prompt-too-long, 400 for
@@ -32,7 +37,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use apollo_nn::DecodeBackend;
+use apollo_nn::{AdapterRegistry, DecodeBackend};
 use apollo_obs::{Obs, TraceEvent};
 use serde::Value;
 
@@ -131,12 +136,33 @@ impl Frontend {
         cfg: ServeConfig,
         obs: Obs,
     ) -> io::Result<Frontend> {
+        Self::start_multi(model, sched, cfg, obs, Arc::new(AdapterRegistry::empty()))
+    }
+
+    /// [`Frontend::start`] with multi-tenant adapter routing: generate
+    /// requests may name any adapter in `registry` (resolved to its dense
+    /// id here; unknown names get 400 before touching the scheduler).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-empty registry over an INT8 backend.
+    pub fn start_multi(
+        model: impl Into<DecodeBackend>,
+        sched: SchedConfig,
+        cfg: ServeConfig,
+        obs: Obs,
+        registry: Arc<AdapterRegistry>,
+    ) -> io::Result<Frontend> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let model = model.into();
         let vocab_size = model.config().vocab_size;
-        let server = Server::start(model, sched, obs.clone());
+        let server = Server::start_multi(model, sched, obs.clone(), registry);
         let inner = Arc::new(Inner {
             server,
             obs,
@@ -170,6 +196,12 @@ impl Frontend {
     /// In-flight generation requests (accepted, not yet retired).
     pub fn in_flight(&self) -> usize {
         self.inner.server.in_flight()
+    }
+
+    /// The shared serving counters — the same numbers `GET /stats`
+    /// renders, for in-process callers (the bench harness).
+    pub fn stats(&self) -> Arc<crate::ServeStats> {
+        Arc::clone(self.inner.server.stats())
     }
 
     /// Graceful drain: stop accepting connections, reject new generate
@@ -301,18 +333,31 @@ fn handle_request(inner: &Arc<Inner>, stream: &mut TcpStream, req: &Request) -> 
     let t0 = Instant::now();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
+            let names: Vec<String> = inner
+                .server
+                .registry()
+                .names()
+                .iter()
+                .map(|n| json_str(n))
+                .collect();
             let body = format!(
-                "{{\"vocab_size\":{},\"kv_capacity\":{},\"in_flight\":{},\"draining\":{}}}",
+                "{{\"vocab_size\":{},\"kv_capacity\":{},\"in_flight\":{},\"draining\":{},\"adapters\":[{}]}}",
                 inner.vocab_size,
                 inner.server.kv_capacity(),
                 inner.server.in_flight(),
-                inner.server.is_draining()
+                inner.server.is_draining(),
+                names.join(",")
             );
             let _ = net::write_response(stream, 200, &[], body.as_bytes());
             req.wants_close()
         }
+        ("GET", "/stats") => {
+            let body = stats_json(inner);
+            let _ = net::write_response(stream, 200, &[], body.as_bytes());
+            req.wants_close()
+        }
         ("POST", "/generate") => handle_generate(inner, stream, req, t0),
-        (_, "/healthz") | (_, "/generate") => {
+        (_, "/healthz") | (_, "/generate") | (_, "/stats") => {
             record(inner, 405, "malformed", t0);
             let _ = net::write_response(stream, 405, &[], b"{\"error\":\"method not allowed\"}");
             req.wants_close()
@@ -346,6 +391,24 @@ fn handle_generate(inner: &Arc<Inner>, stream: &mut TcpStream, req: &Request, t0
             return req.wants_close();
         }
     };
+    // Resolve the adapter name against the registry before submission so
+    // unknown tenants fail fast (and cheap) with the name echoed back.
+    let adapter = match &parsed.adapter {
+        None => None,
+        Some(name) => match inner.server.registry().id(name) {
+            Some(id) => Some(id),
+            None => {
+                record(inner, 400, "unknown_adapter", t0);
+                inner.obs.counter("serve.unknown_adapter", 1);
+                let body = format!(
+                    "{{\"error\":\"unknown adapter\",\"adapter\":{}}}",
+                    json_str(name)
+                );
+                let _ = net::write_response(stream, 400, &[], body.as_bytes());
+                return req.wants_close();
+            }
+        },
+    };
     // Load shedding: reject early while the hard queue bound still has
     // headroom, so already-accepted work keeps meeting its deadlines.
     if inner.server.in_flight() >= cfg.shed_watermark {
@@ -356,7 +419,7 @@ fn handle_generate(inner: &Arc<Inner>, stream: &mut TcpStream, req: &Request, t0
     }
     let deadline = parsed.deadline;
     let stream_mode = parsed.stream;
-    let handle = match inner.server.submit(parsed.into_request()) {
+    let handle = match inner.server.submit(parsed.into_request(adapter)) {
         Ok(h) => h,
         Err(SubmitError::QueueFull) => {
             record(inner, 429, "rejected", t0);
@@ -371,6 +434,12 @@ fn handle_generate(inner: &Arc<Inner>, stream: &mut TcpStream, req: &Request, t0
         Err(SubmitError::EmptyPrompt) => {
             record(inner, 400, "rejected", t0);
             let _ = net::write_response(stream, 400, &[], b"{\"error\":\"empty prompt\"}");
+            return req.wants_close();
+        }
+        Err(SubmitError::UnknownAdapter) => {
+            // Unreachable after name resolution above; kept for the id path.
+            record(inner, 400, "unknown_adapter", t0);
+            let _ = net::write_response(stream, 400, &[], b"{\"error\":\"unknown adapter\"}");
             return req.wants_close();
         }
     };
@@ -488,14 +557,17 @@ struct ParsedGenerate {
     cfg: GenConfig,
     deadline: Duration,
     stream: bool,
+    /// Adapter *name* from the body; resolved to an id at dispatch.
+    adapter: Option<String>,
 }
 
 impl ParsedGenerate {
-    fn into_request(self) -> GenRequest {
+    fn into_request(self, adapter: Option<u32>) -> GenRequest {
         GenRequest {
             prompt: self.prompt,
             cfg: self.cfg,
             deadline: Some(self.deadline),
+            adapter,
         }
     }
 }
@@ -546,11 +618,17 @@ fn parse_generate_body(body: &[u8], cfg: &ServeConfig) -> Result<ParsedGenerate,
         None => cfg.default_deadline,
     };
     let stream = matches!(value.get_field("stream"), Ok(Value::Bool(true)));
+    let adapter = match value.get_field("adapter") {
+        Ok(Value::Str(name)) => Some(name.clone()),
+        Ok(Value::Null) | Err(_) => None,
+        Ok(_) => return Err("`adapter` must be a string".to_string()),
+    };
     Ok(ParsedGenerate {
         prompt,
         cfg: gen,
         deadline,
         stream,
+        adapter,
     })
 }
 
@@ -570,6 +648,52 @@ fn field_f64(v: &Value, name: &str) -> Option<f64> {
         Value::Num(n) => Some(n.as_f64()),
         _ => None,
     }
+}
+
+/// Renders the `GET /stats` snapshot: prefix-cache effectiveness, adapter
+/// residency, KV pressure, and front-end load, all from relaxed reads of
+/// the shared [`crate::ServeStats`] atomics.
+fn stats_json(inner: &Arc<Inner>) -> String {
+    let s = inner.server.stats();
+    let load = |f: &std::sync::atomic::AtomicU64| f.load(Ordering::Relaxed);
+    let prefill_tokens = load(&s.prefill_tokens);
+    let hit_tokens = load(&s.prefix_hit_tokens);
+    let prefill_us = load(&s.prefill_us);
+    // Effective prefill throughput: cached tokens count as served work
+    // the cache saved us from recomputing.
+    let effective_tok_per_sec = if prefill_us == 0 {
+        0.0
+    } else {
+        (prefill_tokens + hit_tokens) as f64 / (prefill_us as f64 / 1e6)
+    };
+    format!(
+        concat!(
+            "{{\"prefix_cache\":{{",
+            "\"lookups\":{},\"hits\":{},\"hit_rate\":{:.6},\"hit_tokens\":{},",
+            "\"cached_bytes\":{},\"nodes\":{},\"evictions\":{}}},",
+            "\"adapters\":{{\"registered\":{},\"resident\":{},\"loads\":{},\"evictions\":{}}},",
+            "\"kv_used_bytes\":{},\"prefill_tokens\":{},\"decode_tokens\":{},",
+            "\"effective_prefill_tok_per_sec\":{:.3},",
+            "\"in_flight\":{},\"draining\":{}}}"
+        ),
+        load(&s.prefix_lookups),
+        load(&s.prefix_hits),
+        s.hit_rate(),
+        hit_tokens,
+        load(&s.prefix_cached_bytes),
+        load(&s.prefix_nodes),
+        load(&s.prefix_evictions),
+        load(&s.adapters_registered),
+        load(&s.adapters_resident),
+        load(&s.adapter_loads),
+        load(&s.adapter_evictions),
+        load(&s.kv_used_bytes),
+        prefill_tokens,
+        load(&s.decode_tokens),
+        effective_tok_per_sec,
+        inner.server.in_flight(),
+        inner.server.is_draining(),
+    )
 }
 
 /// JSON string literal with minimal escaping (labels are ASCII).

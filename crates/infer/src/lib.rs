@@ -21,8 +21,15 @@
 //!   deadlines, load shedding, and graceful drain.
 //! - [`run_loadgen`]: an open-loop Poisson load generator with
 //!   deterministic fault injection (slow-loris, mid-stream disconnect,
-//!   malformed requests, bursts) used by the fault-plan tests, the CI
-//!   serve-smoke stage, and `BENCH_serve.json`.
+//!   malformed requests, bursts) and a shared-system-prompt traffic shape
+//!   (`--prefix-reuse`) used by the fault-plan tests, the CI serve-smoke
+//!   stage, and `BENCH_serve.json`.
+//! - [`PrefixCache`] / [`ServeStats`]: a token-level radix tree over
+//!   exported KV blocks that lets prompts sharing a prefix skip re-prefill
+//!   (bit-identically, per `tests/prefix_churn.rs`), and the shared atomic
+//!   counters behind `GET /stats`. Multi-adapter routing rides the same
+//!   scheduler: per-request [`apollo_nn::AdapterRegistry`] ids batch
+//!   requests for different LoRA adapters into one decode tick.
 //!
 //! The central invariant, pinned by `tests/scheduler.rs`: because the
 //! KV-cached forward computes every batch row independently and
@@ -34,13 +41,17 @@ mod engine;
 mod frontend;
 mod loadgen;
 pub mod net;
+mod prefix;
 mod sample;
 mod scheduler;
 mod server;
+mod stats;
 
 pub use engine::{generate, generate_backend};
 pub use frontend::{DrainReport, Frontend, ServeConfig};
 pub use loadgen::{run_loadgen, FaultMix, LoadConfig, LoadReport};
+pub use prefix::{PrefixCache, PrefixHit, PrefixLease};
 pub use sample::{sample, GenConfig};
 pub use scheduler::{GenRequest, GenResult, Outcome, SchedConfig, Scheduler, SubmitError};
 pub use server::{GenEvent, GenHandle, Server, WaitError};
+pub use stats::ServeStats;

@@ -25,6 +25,13 @@
 //! are safe). The run produces a [`LoadReport`] with latency percentiles
 //! over successful requests, goodput, and the shed rate — the numbers
 //! `BENCH_serve.json` pins.
+//!
+//! **Traffic shape.** `prefix_reuse` models the shared-system-prompt
+//! pattern that prefix caching exists for: that fraction of requests
+//! opens with a deterministic `prefix_len`-token prefix (one per
+//! adapter, derived from the run seed) followed by a per-request random
+//! suffix. `adapters` spreads requests across the first N adapter names
+//! advertised by `/healthz`, exercising multi-tenant batching.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -105,6 +112,15 @@ pub struct LoadConfig {
     pub timeout: Duration,
     /// Fault plan.
     pub faults: FaultMix,
+    /// Fraction of well-formed requests that open with the shared prefix
+    /// (0 disables the shape and keeps the legacy request stream).
+    pub prefix_reuse: f64,
+    /// Shared-prefix length in tokens (clamped so at least one suffix
+    /// token remains).
+    pub prefix_len: usize,
+    /// Spread requests across this many adapters from `/healthz`
+    /// (clamped to what the server advertises; 0 = no adapter field).
+    pub adapters: usize,
 }
 
 impl Default for LoadConfig {
@@ -122,6 +138,9 @@ impl Default for LoadConfig {
             backoff_cap: Duration::from_millis(200),
             timeout: Duration::from_secs(30),
             faults: FaultMix::none(),
+            prefix_reuse: 0.0,
+            prefix_len: 0,
+            adapters: 0,
         }
     }
 }
@@ -143,6 +162,8 @@ pub struct LoadReport {
     pub transport_errors: usize,
     /// Faults injected (slow-loris + disconnect + malformed).
     pub faults_injected: usize,
+    /// Well-formed requests that opened with the shared prefix.
+    pub prefix_sent: usize,
     /// Fault probes whose response matched expectations (e.g. 400 for a
     /// malformed line).
     pub faults_expected: usize,
@@ -167,12 +188,59 @@ enum ReqOutcome {
     FaultDone { expected: bool },
 }
 
+/// One well-formed submission's shape, fully determined at plan time so
+/// workers stay schedule-independent.
+#[derive(Clone)]
+struct Shot {
+    seed: u64,
+    /// Adapter name sent with the request (absent → base model).
+    adapter: Option<String>,
+    /// Shared prefix tokens (empty → plain random prompt).
+    prefix: Vec<u32>,
+}
+
 enum Plan {
-    Normal { seed: u64 },
-    Burst { seeds: Vec<u64> },
+    Normal { shot: Shot },
+    Burst { shots: Vec<Shot> },
     SlowLoris,
-    Disconnect { seed: u64 },
+    Disconnect { shot: Shot },
     Malformed,
+}
+
+/// Draws one shot from the deterministic stream. With shaping disabled
+/// this consumes exactly one `next_u64`, preserving the legacy request
+/// stream for a given seed.
+fn draw_shot(
+    rng: &mut Rng,
+    cfg: &LoadConfig,
+    pool: &[String],
+    prefixes: &[Vec<u32>],
+    shaped: bool,
+) -> Shot {
+    let seed = rng.next_u64();
+    if !shaped {
+        return Shot {
+            seed,
+            adapter: None,
+            prefix: Vec::new(),
+        };
+    }
+    // Index pool.len() is the no-adapter prefix slot.
+    let idx = if pool.is_empty() {
+        pool.len()
+    } else {
+        rng.below(pool.len())
+    };
+    let reuse = (rng.uniform() as f64) < cfg.prefix_reuse;
+    Shot {
+        seed,
+        adapter: pool.get(idx).cloned(),
+        prefix: if reuse {
+            prefixes[idx].clone()
+        } else {
+            Vec::new()
+        },
+    }
 }
 
 /// Runs the load generator against a serving front-end.
@@ -185,8 +253,25 @@ enum Plan {
 /// Returns a message when the server is unreachable or `/healthz` does
 /// not parse; per-request failures are *counted*, not returned.
 pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
-    let (vocab_size, kv_capacity) = fetch_health(&cfg.addr, cfg.timeout)?;
+    let (vocab_size, kv_capacity, advertised) = fetch_health(&cfg.addr, cfg.timeout)?;
     let prompt_len = cfg.prompt_len.clamp(1, kv_capacity);
+    let pool: Vec<String> = advertised.into_iter().take(cfg.adapters).collect();
+    if cfg.adapters > 0 && pool.is_empty() {
+        return Err("--adapters requested but the server advertises none".to_string());
+    }
+    let shaped = cfg.prefix_reuse > 0.0 || !pool.is_empty();
+    // Shared prefixes: one per adapter plus a no-adapter slot, derived
+    // from the run seed so retries and workers agree on every token.
+    let prefix_len = cfg.prefix_len.min(prompt_len.saturating_sub(1));
+    let prefixes: Vec<Vec<u32>> = (0..=pool.len())
+        .map(|i| {
+            deterministic_prompt(
+                cfg.seed ^ 0x9e37_79b9 ^ ((i as u64) << 32),
+                vocab_size,
+                prefix_len,
+            )
+        })
+        .collect();
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x5e7e_11ad);
 
     // Draw the complete arrival + fault plan up front: determinism must
@@ -200,17 +285,19 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
             Plan::SlowLoris
         } else if roll < f.slow_loris + f.disconnect {
             Plan::Disconnect {
-                seed: rng.next_u64(),
+                shot: draw_shot(&mut rng, cfg, &pool, &prefixes, shaped),
             }
         } else if roll < f.slow_loris + f.disconnect + f.malformed {
             Plan::Malformed
         } else if roll < f.slow_loris + f.disconnect + f.malformed + f.burst {
             Plan::Burst {
-                seeds: (0..f.burst_size.max(1)).map(|_| rng.next_u64()).collect(),
+                shots: (0..f.burst_size.max(1))
+                    .map(|_| draw_shot(&mut rng, cfg, &pool, &prefixes, shaped))
+                    .collect(),
             }
         } else {
             Plan::Normal {
-                seed: rng.next_u64(),
+                shot: draw_shot(&mut rng, cfg, &pool, &prefixes, shaped),
             }
         };
         // Exponential inter-arrival gap for an open-loop Poisson process.
@@ -225,17 +312,12 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
     let t0 = Instant::now();
     let mut sent = 0usize;
     let mut faults_injected = 0usize;
+    let mut prefix_sent = 0usize;
     for (when, plan) in plans {
         let now = t0.elapsed();
         if when > now {
             std::thread::sleep(when - now);
         }
-        let seeds: Vec<u64> = match &plan {
-            Plan::Normal { seed } => vec![*seed],
-            Plan::Burst { seeds } => seeds.clone(),
-            Plan::Disconnect { seed } => vec![*seed],
-            Plan::SlowLoris | Plan::Malformed => vec![],
-        };
         match plan {
             Plan::SlowLoris => {
                 faults_injected += 1;
@@ -249,19 +331,27 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
                     let _ = tx.send(run_malformed(&cfg));
                 });
             }
-            Plan::Disconnect { .. } => {
+            Plan::Disconnect { shot } => {
                 faults_injected += 1;
                 sent += 1;
-                let seed = seeds[0];
+                prefix_sent += usize::from(!shot.prefix.is_empty());
                 spawn_worker(&mut workers, tx.clone(), cfg.clone(), move |cfg, tx| {
-                    let _ = tx.send(run_disconnect(&cfg, seed, vocab_size, prompt_len));
+                    let _ = tx.send(run_disconnect(&cfg, &shot, vocab_size, prompt_len));
                 });
             }
-            Plan::Normal { .. } | Plan::Burst { .. } => {
-                for seed in seeds {
+            Plan::Normal { shot } => {
+                sent += 1;
+                prefix_sent += usize::from(!shot.prefix.is_empty());
+                spawn_worker(&mut workers, tx.clone(), cfg.clone(), move |cfg, tx| {
+                    let _ = tx.send(run_request(&cfg, &shot, vocab_size, prompt_len));
+                });
+            }
+            Plan::Burst { shots } => {
+                for shot in shots {
                     sent += 1;
+                    prefix_sent += usize::from(!shot.prefix.is_empty());
                     spawn_worker(&mut workers, tx.clone(), cfg.clone(), move |cfg, tx| {
-                        let _ = tx.send(run_request(&cfg, seed, vocab_size, prompt_len));
+                        let _ = tx.send(run_request(&cfg, &shot, vocab_size, prompt_len));
                     });
                 }
             }
@@ -309,6 +399,7 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         timed_out,
         transport_errors: transport,
         faults_injected,
+        prefix_sent,
         faults_expected: expected,
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
@@ -340,8 +431,8 @@ fn spawn_worker(
     workers.push(handle);
 }
 
-/// Queries `/healthz` for `(vocab_size, kv_capacity)`.
-fn fetch_health(addr: &str, timeout: Duration) -> Result<(usize, usize), String> {
+/// Queries `/healthz` for `(vocab_size, kv_capacity, adapter names)`.
+fn fetch_health(addr: &str, timeout: Duration) -> Result<(usize, usize, Vec<String>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     net::write_request(&mut stream, "GET", "/healthz", &[], b"")
         .map_err(|e| format!("healthz write: {e}"))?;
@@ -361,7 +452,17 @@ fn fetch_health(addr: &str, timeout: Duration) -> Result<(usize, usize), String>
             _ => Err(format!("healthz missing `{name}`")),
         }
     };
-    Ok((get("vocab_size")?, get("kv_capacity")?))
+    let adapters = match value.get_field("adapters") {
+        Ok(Value::Arr(items)) => items
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok((get("vocab_size")?, get("kv_capacity")?, adapters))
 }
 
 fn deterministic_prompt(seed: u64, vocab_size: usize, len: usize) -> Vec<u32> {
@@ -371,23 +472,33 @@ fn deterministic_prompt(seed: u64, vocab_size: usize, len: usize) -> Vec<u32> {
         .collect()
 }
 
-fn generate_body(cfg: &LoadConfig, seed: u64, vocab_size: usize, prompt_len: usize) -> String {
-    let prompt = deterministic_prompt(seed, vocab_size, prompt_len);
+fn generate_body(cfg: &LoadConfig, shot: &Shot, vocab_size: usize, prompt_len: usize) -> String {
+    let mut prompt = shot.prefix.clone();
+    let suffix_len = prompt_len.saturating_sub(prompt.len()).max(1);
+    prompt.extend(deterministic_prompt(shot.seed, vocab_size, suffix_len));
     let toks: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
+    let adapter = match &shot.adapter {
+        Some(name) => format!(
+            ",\"adapter\":\"{}\"",
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+        None => String::new(),
+    };
     format!(
-        "{{\"prompt\":[{}],\"max_new_tokens\":{},\"deadline_ms\":{},\"seed\":{},\"stream\":{}}}",
+        "{{\"prompt\":[{}],\"max_new_tokens\":{},\"deadline_ms\":{},\"seed\":{},\"stream\":{}{}}}",
         toks.join(","),
         cfg.max_new_tokens,
         cfg.deadline_ms,
-        seed,
-        cfg.stream
+        shot.seed,
+        cfg.stream,
+        adapter
     )
 }
 
 /// One well-formed request with capped exponential backoff on 429/503.
 /// Generation is deterministic per seed, so retrying is idempotent.
-fn run_request(cfg: &LoadConfig, seed: u64, vocab_size: usize, prompt_len: usize) -> ReqOutcome {
-    let body = generate_body(cfg, seed, vocab_size, prompt_len);
+fn run_request(cfg: &LoadConfig, shot: &Shot, vocab_size: usize, prompt_len: usize) -> ReqOutcome {
+    let body = generate_body(cfg, shot, vocab_size, prompt_len);
     let t0 = Instant::now();
     for attempt in 0..=cfg.max_retries {
         let Ok(mut stream) = TcpStream::connect(&cfg.addr) else {
@@ -485,10 +596,15 @@ fn run_malformed(cfg: &LoadConfig) -> ReqOutcome {
 
 /// Starts a streaming generate, reads at most one chunk, then drops the
 /// socket — the server must cancel the request (no leaked slot).
-fn run_disconnect(cfg: &LoadConfig, seed: u64, vocab_size: usize, prompt_len: usize) -> ReqOutcome {
+fn run_disconnect(
+    cfg: &LoadConfig,
+    shot: &Shot,
+    vocab_size: usize,
+    prompt_len: usize,
+) -> ReqOutcome {
     let mut cfg = cfg.clone();
     cfg.stream = true;
-    let body = generate_body(&cfg, seed, vocab_size, prompt_len);
+    let body = generate_body(&cfg, shot, vocab_size, prompt_len);
     let Ok(mut stream) = TcpStream::connect(&cfg.addr) else {
         return ReqOutcome::FaultDone { expected: false };
     };

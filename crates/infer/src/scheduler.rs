@@ -15,13 +15,16 @@
 //! `tests/scheduler.rs` pins this.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use apollo_nn::{DecodeBackend, DecodeCaches};
+use apollo_nn::{AdapterRegistry, DecodeBackend, DecodeCaches, LoraAdapter};
 use apollo_obs::{Obs, TraceEvent};
 use apollo_tensor::{Matrix, Rng};
 
+use crate::prefix::{PrefixCache, PrefixLease};
 use crate::sample::{sample, GenConfig};
+use crate::stats::ServeStats;
 
 /// Scheduler sizing and batching policy.
 #[derive(Debug, Clone)]
@@ -35,6 +38,9 @@ pub struct SchedConfig {
     pub prefill_chunk: usize,
     /// KV capacity per slot (longest prompt + generation it can hold).
     pub kv_capacity: usize,
+    /// Byte budget of the radix-tree prefix cache; 0 disables prefix
+    /// caching (every request prefills cold, the pre-existing behavior).
+    pub prefix_cache_bytes: usize,
 }
 
 impl Default for SchedConfig {
@@ -44,12 +50,13 @@ impl Default for SchedConfig {
             queue_cap: 64,
             prefill_chunk: 16,
             kv_capacity: 512,
+            prefix_cache_bytes: 0,
         }
     }
 }
 
 /// One generation request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GenRequest {
     /// Prompt token ids (must be non-empty and fit the slot KV capacity
     /// together with `cfg.max_new_tokens`).
@@ -60,6 +67,9 @@ pub struct GenRequest {
     /// queued past it retires with [`Outcome::Deadline`] and no tokens; a
     /// sequence still running past it retires with its partial output.
     pub deadline: Option<Duration>,
+    /// Adapter id (from [`AdapterRegistry::id`]) whose LoRA delta decodes
+    /// this request; `None` serves the shared base model.
+    pub adapter: Option<u32>,
 }
 
 /// Why a request retired.
@@ -110,6 +120,8 @@ pub enum SubmitError {
     PromptTooLong,
     /// The prompt is empty.
     EmptyPrompt,
+    /// The request names an adapter id the registry does not know.
+    UnknownAdapter,
 }
 
 impl SubmitError {
@@ -119,6 +131,7 @@ impl SubmitError {
             SubmitError::QueueFull => "queue_full",
             SubmitError::PromptTooLong => "prompt_too_long",
             SubmitError::EmptyPrompt => "empty_prompt",
+            SubmitError::UnknownAdapter => "unknown_adapter",
         }
     }
 }
@@ -129,6 +142,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull => write!(f, "admission queue full"),
             SubmitError::PromptTooLong => write!(f, "prompt exceeds KV capacity"),
             SubmitError::EmptyPrompt => write!(f, "empty prompt"),
+            SubmitError::UnknownAdapter => write!(f, "unknown adapter"),
         }
     }
 }
@@ -164,11 +178,17 @@ struct Active {
     /// When the request entered the queue; deadlines count from here.
     submitted: Instant,
     admitted: Instant,
-    /// Prompt tokens fed to the cache so far.
+    /// Prompt tokens in the cache so far (cached-prefix rows count as fed).
     fed: usize,
     /// Sampled tokens; the last one is the next decode input.
     generated: Vec<u32>,
     rng: Rng,
+    /// The resolved adapter (id kept for the prefix-cache key). The `Arc`
+    /// pins the weights: registry eviction can drop its own reference but
+    /// never the copy a running sequence decodes with.
+    adapter: Option<(u32, Arc<LoraAdapter>)>,
+    /// Prefix-cache lease held until retirement (eviction guard).
+    lease: Option<PrefixLease>,
     /// Set when the sequence finished this tick.
     outcome: Option<Outcome>,
 }
@@ -189,10 +209,15 @@ pub struct Scheduler {
     queue: VecDeque<Pending>,
     slots: Vec<Option<Active>>,
     caches: DecodeCaches,
+    registry: Arc<AdapterRegistry>,
+    prefix: PrefixCache,
+    stats: Arc<ServeStats>,
     finished: Vec<GenResult>,
     /// Tokens sampled since the last [`Scheduler::take_progress`] call,
     /// in sampling order — the feed for chunked response streaming.
     progress: Vec<(u64, u32)>,
+    /// Lookup count at the last `PrefixCache` trace emission.
+    prefix_traced_at: u64,
     tick: usize,
     next_id: u64,
 }
@@ -201,29 +226,74 @@ impl Scheduler {
     /// Creates a scheduler with one KV cache per slot. Accepts anything
     /// convertible to a [`DecodeBackend`] — an `Arc<LlamaModel>` for exact
     /// decode (all pre-existing call sites) or an `Arc<QuantizedModel>`
-    /// for the INT8 fast path.
+    /// for the INT8 fast path. Single-tenant: no adapters.
     pub fn new(model: impl Into<DecodeBackend>, cfg: SchedConfig, obs: Obs) -> Self {
+        Self::new_multi(
+            model,
+            cfg,
+            obs,
+            Arc::new(AdapterRegistry::empty()),
+            Arc::new(ServeStats::default()),
+        )
+    }
+
+    /// [`Scheduler::new`] with multi-tenant routing: requests may name any
+    /// adapter registered in `registry`, and serving counters land in
+    /// `stats` for the `/stats` endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-empty registry over an INT8 backend (quantized
+    /// weights fold the projections, so there is no base/delta split), or
+    /// on the [`Scheduler::new`] sizing conditions.
+    pub fn new_multi(
+        model: impl Into<DecodeBackend>,
+        cfg: SchedConfig,
+        obs: Obs,
+        registry: Arc<AdapterRegistry>,
+        stats: Arc<ServeStats>,
+    ) -> Self {
         assert!(cfg.max_active > 0, "scheduler needs at least one slot");
         assert!(cfg.prefill_chunk > 0, "prefill_chunk must be positive");
         let backend = model.into();
+        assert!(
+            registry.is_empty() || matches!(backend, DecodeBackend::Exact(_)),
+            "adapters require the exact decode backend"
+        );
         let caches = backend.new_caches(cfg.max_active, cfg.kv_capacity);
         // Resident-memory gauges: weights are shared across slots, the KV
         // pool scales with `max_active × kv_capacity`. Emitted once — both
         // are fixed for the scheduler's lifetime.
         obs.gauge("infer.mem.weight_bytes", backend.weight_bytes() as f64);
         obs.gauge("infer.mem.kv_bytes", caches.memory_bytes() as f64);
+        ServeStats::set(&stats.adapters_registered, registry.len() as u64);
+        let prefix = PrefixCache::new(cfg.prefix_cache_bytes);
         Scheduler {
             backend,
             slots: (0..cfg.max_active).map(|_| None).collect(),
             caches,
             cfg,
             obs,
+            registry,
+            prefix,
+            stats,
             queue: VecDeque::new(),
             finished: Vec::new(),
             progress: Vec::new(),
+            prefix_traced_at: 0,
             tick: 0,
             next_id: 0,
         }
+    }
+
+    /// The shared serving-stats sink (for the frontend's `/stats`).
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The adapter registry requests route against.
+    pub fn registry(&self) -> Arc<AdapterRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Enqueues a request, returning its id, or rejects it without side
@@ -240,6 +310,12 @@ impl Scheduler {
         }
         if req.prompt.len() > self.cfg.kv_capacity {
             return Err(self.reject(SubmitError::PromptTooLong));
+        }
+        if req
+            .adapter
+            .is_some_and(|id| (id as usize) >= self.registry.len())
+        {
+            return Err(self.reject(SubmitError::UnknownAdapter));
         }
         if self.queue.len() >= self.cfg.queue_cap {
             return Err(self.reject(SubmitError::QueueFull));
@@ -320,6 +396,7 @@ impl Scheduler {
 
         // --- batched prefill -------------------------------------------------
         let mut prefill_rows: Vec<(usize, u32)> = Vec::new();
+        let mut prefill_ads: Vec<Option<Arc<LoraAdapter>>> = Vec::new();
         let mut sample_after_prefill: Vec<(usize, usize)> = Vec::new(); // (slot, row)
         for (slot, act) in self.slots.iter_mut().enumerate() {
             let Some(act) = act else { continue };
@@ -329,6 +406,7 @@ impl Scheduler {
             let take = self.cfg.prefill_chunk.min(act.prompt.len() - act.fed);
             for i in 0..take {
                 prefill_rows.push((slot, act.prompt[act.fed + i]));
+                prefill_ads.push(act.adapter.as_ref().map(|(_, a)| Arc::clone(a)));
             }
             act.fed += take;
             if !act.prefilling() {
@@ -339,7 +417,25 @@ impl Scheduler {
         }
         let p0 = Instant::now();
         if !prefill_rows.is_empty() {
-            let hidden = self.backend.forward_cached(&mut self.caches, &prefill_rows);
+            let ads: Vec<Option<&LoraAdapter>> = prefill_ads.iter().map(|a| a.as_deref()).collect();
+            let hidden = self
+                .backend
+                .forward_cached_with(&mut self.caches, &prefill_rows, &ads);
+            // Freshly-completed prefills feed the prefix cache before
+            // decode can extend the slot (cache rows `0..prompt.len()` are
+            // exactly the prompt's KV at this point).
+            let evictions_before = self.prefix.eviction_count();
+            for &(slot, _) in &sample_after_prefill {
+                let act = self.slots[slot].as_ref().expect("completing slot");
+                let key = act.adapter.as_ref().map(|(aid, _)| *aid);
+                let caches = &self.caches;
+                self.prefix
+                    .insert(key, &act.prompt, |lo, hi| caches.export_rows(slot, lo, hi));
+            }
+            let evicted = self.prefix.eviction_count() - evictions_before;
+            if evicted > 0 {
+                self.obs.counter("infer.prefix.evictions", evicted);
+            }
             let picked = gather_rows(&hidden, sample_after_prefill.iter().map(|&(_, r)| r));
             let logits = self.backend.lm_logits(&picked);
             for (i, &(slot, _)) in sample_after_prefill.iter().enumerate() {
@@ -350,6 +446,7 @@ impl Scheduler {
 
         // --- batched decode --------------------------------------------------
         let mut decode_rows: Vec<(usize, u32)> = Vec::new();
+        let mut decode_ads: Vec<Option<Arc<LoraAdapter>>> = Vec::new();
         let mut decode_slots: Vec<usize> = Vec::new();
         for (slot, act) in self.slots.iter().enumerate() {
             let Some(act) = act else { continue };
@@ -363,11 +460,15 @@ impl Scheduler {
                 continue; // retired as CacheFull below
             }
             decode_rows.push((slot, last));
+            decode_ads.push(act.adapter.as_ref().map(|(_, a)| Arc::clone(a)));
             decode_slots.push(slot);
         }
         let d0 = Instant::now();
         if !decode_rows.is_empty() {
-            let hidden = self.backend.forward_cached(&mut self.caches, &decode_rows);
+            let ads: Vec<Option<&LoraAdapter>> = decode_ads.iter().map(|a| a.as_deref()).collect();
+            let hidden = self
+                .backend
+                .forward_cached_with(&mut self.caches, &decode_rows, &ads);
             let logits = self.backend.lm_logits(&hidden);
             for (i, &slot) in decode_slots.iter().enumerate() {
                 self.sample_into_slot(slot, logits.row(i));
@@ -398,7 +499,52 @@ impl Scheduler {
             decode_ms,
             total_ms: ms_since(t0),
         });
+        self.publish_stats(n_prefill as u64, n_decode as u64, prefill_ms);
         retired
+    }
+
+    /// Mirrors the tick's numbers into the shared [`ServeStats`] and, when
+    /// prefix-cache activity happened since the last emission, a
+    /// `PrefixCache` trace event.
+    fn publish_stats(&mut self, prefill: u64, decode: u64, prefill_ms: f32) {
+        use std::sync::atomic::Ordering;
+        let s = &self.stats;
+        s.prefill_tokens.fetch_add(prefill, Ordering::Relaxed);
+        s.decode_tokens.fetch_add(decode, Ordering::Relaxed);
+        s.prefill_us
+            .fetch_add((f64::from(prefill_ms) * 1e3) as u64, Ordering::Relaxed);
+        ServeStats::set(&s.kv_used_bytes, self.caches.used_bytes() as u64);
+        ServeStats::set(&s.prefix_lookups, self.prefix.lookup_count());
+        ServeStats::set(&s.prefix_hits, self.prefix.hit_count());
+        ServeStats::set(&s.prefix_hit_tokens, self.prefix.hit_token_count());
+        ServeStats::set(&s.prefix_cached_bytes, self.prefix.bytes() as u64);
+        ServeStats::set(&s.prefix_nodes, self.prefix.node_count() as u64);
+        ServeStats::set(&s.prefix_evictions, self.prefix.eviction_count());
+        ServeStats::set(&s.adapters_registered, self.registry.len() as u64);
+        ServeStats::set(&s.adapters_resident, self.registry.resident_count() as u64);
+        ServeStats::set(&s.adapter_loads, self.registry.load_count());
+        ServeStats::set(&s.adapter_evictions, self.registry.eviction_count());
+        self.obs
+            .gauge("infer.prefix.cached_bytes", self.prefix.bytes() as f64);
+        if self.prefix.enabled() && self.prefix.lookup_count() != self.prefix_traced_at {
+            self.prefix_traced_at = self.prefix.lookup_count();
+            let (step, lookups, hits) = (
+                self.tick,
+                self.prefix.lookup_count(),
+                self.prefix.hit_count(),
+            );
+            let (hit_tokens, cached_bytes) = (self.prefix.hit_token_count(), self.prefix.bytes());
+            let (nodes, evictions) = (self.prefix.node_count(), self.prefix.eviction_count());
+            self.obs.emit(|| TraceEvent::PrefixCache {
+                step,
+                lookups,
+                hits,
+                hit_tokens,
+                cached_bytes,
+                nodes,
+                evictions,
+            });
+        }
     }
 
     /// Runs ticks until all queued and in-flight work retires, returning
@@ -413,29 +559,70 @@ impl Scheduler {
         out
     }
 
-    /// Moves queued requests into free slots (cheap bookkeeping only; the
-    /// actual prefill happens on subsequent ticks).
+    /// Moves queued requests into free slots: resolves the adapter, runs
+    /// the prefix-cache lookup, and appends any cached KV rows so the
+    /// prefill pass only sees the unmatched suffix.
     fn admit(&mut self) {
         for slot in 0..self.slots.len() {
             if self.slots[slot].is_some() {
                 continue;
             }
-            let Some(Pending { id, req, submitted }) = self.queue.pop_front() else {
+            // Pop until a request admits; a failed adapter load retires
+            // its request and tries the next one for the same slot.
+            loop {
+                let Some(Pending { id, req, submitted }) = self.queue.pop_front() else {
+                    return;
+                };
+                let adapter = match req.adapter {
+                    None => None,
+                    Some(aid) => match self.registry.resolve(aid) {
+                        Ok(a) => Some((aid, a)),
+                        Err(err) => {
+                            self.obs.counter("infer.adapter.load_failed", 1);
+                            let step = self.tick;
+                            self.obs.emit(|| TraceEvent::Sentinel {
+                                step,
+                                kind: "adapter_load_failed".to_string(),
+                                action: err,
+                            });
+                            self.finish_unadmitted(id, req.prompt.len(), Outcome::Cancelled);
+                            continue;
+                        }
+                    },
+                };
+                self.caches.clear(slot);
+                let mut fed = 0;
+                let mut lease = None;
+                if self.prefix.enabled() {
+                    self.obs.counter("infer.prefix.lookups", 1);
+                    let key = adapter.as_ref().map(|(aid, _)| *aid);
+                    if let Some(hit) = self.prefix.lookup(key, &req.prompt) {
+                        for block in &hit.blocks {
+                            self.caches.append_block(slot, block);
+                        }
+                        fed = hit.matched;
+                        lease = Some(hit.lease);
+                        self.obs.counter("infer.prefix.hits", 1);
+                        self.obs
+                            .counter("infer.prefix.hit_tokens", hit.matched as u64);
+                    }
+                }
+                self.slots[slot] = Some(Active {
+                    id,
+                    rng: Rng::seed_from_u64(req.cfg.seed),
+                    prompt: req.prompt,
+                    cfg: req.cfg,
+                    deadline: req.deadline,
+                    submitted,
+                    admitted: Instant::now(),
+                    fed,
+                    generated: Vec::new(),
+                    adapter,
+                    lease,
+                    outcome: None,
+                });
                 break;
-            };
-            self.caches.clear(slot);
-            self.slots[slot] = Some(Active {
-                id,
-                rng: Rng::seed_from_u64(req.cfg.seed),
-                prompt: req.prompt,
-                cfg: req.cfg,
-                deadline: req.deadline,
-                submitted,
-                admitted: Instant::now(),
-                fed: 0,
-                generated: Vec::new(),
-                outcome: None,
-            });
+            }
         }
     }
 
@@ -519,8 +706,11 @@ impl Scheduler {
             if !done {
                 continue;
             }
-            let act = self.slots[slot].take().expect("checked above");
+            let mut act = self.slots[slot].take().expect("checked above");
             let outcome = act.outcome.expect("checked above");
+            if let Some(lease) = act.lease.take() {
+                self.prefix.release(lease);
+            }
             let secs = act.admitted.elapsed().as_secs_f64().max(1e-9);
             let tokens_per_sec = act.generated.len() as f64 / secs;
             self.obs.counter("infer.requests_retired", 1);

@@ -32,12 +32,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use apollo_nn::DecodeBackend;
+use apollo_nn::{AdapterRegistry, DecodeBackend};
 use apollo_obs::Obs;
 
 use crate::scheduler::{
     observe_rejection, GenRequest, GenResult, SchedConfig, Scheduler, SubmitError,
 };
+use crate::stats::ServeStats;
 
 /// One submission in transit to the worker.
 struct Envelope {
@@ -156,13 +157,33 @@ pub struct Server {
     next_ticket: AtomicUsize,
     in_flight: Arc<AtomicUsize>,
     draining: Arc<AtomicBool>,
+    registry: Arc<AdapterRegistry>,
+    stats: Arc<ServeStats>,
 }
 
 impl Server {
     /// Spawns the worker thread around a fresh [`Scheduler`]. Accepts any
     /// decode backend (`Arc<LlamaModel>` or an INT8 `QuantizedModel`).
     pub fn start(model: impl Into<DecodeBackend>, cfg: SchedConfig, obs: Obs) -> Self {
+        Self::start_multi(model, cfg, obs, Arc::new(AdapterRegistry::empty()))
+    }
+
+    /// [`Server::start`] with multi-tenant adapter routing: requests may
+    /// carry an adapter id from `registry`, and serving counters land in
+    /// the shared [`ServeStats`] (see [`Server::stats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-empty registry over an INT8 backend (see
+    /// [`Scheduler::new_multi`]).
+    pub fn start_multi(
+        model: impl Into<DecodeBackend>,
+        cfg: SchedConfig,
+        obs: Obs,
+        registry: Arc<AdapterRegistry>,
+    ) -> Self {
         let model = model.into();
+        let stats = Arc::new(ServeStats::default());
         let (tx, rx) = mpsc::sync_channel::<Envelope>(cfg.queue_cap.max(1));
         let (cancel_tx, cancel_rx) = mpsc::channel::<u64>();
         let in_flight = Arc::new(AtomicUsize::new(0));
@@ -171,10 +192,12 @@ impl Server {
         let worker = {
             let obs = obs.clone();
             let in_flight = Arc::clone(&in_flight);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("apollo-infer-server".to_string())
                 .spawn(move || {
-                    let sched = Scheduler::new(model, cfg, obs);
+                    let sched = Scheduler::new_multi(model, cfg, obs, registry, stats);
                     serve(sched, queue_cap, rx, cancel_rx, &in_flight);
                 })
                 .expect("spawn inference server thread")
@@ -188,7 +211,20 @@ impl Server {
             next_ticket: AtomicUsize::new(0),
             in_flight,
             draining: Arc::new(AtomicBool::new(false)),
+            registry,
+            stats,
         }
+    }
+
+    /// The adapter registry requests route against (empty for
+    /// single-tenant servers).
+    pub fn registry(&self) -> &Arc<AdapterRegistry> {
+        &self.registry
+    }
+
+    /// The shared serving counters written by the scheduler tick.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
     }
 
     /// Requests accepted (queued or running) and not yet retired. The
@@ -232,6 +268,13 @@ impl Server {
         if req.prompt.len() > self.kv_capacity {
             observe_rejection(&self.obs, SubmitError::PromptTooLong);
             return Err(SubmitError::PromptTooLong);
+        }
+        if req
+            .adapter
+            .is_some_and(|id| (id as usize) >= self.registry.len())
+        {
+            observe_rejection(&self.obs, SubmitError::UnknownAdapter);
+            return Err(SubmitError::UnknownAdapter);
         }
         if self.is_draining() {
             observe_rejection(&self.obs, SubmitError::QueueFull);

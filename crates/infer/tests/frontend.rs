@@ -33,6 +33,7 @@ fn test_sched() -> SchedConfig {
         queue_cap: 4,
         prefill_chunk: 8,
         kv_capacity: 4096,
+        prefix_cache_bytes: 0,
     }
 }
 
@@ -283,6 +284,7 @@ fn overload_is_shed_with_retry_after_and_recovers() {
         queue_cap: 4,
         prefill_chunk: 8,
         kv_capacity: 20480,
+        prefix_cache_bytes: 0,
     };
     let mut serve = test_serve();
     serve.shed_watermark = 2;
@@ -350,6 +352,7 @@ fn drain_finishes_in_flight_and_rejects_new_work() {
         queue_cap: 4,
         prefill_chunk: 8,
         kv_capacity: 20480,
+        prefix_cache_bytes: 0,
     };
     let mut serve = test_serve();
     serve.drain_deadline = Duration::from_secs(20);
@@ -442,4 +445,151 @@ fn loadgen_fault_plan_leaves_the_server_healthy() {
     assert_eq!(resp.status, 200);
     let report = frontend.shutdown();
     assert_eq!(report.forced, 0, "clean drain after the fault plan");
+}
+
+// --- multi-tenant serving: adapter routing and GET /stats -----------------
+
+/// A compatible LoRA adapter with a nonzero delta (B is zero-initialized
+/// at construction, so perturb it).
+fn test_adapter(seed: u64) -> apollo_nn::LoraAdapter {
+    use apollo_tensor::Matrix;
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut m = LlamaModel::new(
+        &cfg,
+        LinearMode::LoRa {
+            rank: 2,
+            alpha: 4.0,
+        },
+        &mut rng,
+    );
+    for p in &mut m.params {
+        if p.name.ends_with(".lora_b") {
+            p.value = Matrix::randn(p.value.rows(), p.value.cols(), &mut rng);
+        }
+    }
+    apollo_nn::LoraAdapter::from_model(&m).expect("LoRA source")
+}
+
+/// A front-end with two resident adapters and the prefix cache enabled.
+fn start_multi_frontend(sched: SchedConfig) -> Frontend {
+    let registry = Arc::new(apollo_nn::AdapterRegistry::resident(vec![
+        ("alpha".into(), test_adapter(0xA1)),
+        ("beta".into(), test_adapter(0xB2)),
+    ]));
+    Frontend::start_multi(
+        tiny_model(0x11),
+        sched,
+        test_serve(),
+        Obs::disabled(),
+        registry,
+    )
+    .expect("bind loopback")
+}
+
+fn get_path(addr: &str, path: &str) -> net::Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    net::write_request(&mut stream, "GET", path, &[], b"").expect("write");
+    net::read_response(&mut stream, Duration::from_secs(20)).expect("response")
+}
+
+#[test]
+fn adapter_routing_is_deterministic_and_rejects_unknown_names() {
+    let sched = SchedConfig {
+        prefix_cache_bytes: 1 << 20,
+        ..test_sched()
+    };
+    let frontend = start_multi_frontend(sched);
+    let addr = frontend.local_addr().to_string();
+
+    // healthz advertises the registered tenants.
+    let health = get_path(&addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let health_body = String::from_utf8_lossy(&health.body).to_string();
+    assert!(
+        health_body.contains("\"adapters\":[\"alpha\",\"beta\"]"),
+        "healthz must list adapters: {health_body}"
+    );
+
+    // An unknown adapter name is a 400 naming the tenant, before any
+    // scheduler work happens.
+    let resp = post_generate(
+        &addr,
+        "{\"prompt\":[1,2,3],\"max_new_tokens\":2,\"adapter\":\"gamma\"}",
+    );
+    assert_eq!(resp.status, 400, "unknown adapter must be a client error");
+    let err_body = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(
+        err_body.contains("gamma"),
+        "error names the tenant: {err_body}"
+    );
+
+    // Same request under each tenant: deterministic per tenant, and the
+    // adapters' deltas actually change the sampled tokens.
+    let body_for = |adapter: &str| {
+        format!(
+            "{{\"prompt\":[3,14,15,9,2,6],\"max_new_tokens\":10,\"seed\":5,\"adapter\":{adapter}}}"
+        )
+    };
+    let base = tokens_from(
+        &post_generate(
+            &addr,
+            "{\"prompt\":[3,14,15,9,2,6],\"max_new_tokens\":10,\"seed\":5}",
+        )
+        .body,
+    );
+    let alpha = tokens_from(&post_generate(&addr, &body_for("\"alpha\"")).body);
+    let alpha2 = tokens_from(&post_generate(&addr, &body_for("\"alpha\"")).body);
+    let beta = tokens_from(&post_generate(&addr, &body_for("\"beta\"")).body);
+    assert_eq!(alpha, alpha2, "same tenant, same request, same tokens");
+    assert_ne!(alpha, base, "alpha's delta must change the output");
+    assert_ne!(alpha, beta, "distinct tenants decode distinct tokens");
+
+    wait_in_flight_zero(&frontend, Duration::from_secs(5));
+    let report = frontend.shutdown();
+    assert_eq!(report.forced, 0);
+}
+
+#[test]
+fn stats_endpoint_reports_prefix_cache_and_adapters() {
+    let sched = SchedConfig {
+        max_active: 1, // serialize admissions so the second request hits
+        prefix_cache_bytes: 1 << 20,
+        ..test_sched()
+    };
+    let frontend = start_multi_frontend(sched);
+    let addr = frontend.local_addr().to_string();
+
+    // Two prefix-sharing requests under one tenant: a miss, then a hit.
+    let shared = "{\"prompt\":[7,7,7,7,7,7,7,7,1],\"max_new_tokens\":2,\"adapter\":\"alpha\"}";
+    let shared2 = "{\"prompt\":[7,7,7,7,7,7,7,7,2],\"max_new_tokens\":2,\"adapter\":\"alpha\"}";
+    assert_eq!(post_generate(&addr, shared).status, 200);
+    assert_eq!(post_generate(&addr, shared2).status, 200);
+    wait_in_flight_zero(&frontend, Duration::from_secs(5));
+
+    let resp = get_path(&addr, "/stats");
+    assert_eq!(resp.status, 200);
+    let stats: Value =
+        serde_json::from_str(&String::from_utf8_lossy(&resp.body)).expect("stats is JSON");
+    let num = |v: &Value, field: &str| -> u64 {
+        match v.get_field(field) {
+            Ok(Value::Num(n)) => n.as_u64().unwrap_or(0),
+            other => panic!("stats field {field} missing or non-numeric: {other:?}"),
+        }
+    };
+    let cache = stats
+        .get_field("prefix_cache")
+        .expect("prefix_cache object");
+    assert!(num(cache, "lookups") >= 2);
+    assert!(num(cache, "hits") >= 1, "shared prefix must hit");
+    assert!(num(cache, "hit_tokens") >= 8);
+    assert!(num(cache, "cached_bytes") > 0);
+    let adapters = stats.get_field("adapters").expect("adapters object");
+    assert_eq!(num(adapters, "registered"), 2);
+    assert_eq!(num(adapters, "resident"), 2);
+    assert!(num(&stats, "prefill_tokens") > 0);
+    assert!(num(&stats, "decode_tokens") > 0);
+    assert_eq!(num(&stats, "in_flight"), 0);
+
+    frontend.shutdown();
 }

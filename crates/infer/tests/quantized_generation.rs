@@ -72,6 +72,7 @@ fn scheduler_runs_int8_backend_matching_serial_backend_generation() {
             prompt: (0..1 + i % 4).map(|_| rng.below(vocab) as u32).collect(),
             cfg: gen_cfg(500 + i as u64),
             deadline: None,
+            adapter: None,
         })
         .collect();
     // Serial reference through the same backend.
@@ -85,6 +86,7 @@ fn scheduler_runs_int8_backend_matching_serial_backend_generation() {
         queue_cap: 8,
         prefill_chunk: 2,
         kv_capacity: 64,
+        prefix_cache_bytes: 0,
     };
     let mut sched = Scheduler::new(backend, cfg, Obs::disabled());
     for r in &reqs {

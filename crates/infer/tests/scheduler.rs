@@ -39,6 +39,7 @@ fn mixed_requests(model: &LlamaModel, n: usize) -> Vec<GenRequest> {
                     stop_token: None,
                 },
                 deadline: None,
+                adapter: None,
             }
         })
         .collect()
@@ -59,6 +60,7 @@ fn interleaved_scheduling_is_byte_identical_to_serial() {
         queue_cap: 16,
         prefill_chunk: 3, // long prompts prefill over several ticks
         kv_capacity: 64,
+        prefix_cache_bytes: 0,
     };
     let mut sched = Scheduler::new(Arc::clone(&model), cfg, Obs::disabled());
     let ids: Vec<u64> = reqs
@@ -110,6 +112,7 @@ fn stop_token_retires_early_and_matches_serial() {
             prompt,
             cfg,
             deadline: None,
+            adapter: None,
         })
         .expect("queue has room");
     let results = sched.run_to_completion();
@@ -126,6 +129,7 @@ fn admission_is_bounded_and_rejects_gracefully() {
         queue_cap: 3,
         prefill_chunk: 4,
         kv_capacity: 16,
+        prefix_cache_bytes: 0,
     };
     let mut sched = Scheduler::new(model, cfg, Obs::disabled());
     let ok_req = GenRequest {
@@ -135,6 +139,7 @@ fn admission_is_bounded_and_rejects_gracefully() {
             ..GenConfig::default()
         },
         deadline: None,
+        adapter: None,
     };
     for _ in 0..3 {
         sched.submit(ok_req.clone()).expect("under queue_cap");
@@ -180,6 +185,7 @@ fn deadline_expiry_retires_with_partial_output() {
             prompt: vec![1, 2],
             cfg: GenConfig::default(),
             deadline: Some(Duration::ZERO),
+            adapter: None,
         })
         .expect("queue has room");
     // A generous deadline never fires.
@@ -191,6 +197,7 @@ fn deadline_expiry_retires_with_partial_output() {
                 ..GenConfig::default()
             },
             deadline: Some(Duration::from_secs(3600)),
+            adapter: None,
         })
         .expect("queue has room");
     let mut results = sched.run_to_completion();
@@ -210,6 +217,7 @@ fn cache_exhaustion_retires_with_cache_full() {
         queue_cap: 4,
         prefill_chunk: 8,
         kv_capacity: 6,
+        prefix_cache_bytes: 0,
     };
     let mut sched = Scheduler::new(Arc::clone(&model), cfg, Obs::disabled());
     sched
@@ -220,6 +228,7 @@ fn cache_exhaustion_retires_with_cache_full() {
                 ..GenConfig::default()
             },
             deadline: None,
+            adapter: None,
         })
         .expect("queue has room");
     let results = sched.run_to_completion();
@@ -254,6 +263,7 @@ fn scheduler_emits_retirement_metrics() {
                 ..GenConfig::default()
             },
             deadline: None,
+            adapter: None,
         })
         .expect("queue has room");
     sched.run_to_completion();
@@ -276,6 +286,7 @@ fn server_concurrent_submissions_match_serial() {
         queue_cap: 8,
         prefill_chunk: 4,
         kv_capacity: 64,
+        prefix_cache_bytes: 0,
     };
     let server = Server::start(Arc::clone(&model), cfg, Obs::disabled());
     let handles: Vec<_> = reqs
@@ -298,6 +309,7 @@ fn cancel_frees_queued_and_active_requests() {
         queue_cap: 4,
         prefill_chunk: 8,
         kv_capacity: 64,
+        prefix_cache_bytes: 0,
     };
     let mut sched = Scheduler::new(Arc::clone(&model), cfg, Obs::disabled());
     let req = GenRequest {
@@ -307,6 +319,7 @@ fn cancel_frees_queued_and_active_requests() {
             ..GenConfig::default()
         },
         deadline: None,
+        adapter: None,
     };
     let active_id = sched.submit(req.clone()).expect("queue has room");
     let queued_id = sched.submit(req.clone()).expect("queue has room");
@@ -359,6 +372,7 @@ fn deadline_during_chunked_prefill_retires_without_output() {
         queue_cap: 2,
         prefill_chunk: 1, // prefill spans many ticks
         kv_capacity: 64,
+        prefix_cache_bytes: 0,
     };
     let mut sched = Scheduler::new(model, cfg, Obs::disabled());
     sched
@@ -369,6 +383,7 @@ fn deadline_during_chunked_prefill_retires_without_output() {
                 ..GenConfig::default()
             },
             deadline: Some(Duration::from_millis(30)),
+            adapter: None,
         })
         .expect("queue has room");
     // Two ticks feed two of six prompt rows; then the deadline passes
@@ -405,6 +420,7 @@ fn deadline_expiry_beats_a_stop_token_arriving_the_same_tick() {
         queue_cap: 2,
         prefill_chunk: 1, // tick 1 feeds one row; tick 2 would sample
         kv_capacity: 64,
+        prefix_cache_bytes: 0,
     };
 
     // Case A: the deadline expires between ticks. The expiry check runs
@@ -416,6 +432,7 @@ fn deadline_expiry_beats_a_stop_token_arriving_the_same_tick() {
             prompt: prompt.clone(),
             cfg: gen.clone(),
             deadline: Some(Duration::from_millis(25)),
+            adapter: None,
         })
         .expect("queue has room");
     sched.tick(); // admit + first prefill row; nothing sampled yet
@@ -432,6 +449,7 @@ fn deadline_expiry_beats_a_stop_token_arriving_the_same_tick() {
             prompt,
             cfg: gen,
             deadline: Some(Duration::from_secs(3600)),
+            adapter: None,
         })
         .expect("queue has room");
     let results = sched.run_to_completion();
@@ -447,6 +465,7 @@ fn cache_full_retirement_still_lands_during_drain() {
         queue_cap: 4,
         prefill_chunk: 8,
         kv_capacity: 6,
+        prefix_cache_bytes: 0,
     };
     let server = Server::start(model, cfg, Obs::disabled());
     let handle = server
@@ -457,6 +476,7 @@ fn cache_full_retirement_still_lands_during_drain() {
                 ..GenConfig::default()
             },
             deadline: None,
+            adapter: None,
         })
         .expect("queue has room");
     server.begin_drain();
@@ -465,6 +485,7 @@ fn cache_full_retirement_still_lands_during_drain() {
         prompt: vec![1],
         cfg: GenConfig::default(),
         deadline: None,
+        adapter: None,
     });
     assert!(
         matches!(rejected, Err(SubmitError::QueueFull)),
@@ -484,6 +505,7 @@ fn wait_timeout_times_out_then_completes() {
         queue_cap: 2,
         prefill_chunk: 8,
         kv_capacity: 4096,
+        prefix_cache_bytes: 0,
     };
     let server = Server::start(model, cfg, Obs::disabled());
     let mut handle = server
@@ -494,6 +516,7 @@ fn wait_timeout_times_out_then_completes() {
                 ..GenConfig::default()
             },
             deadline: None,
+            adapter: None,
         })
         .expect("queue has room");
     // 2000 decode ticks cannot finish within a millisecond.
@@ -518,6 +541,7 @@ fn dropping_a_handle_cancels_the_in_flight_request() {
         queue_cap: 2,
         prefill_chunk: 8,
         kv_capacity: 4096,
+        prefix_cache_bytes: 0,
     };
     let obs = Obs::enabled(1);
     let server = Server::start(Arc::clone(&model), cfg, obs.clone());
@@ -529,6 +553,7 @@ fn dropping_a_handle_cancels_the_in_flight_request() {
                 ..GenConfig::default()
             },
             deadline: None,
+            adapter: None,
         })
         .expect("queue has room");
     drop(handle); // client walks away
@@ -565,6 +590,7 @@ fn rejections_are_counted_by_reason() {
         queue_cap: 1,
         prefill_chunk: 4,
         kv_capacity: 8,
+        prefix_cache_bytes: 0,
     };
     let obs = Obs::enabled(1);
     let mut sched = Scheduler::new(model, cfg, obs.clone());
@@ -575,6 +601,7 @@ fn rejections_are_counted_by_reason() {
             ..GenConfig::default()
         },
         deadline: None,
+        adapter: None,
     };
     sched.submit(ok.clone()).expect("first fits");
     let _ = sched.submit(ok.clone()); // queue full

@@ -15,10 +15,11 @@ use std::sync::Arc;
 
 use apollo_tensor::Matrix;
 
+use crate::adapter::LoraAdapter;
 use crate::config::ModelConfig;
-use crate::decode::KvCache;
+use crate::decode::{KvCache, KvSpan};
 use crate::model::LlamaModel;
-use crate::quantized::{Bf16KvCache, QuantizedModel};
+use crate::quantized::{Bf16KvCache, Bf16Span, QuantizedModel};
 
 /// A decode-capable model: the exact f32 model or an INT8 snapshot.
 #[derive(Debug, Clone)]
@@ -103,6 +104,90 @@ impl DecodeCaches {
             DecodeCaches::Bf16(c) => c.iter().map(Bf16KvCache::memory_bytes).sum(),
         }
     }
+
+    /// Bytes of K/V storage actually filled (positions `0..len` of every
+    /// slot) — the live-usage number `GET /stats` reports, as opposed to
+    /// [`DecodeCaches::memory_bytes`]'s allocated capacity.
+    pub fn used_bytes(&self) -> usize {
+        let per_pos = |total: usize, slots: usize, cap: usize| {
+            if slots == 0 || cap == 0 {
+                0
+            } else {
+                total / (slots * cap)
+            }
+        };
+        match self {
+            DecodeCaches::F32(c) => {
+                let cap = c.first().map_or(0, KvCache::capacity);
+                let unit = per_pos(self.memory_bytes(), c.len(), cap);
+                c.iter().map(|s| s.len() * unit).sum()
+            }
+            DecodeCaches::Bf16(c) => {
+                let cap = c.first().map_or(0, Bf16KvCache::capacity);
+                let unit = per_pos(self.memory_bytes(), c.len(), cap);
+                c.iter().map(|s| s.len() * unit).sum()
+            }
+        }
+    }
+
+    /// Copies positions `lo..hi` of slot `i` into an owned [`KvBlock`] of
+    /// the pool's tier.
+    pub fn export_rows(&self, i: usize, lo: usize, hi: usize) -> KvBlock {
+        match self {
+            DecodeCaches::F32(c) => KvBlock::F32(c[i].export_rows(lo, hi)),
+            DecodeCaches::Bf16(c) => KvBlock::Bf16(c[i].export_rows(lo, hi)),
+        }
+    }
+
+    /// Appends a block's rows at slot `i`'s current length (bitwise copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's tier does not match the pool's.
+    pub fn append_block(&mut self, i: usize, block: &KvBlock) {
+        match (self, block) {
+            (DecodeCaches::F32(c), KvBlock::F32(s)) => c[i].append_span(s),
+            (DecodeCaches::Bf16(c), KvBlock::Bf16(s)) => c[i].append_span(s),
+            _ => panic!("append_block: block tier does not match caches"),
+        }
+    }
+}
+
+/// An owned KV span at either tier — what the prefix cache stores. Blocks
+/// hold their own copies, so cache eviction never touches rows already
+/// appended into a slot.
+#[derive(Debug, Clone)]
+pub enum KvBlock {
+    /// Exact-tier span.
+    F32(KvSpan),
+    /// BF16-tier span.
+    Bf16(Bf16Span),
+}
+
+impl KvBlock {
+    /// Token positions covered.
+    pub fn rows(&self) -> usize {
+        match self {
+            KvBlock::F32(s) => s.rows(),
+            KvBlock::Bf16(s) => s.rows(),
+        }
+    }
+
+    /// Bytes of storage across all layers.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            KvBlock::F32(s) => s.memory_bytes(),
+            KvBlock::Bf16(s) => s.memory_bytes(),
+        }
+    }
+
+    /// An owned copy of rows `lo..hi`.
+    pub fn slice(&self, lo: usize, hi: usize) -> KvBlock {
+        match self {
+            KvBlock::F32(s) => KvBlock::F32(s.slice(lo, hi)),
+            KvBlock::Bf16(s) => KvBlock::Bf16(s.slice(lo, hi)),
+        }
+    }
 }
 
 impl DecodeBackend {
@@ -156,6 +241,35 @@ impl DecodeBackend {
         match (self, caches) {
             (DecodeBackend::Exact(m), DecodeCaches::F32(c)) => m.forward_cached(c, rows),
             (DecodeBackend::Int8(m), DecodeCaches::Bf16(c)) => m.forward_cached(c, rows),
+            _ => panic!("forward_cached: cache tier does not match backend"),
+        }
+    }
+
+    /// [`DecodeBackend::forward_cached`] with optional per-row LoRA
+    /// adapters (see [`LlamaModel::forward_cached_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on tier mismatch, or if any adapter is supplied on the INT8
+    /// tier — quantized weights fold the whole projection into one INT8
+    /// matrix, so there is no base/delta split to route adapters through.
+    pub fn forward_cached_with(
+        &self,
+        caches: &mut DecodeCaches,
+        rows: &[(usize, u32)],
+        adapters: &[Option<&LoraAdapter>],
+    ) -> Matrix {
+        match (self, caches) {
+            (DecodeBackend::Exact(m), DecodeCaches::F32(c)) => {
+                m.forward_cached_with(c, rows, adapters)
+            }
+            (DecodeBackend::Int8(m), DecodeCaches::Bf16(c)) => {
+                assert!(
+                    adapters.iter().all(Option::is_none),
+                    "forward_cached_with: adapters require the exact backend"
+                );
+                m.forward_cached(c, rows)
+            }
             _ => panic!("forward_cached: cache tier does not match backend"),
         }
     }

@@ -29,6 +29,7 @@
 
 use apollo_tensor::{current_numerics, fused, simd, Matrix, NumericsMode};
 
+use crate::adapter::{AdapterLayer, LoraAdapter, LowRankDelta};
 use crate::model::LlamaModel;
 
 /// Per-sequence attention cache: one post-RoPE key matrix and one value
@@ -79,12 +80,172 @@ impl KvCache {
             .map(|m| m.len() * 4)
             .sum()
     }
+
+    /// Copies rows `lo..hi` of every layer out into an owned [`KvSpan`].
+    /// Because KV rows at position `t` are a pure function of the token
+    /// prefix `0..=t` (and the adapter), the copy is reusable by any later
+    /// sequence sharing that prefix — the foundation of the prefix cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= len()`.
+    pub fn export_rows(&self, lo: usize, hi: usize) -> KvSpan {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "export_rows: {lo}..{hi} of {}",
+            self.len
+        );
+        let hidden = self.k.first().map_or(0, Matrix::cols);
+        let copy = |mats: &[Matrix]| -> Vec<Vec<f32>> {
+            mats.iter()
+                .map(|m| {
+                    let mut flat = Vec::with_capacity((hi - lo) * hidden);
+                    for r in lo..hi {
+                        flat.extend_from_slice(m.row(r));
+                    }
+                    flat
+                })
+                .collect()
+        };
+        KvSpan {
+            k: copy(&self.k),
+            v: copy(&self.v),
+            rows: hi - lo,
+            hidden,
+        }
+    }
+
+    /// Appends a span's rows at the cache's current length and advances it,
+    /// exactly as if those positions had just been prefetched by
+    /// [`LlamaModel::forward_cached`]. A bitwise row copy, so decoding on
+    /// top of an appended span is bit-identical to cold prefill of the same
+    /// prefix (pinned by `nn/tests/decode_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on layer/width mismatch or if the span does not fit.
+    pub fn append_span(&mut self, span: &KvSpan) {
+        assert_eq!(span.k.len(), self.k.len(), "append_span: layer count");
+        assert_eq!(
+            span.hidden,
+            self.k.first().map_or(0, Matrix::cols),
+            "append_span: hidden width"
+        );
+        assert!(span.rows <= self.remaining(), "append_span: cache full");
+        for (dst, src) in self.k.iter_mut().zip(&span.k) {
+            for r in 0..span.rows {
+                dst.row_mut(self.len + r)
+                    .copy_from_slice(&src[r * span.hidden..(r + 1) * span.hidden]);
+            }
+        }
+        for (dst, src) in self.v.iter_mut().zip(&span.v) {
+            for r in 0..span.rows {
+                dst.row_mut(self.len + r)
+                    .copy_from_slice(&src[r * span.hidden..(r + 1) * span.hidden]);
+            }
+        }
+        self.len += span.rows;
+    }
+}
+
+/// An owned, position-independent copy of consecutive KV rows (all layers),
+/// exported from one sequence's cache and appendable onto another's. Spans
+/// own their storage outright — the prefix cache's eviction can therefore
+/// never corrupt a sequence that already copied a span in.
+#[derive(Debug, Clone)]
+pub struct KvSpan {
+    /// Per-layer keys, `rows × hidden` row-major.
+    k: Vec<Vec<f32>>,
+    /// Per-layer values, same shape.
+    v: Vec<Vec<f32>>,
+    rows: usize,
+    hidden: usize,
+}
+
+impl KvSpan {
+    /// Token positions covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bytes of f32 storage across all layers.
+    pub fn memory_bytes(&self) -> usize {
+        self.k
+            .iter()
+            .chain(self.v.iter())
+            .map(|l| l.len() * 4)
+            .sum()
+    }
+
+    /// An owned copy of rows `lo..hi` (used when a radix-tree edge splits
+    /// or a lookup matches only part of a node's span).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= rows()`.
+    pub fn slice(&self, lo: usize, hi: usize) -> KvSpan {
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "slice: {lo}..{hi} of {}",
+            self.rows
+        );
+        let cut = |layers: &[Vec<f32>]| -> Vec<Vec<f32>> {
+            layers
+                .iter()
+                .map(|l| l[lo * self.hidden..hi * self.hidden].to_vec())
+                .collect()
+        };
+        KvSpan {
+            k: cut(&self.k),
+            v: cut(&self.v),
+            rows: hi - lo,
+            hidden: self.hidden,
+        }
+    }
 }
 
 /// Row-wise RMSNorm with learned gain via the shared fused kernel (the
 /// per-row inverse-rms cache is only needed by backward, so it is dropped).
 fn rmsnorm_rows(x: &Matrix, gain: &Matrix) -> Matrix {
     fused::fused_rmsnorm_fwd(x, gain, 1e-5).0
+}
+
+/// Groups batch rows by adapter identity (pointer equality), in first-
+/// appearance order. `None` rows belong to no group and get base weights
+/// only.
+fn group_adapter_rows<'a>(
+    adapters: &[Option<&'a LoraAdapter>],
+) -> Vec<(&'a LoraAdapter, Vec<usize>)> {
+    let mut groups: Vec<(&LoraAdapter, Vec<usize>)> = Vec::new();
+    for (r, ad) in adapters.iter().enumerate() {
+        if let Some(a) = ad {
+            match groups.iter_mut().find(|(g, _)| std::ptr::eq(*g, *a)) {
+                Some((_, idx)) => idx.push(r),
+                None => groups.push((a, vec![r])),
+            }
+        }
+    }
+    groups
+}
+
+/// Adds each group's low-rank delta to its rows of a projection output:
+/// gather the group's input rows, run `((x·A)·B)·scale` in exactly the op
+/// order of the LoRA `forward_nograd`, scatter-add back. Row independence
+/// of the matmul kernels makes this bit-identical to a full LoRA forward
+/// on those rows.
+fn add_lora_deltas(
+    out: &mut Matrix,
+    x: &Matrix,
+    groups: &[(&LoraAdapter, Vec<usize>)],
+    layer: usize,
+    pick: impl Fn(&AdapterLayer) -> &LowRankDelta,
+) {
+    for (ad, idx) in groups {
+        let d = pick(&ad.layers[layer]);
+        let xa = x.gather_rows(idx).matmul(&d.a);
+        let xab = xa.matmul(&d.b);
+        out.scatter_add_rows(idx, &xab.scale(d.scale));
+    }
 }
 
 impl LlamaModel {
@@ -120,6 +281,46 @@ impl LlamaModel {
     /// Panics if a cache index or token is out of range, or a row's
     /// position would exceed its cache's capacity.
     pub fn forward_cached(&self, caches: &mut [KvCache], rows: &[(usize, u32)]) -> Matrix {
+        self.forward_cached_with(caches, rows, &[])
+    }
+
+    /// [`LlamaModel::forward_cached`] with an optional per-row LoRA adapter:
+    /// `adapters` is empty (no adapters anywhere) or parallel to `rows`, and
+    /// each `Some` row gets its adapter's low-rank delta added to all seven
+    /// projections of every layer — `x·W + ((x·A)·B)·(alpha/rank)` — without
+    /// materializing a per-adapter dense weight.
+    ///
+    /// Rows are grouped by adapter identity so one call batches any mix of
+    /// tenants. Because every Matrix kernel computes each output row
+    /// independently (ascending inner-dimension accumulation per row), the
+    /// gather → low-rank matmuls → scatter-add path is bit-identical to
+    /// running the full LoRA model on those rows, and a mixed-adapter batch
+    /// is bit-identical to serving each adapter serially (pinned by
+    /// `nn/tests/decode_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`LlamaModel::forward_cached`] conditions, if
+    /// `adapters` is non-empty but not parallel to `rows`, or if an
+    /// adapter's layer count does not match the model's.
+    pub fn forward_cached_with(
+        &self,
+        caches: &mut [KvCache],
+        rows: &[(usize, u32)],
+        adapters: &[Option<&LoraAdapter>],
+    ) -> Matrix {
+        assert!(
+            adapters.is_empty() || adapters.len() == rows.len(),
+            "forward_cached_with: adapters must be empty or one per row"
+        );
+        let groups = group_adapter_rows(adapters);
+        for (ad, _) in &groups {
+            assert_eq!(
+                ad.layers.len(),
+                self.layers.len(),
+                "forward_cached_with: adapter layer count"
+            );
+        }
         let h = self.cfg.hidden;
         let heads = self.cfg.n_heads;
         let hd = self.cfg.head_dim();
@@ -162,7 +363,10 @@ impl LlamaModel {
             let hn = rmsnorm_rows(&x, &self.params[layer.attn_norm].value);
             let mut q = layer.wq.forward_nograd(&hn, &self.params);
             let mut k = layer.wk.forward_nograd(&hn, &self.params);
-            let v = layer.wv.forward_nograd(&hn, &self.params);
+            let mut v = layer.wv.forward_nograd(&hn, &self.params);
+            add_lora_deltas(&mut q, &hn, &groups, l, |al| &al.wq);
+            add_lora_deltas(&mut k, &hn, &groups, l, |al| &al.wk);
+            add_lora_deltas(&mut v, &hn, &groups, l, |al| &al.wv);
             for (r, &pos) in positions.iter().enumerate() {
                 fused::rope_rotate_row(q.row_mut(r), pos as f32, heads, hd, &freqs, false);
                 fused::rope_rotate_row(k.row_mut(r), pos as f32, heads, hd, &freqs, false);
@@ -237,14 +441,18 @@ impl LlamaModel {
                     }
                 }
             }
-            let o = layer.wo.forward_nograd(&att, &self.params);
+            let mut o = layer.wo.forward_nograd(&att, &self.params);
+            add_lora_deltas(&mut o, &att, &groups, l, |al| &al.wo);
             x.add_assign(&o);
 
             let mn = rmsnorm_rows(&x, &self.params[layer.mlp_norm].value);
-            let gate_pre = layer.gate.forward_nograd(&mn, &self.params);
-            let up = layer.up.forward_nograd(&mn, &self.params);
+            let mut gate_pre = layer.gate.forward_nograd(&mn, &self.params);
+            let mut up = layer.up.forward_nograd(&mn, &self.params);
+            add_lora_deltas(&mut gate_pre, &mn, &groups, l, |al| &al.gate);
+            add_lora_deltas(&mut up, &mn, &groups, l, |al| &al.up);
             let act = fused::fused_swiglu_fwd(&gate_pre, &up);
-            let mlp = layer.down.forward_nograd(&act, &self.params);
+            let mut mlp = layer.down.forward_nograd(&act, &self.params);
+            add_lora_deltas(&mut mlp, &act, &groups, l, |al| &al.down);
             x.add_assign(&mlp);
         }
         for (c, len) in next_len.into_iter().enumerate() {

@@ -33,6 +33,7 @@
 //! assert!(loss > 0.0);
 //! ```
 
+mod adapter;
 mod backend;
 mod config;
 mod decode;
@@ -41,10 +42,11 @@ mod model;
 mod param;
 mod quantized;
 
-pub use backend::{DecodeBackend, DecodeCaches};
+pub use adapter::{AdapterLoader, AdapterRegistry, LoraAdapter};
+pub use backend::{DecodeBackend, DecodeCaches, KvBlock};
 pub use config::ModelConfig;
-pub use decode::KvCache;
+pub use decode::{KvCache, KvSpan};
 pub use linear::{Linear, LinearMode};
 pub use model::LlamaModel;
 pub use param::{Param, ParamKind};
-pub use quantized::{Bf16KvCache, QuantizedModel, DECODE_QUANT_GROUP};
+pub use quantized::{Bf16KvCache, Bf16Span, QuantizedModel, DECODE_QUANT_GROUP};

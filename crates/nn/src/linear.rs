@@ -208,6 +208,19 @@ impl Linear {
         }
     }
 
+    /// For a LoRA layer, the parameter indices of `A` and `B` plus the
+    /// effective scale `alpha / rank`; `None` for other modes. Lets the
+    /// adapter extractor ([`crate::adapter::LoraAdapter::from_model`]) walk
+    /// the low-rank factors without duplicating the layout.
+    pub(crate) fn lora_indices(&self) -> Option<(usize, usize, f32)> {
+        match self.mode {
+            LinearMode::LoRa { rank, alpha } => {
+                Some((self.a.unwrap(), self.b.unwrap(), alpha / rank as f32))
+            }
+            _ => None,
+        }
+    }
+
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
         self.in_dim

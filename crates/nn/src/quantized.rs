@@ -156,6 +156,107 @@ impl Bf16KvCache {
             .map(|m| m.len() * 2)
             .sum()
     }
+
+    /// Copies rows `lo..hi` of every layer into an owned [`Bf16Span`].
+    /// BF16 payloads are copied verbatim (no re-encode), so a later
+    /// [`Bf16KvCache::append_span`] restores exactly the cached bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= len()`.
+    pub fn export_rows(&self, lo: usize, hi: usize) -> Bf16Span {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "export_rows: {lo}..{hi} of {}",
+            self.len
+        );
+        let cut = |layers: &[Vec<u16>]| -> Vec<Vec<u16>> {
+            layers
+                .iter()
+                .map(|l| l[lo * self.hidden..hi * self.hidden].to_vec())
+                .collect()
+        };
+        Bf16Span {
+            k: cut(&self.k),
+            v: cut(&self.v),
+            rows: hi - lo,
+            hidden: self.hidden,
+        }
+    }
+
+    /// Appends a span's rows at the current length and advances it — a
+    /// bitwise payload copy, mirroring [`crate::KvCache::append_span`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on layer/width mismatch or if the span does not fit.
+    pub fn append_span(&mut self, span: &Bf16Span) {
+        assert_eq!(span.k.len(), self.k.len(), "append_span: layer count");
+        assert_eq!(span.hidden, self.hidden, "append_span: hidden width");
+        assert!(span.rows <= self.remaining(), "append_span: cache full");
+        let lo = self.len * self.hidden;
+        let hi = (self.len + span.rows) * self.hidden;
+        for (dst, src) in self.k.iter_mut().zip(&span.k) {
+            dst[lo..hi].copy_from_slice(src);
+        }
+        for (dst, src) in self.v.iter_mut().zip(&span.v) {
+            dst[lo..hi].copy_from_slice(src);
+        }
+        self.len += span.rows;
+    }
+}
+
+/// An owned copy of consecutive BF16 KV rows, the [`crate::KvSpan`] mirror
+/// for the INT8/BF16 decode tier.
+#[derive(Debug, Clone)]
+pub struct Bf16Span {
+    /// Per-layer keys, `rows × hidden` BF16 payloads.
+    k: Vec<Vec<u16>>,
+    /// Per-layer values, same layout.
+    v: Vec<Vec<u16>>,
+    rows: usize,
+    hidden: usize,
+}
+
+impl Bf16Span {
+    /// Token positions covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bytes of BF16 storage across all layers.
+    pub fn memory_bytes(&self) -> usize {
+        self.k
+            .iter()
+            .chain(self.v.iter())
+            .map(|l| l.len() * 2)
+            .sum()
+    }
+
+    /// An owned copy of rows `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= rows()`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Bf16Span {
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "slice: {lo}..{hi} of {}",
+            self.rows
+        );
+        let cut = |layers: &[Vec<u16>]| -> Vec<Vec<u16>> {
+            layers
+                .iter()
+                .map(|l| l[lo * self.hidden..hi * self.hidden].to_vec())
+                .collect()
+        };
+        Bf16Span {
+            k: cut(&self.k),
+            v: cut(&self.v),
+            rows: hi - lo,
+            hidden: self.hidden,
+        }
+    }
 }
 
 /// An INT8-quantized snapshot of a [`LlamaModel`] for fast decode.

@@ -2,7 +2,9 @@
 //! logits, across adversarial sequence lengths, prefill chunkings,
 //! interleaved batches, linear-layer parameterizations, and thread counts.
 
-use apollo_nn::{KvCache, LinearMode, LlamaModel, ModelConfig};
+use apollo_nn::{
+    DecodeBackend, KvCache, LinearMode, LlamaModel, LoraAdapter, ModelConfig, QuantizedModel,
+};
 use apollo_tensor::{set_thread_override, Matrix, Rng};
 
 fn assert_bits_eq(got: &Matrix, want: &Matrix, what: &str) {
@@ -139,6 +141,223 @@ fn lora_and_factored_models_decode_bit_identically() {
         let full = model.full_logits(&tokens, 1);
         let inc = cached_logits_chunked(&model, &tokens, &vec![1; cfg.max_seq]);
         assert_bits_eq(&inc, &full, &format!("{mode:?}"));
+    }
+}
+
+/// A LoRA model with nonzero adapters (B is zero-initialized, so perturb it).
+fn nonzero_lora(cfg: &ModelConfig, seed: u64) -> LlamaModel {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut model = LlamaModel::new(
+        cfg,
+        LinearMode::LoRa {
+            rank: 2,
+            alpha: 4.0,
+        },
+        &mut rng,
+    );
+    for p in &mut model.params {
+        if p.name.ends_with(".lora_b") {
+            p.value = Matrix::randn(p.value.rows(), p.value.cols(), &mut rng);
+        }
+    }
+    model
+}
+
+/// The dense model a LoRA model decomposes over: `.base` backbones become
+/// the dense weights; embedding, norms and head copy across by name.
+fn dense_base_of(lora: &LlamaModel) -> LlamaModel {
+    let mut rng = Rng::seed_from_u64(0);
+    let mut dense = LlamaModel::new(lora.config(), LinearMode::Dense, &mut rng);
+    for p in &mut dense.params {
+        let base_name = format!("{}.base", p.name);
+        let src = lora
+            .params
+            .iter()
+            .find(|q| q.name == p.name || q.name == base_name)
+            .unwrap_or_else(|| panic!("no LoRA source for {}", p.name));
+        p.value = src.value.clone();
+    }
+    dense
+}
+
+#[test]
+fn adapter_delta_matches_full_lora_model() {
+    // Serving "dense base + extracted adapter" must be bit-identical to
+    // decoding the LoRA model it was extracted from.
+    let cfg = ModelConfig::test_tiny();
+    let lora = nonzero_lora(&cfg, 0xADA0);
+    let base = dense_base_of(&lora);
+    let adapter = LoraAdapter::from_model(&lora).unwrap();
+    let mut rng = Rng::seed_from_u64(0xADA1);
+    let tokens = random_tokens(cfg.max_seq, cfg.vocab_size, &mut rng);
+
+    let want = cached_logits_chunked(&lora, &tokens, &vec![1; cfg.max_seq]);
+
+    let mut caches = vec![base.new_kv_cache(cfg.max_seq)];
+    let mut got = Matrix::zeros(cfg.max_seq, cfg.vocab_size);
+    for (t, &tok) in tokens.iter().enumerate() {
+        let hidden = base.forward_cached_with(&mut caches, &[(0, tok)], &[Some(&adapter)]);
+        got.row_mut(t)
+            .copy_from_slice(base.lm_logits(&hidden).row(0));
+    }
+    assert_bits_eq(&got, &want, "base+adapter vs LoRA model");
+}
+
+#[test]
+// Indexing by `c`/`t` mirrors the (cache, position) addressing under test.
+#[allow(clippy::needless_range_loop)]
+fn mixed_adapter_batch_matches_serial_per_adapter() {
+    // One decode tick batching 3 adapters plus a base-only row must be
+    // byte-identical to serving each sequence serially with its adapter.
+    let cfg = ModelConfig::test_tiny();
+    let base = dense_base_of(&nonzero_lora(&cfg, 0xADA2));
+    let adapters: Vec<LoraAdapter> = (0..3)
+        .map(|i| LoraAdapter::from_model(&nonzero_lora(&cfg, 0xADA3 + i)).unwrap())
+        .collect();
+    let per_row: Vec<Option<&LoraAdapter>> = vec![
+        Some(&adapters[0]),
+        Some(&adapters[1]),
+        Some(&adapters[2]),
+        None,
+    ];
+    let batch = per_row.len();
+    let seq = cfg.max_seq;
+    let mut rng = Rng::seed_from_u64(0xADA7);
+    let seqs: Vec<Vec<u32>> = (0..batch)
+        .map(|_| random_tokens(seq, cfg.vocab_size, &mut rng))
+        .collect();
+
+    // Serial reference: each sequence alone, token at a time.
+    let mut serial: Vec<Matrix> = Vec::new();
+    for c in 0..batch {
+        let mut caches = vec![base.new_kv_cache(seq)];
+        let mut out = Matrix::zeros(seq, cfg.vocab_size);
+        for (t, &tok) in seqs[c].iter().enumerate() {
+            let hidden = base.forward_cached_with(&mut caches, &[(0, tok)], &[per_row[c]]);
+            out.row_mut(t)
+                .copy_from_slice(base.lm_logits(&hidden).row(0));
+        }
+        serial.push(out);
+    }
+
+    // Mixed batch: every tick carries one row per sequence, adapters mixed.
+    let mut caches: Vec<KvCache> = (0..batch).map(|_| base.new_kv_cache(seq)).collect();
+    let mut got: Vec<Matrix> = (0..batch)
+        .map(|_| Matrix::zeros(seq, cfg.vocab_size))
+        .collect();
+    for t in 0..seq {
+        let rows: Vec<(usize, u32)> = (0..batch).map(|c| (c, seqs[c][t])).collect();
+        let hidden = base.forward_cached_with(&mut caches, &rows, &per_row);
+        let logits = base.lm_logits(&hidden);
+        for c in 0..batch {
+            got[c].row_mut(t).copy_from_slice(logits.row(c));
+        }
+    }
+    for c in 0..batch {
+        assert_bits_eq(&got[c], &serial[c], &format!("sequence {c}"));
+    }
+}
+
+#[test]
+fn cached_prefix_spans_decode_identically_to_cold_prefill() {
+    // Exporting a prefix's KV rows from one cache and appending them into
+    // another, then prefilling only the suffix, must give bit-identical
+    // logits to cold-prefilling the whole prompt — the prefix cache's
+    // exactness contract.
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(0xCAC0);
+    let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let seq = cfg.max_seq;
+    let tokens = random_tokens(seq, cfg.vocab_size, &mut rng);
+    let full = model.full_logits(&tokens, 1);
+
+    for prefix in [1usize, 3, seq - 1] {
+        // Donor prefills the prefix cold, then exports it.
+        let mut donor = vec![model.new_kv_cache(seq)];
+        let rows: Vec<(usize, u32)> = tokens[..prefix].iter().map(|&t| (0, t)).collect();
+        model.forward_cached(&mut donor, &rows);
+        let span = donor[0].export_rows(0, prefix);
+        assert_eq!(span.rows(), prefix);
+        assert!(span.memory_bytes() > 0);
+
+        // Consumer appends the span and prefills only the suffix.
+        let mut cons = vec![model.new_kv_cache(seq)];
+        cons[0].append_span(&span);
+        assert_eq!(cons[0].len(), prefix);
+        let rows: Vec<(usize, u32)> = tokens[prefix..].iter().map(|&t| (0, t)).collect();
+        let hidden = model.forward_cached(&mut cons, &rows);
+        let logits = model.lm_logits(&hidden);
+        for (r, t) in (prefix..seq).enumerate() {
+            let got = logits.row(r);
+            let want = full.row(t);
+            for (g, w) in got.iter().zip(want) {
+                assert!(
+                    g.to_bits() == w.to_bits(),
+                    "prefix={prefix} pos={t}: {g} vs {w}"
+                );
+            }
+        }
+
+        // A sliced sub-span (radix-edge split) behaves the same.
+        if prefix >= 2 {
+            let head = span.slice(0, prefix - 1);
+            let tail = span.slice(prefix - 1, prefix);
+            let mut split = vec![model.new_kv_cache(seq)];
+            split[0].append_span(&head);
+            split[0].append_span(&tail);
+            let rows: Vec<(usize, u32)> = tokens[prefix..].iter().map(|&t| (0, t)).collect();
+            let hidden2 = model.forward_cached(&mut split, &rows);
+            assert_bits_eq(
+                &model.lm_logits(&hidden2),
+                &logits,
+                &format!("prefix={prefix} split spans"),
+            );
+        }
+    }
+}
+
+#[test]
+fn kv_blocks_roundtrip_on_both_backend_tiers() {
+    // The tier-agnostic KvBlock path: cached-prefix decode is bit-identical
+    // to cold prefill on the exact tier AND on the BF16/INT8 tier (the
+    // payload copy is bitwise, and the quantized decode is deterministic).
+    let cfg = ModelConfig::test_tiny();
+    let mut rng = Rng::seed_from_u64(0xCAC1);
+    let model = LlamaModel::new(&cfg, LinearMode::Dense, &mut rng);
+    let qm = QuantizedModel::from_model(&model);
+    let seq = cfg.max_seq;
+    let tokens = random_tokens(seq, cfg.vocab_size, &mut rng);
+    let prefix = 5usize;
+
+    for backend in [DecodeBackend::from(model.clone()), DecodeBackend::from(qm)] {
+        let mut caches = backend.new_caches(3, seq);
+        // Slot 0: cold full-prompt prefill.
+        let rows: Vec<(usize, u32)> = tokens.iter().map(|&t| (0, t)).collect();
+        let cold_hidden = backend.forward_cached(&mut caches, &rows);
+        let cold = backend.lm_logits(&cold_hidden);
+        // Slot 1: donor prefix, exported as a block.
+        let rows: Vec<(usize, u32)> = tokens[..prefix].iter().map(|&t| (1, t)).collect();
+        backend.forward_cached(&mut caches, &rows);
+        let block = caches.export_rows(1, 0, prefix);
+        assert_eq!(block.rows(), prefix);
+        assert_eq!(block.slice(1, 4).rows(), 3);
+        // Slot 2: append the block, prefill only the suffix.
+        caches.append_block(2, &block);
+        assert_eq!(caches.slot_len(2), prefix);
+        let rows: Vec<(usize, u32)> = tokens[prefix..].iter().map(|&t| (2, t)).collect();
+        let warm_hidden = backend.forward_cached(&mut caches, &rows);
+        let warm = backend.lm_logits(&warm_hidden);
+        for (r, t) in (prefix..seq).enumerate() {
+            for (g, w) in warm.row(r).iter().zip(cold.row(t)) {
+                assert!(
+                    g.to_bits() == w.to_bits(),
+                    "{} pos={t}: {g} vs {w}",
+                    backend.mode_name()
+                );
+            }
+        }
+        assert!(caches.used_bytes() > 0);
+        assert!(caches.used_bytes() <= caches.memory_bytes());
     }
 }
 

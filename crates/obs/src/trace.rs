@@ -214,6 +214,24 @@ pub enum TraceEvent {
         /// reports the most recent ranking value, 0 before the first eval).
         ppl: f32,
     },
+    /// Cumulative prefix-cache counters, emitted by the scheduler tick
+    /// whenever the lookup count moved since the last emission.
+    PrefixCache {
+        /// Tick index at which the snapshot was taken.
+        step: usize,
+        /// Prefix-cache lookups so far (admissions with the cache enabled).
+        lookups: u64,
+        /// Lookups that matched at least one cached token.
+        hits: u64,
+        /// Prompt tokens served from cache instead of cold prefill.
+        hit_tokens: u64,
+        /// Bytes of cached KV block storage currently resident.
+        cached_bytes: usize,
+        /// Live radix-tree nodes.
+        nodes: usize,
+        /// Leaf evictions under the byte budget so far.
+        evictions: u64,
+    },
     /// The serving front-end finished its graceful drain.
     ServeDrain {
         /// Scheduler tick at which the drain concluded.
@@ -247,6 +265,7 @@ impl TraceEvent {
             | TraceEvent::ReplicaEvent { step, .. }
             | TraceEvent::SearchRound { step, .. }
             | TraceEvent::MemberEvent { step, .. }
+            | TraceEvent::PrefixCache { step, .. }
             | TraceEvent::ServeDrain { step, .. } => step,
         }
     }
@@ -268,6 +287,7 @@ impl TraceEvent {
             TraceEvent::ReplicaEvent { .. } => "ReplicaEvent",
             TraceEvent::SearchRound { .. } => "SearchRound",
             TraceEvent::MemberEvent { .. } => "MemberEvent",
+            TraceEvent::PrefixCache { .. } => "PrefixCache",
             TraceEvent::ServeDrain { .. } => "ServeDrain",
         }
     }

@@ -90,6 +90,15 @@ fn expected_events() -> Vec<TraceEvent> {
             outcome: "done".to_string(),
             in_flight: 3,
         },
+        TraceEvent::PrefixCache {
+            step: 33,
+            lookups: 12,
+            hits: 9,
+            hit_tokens: 1152,
+            cached_bytes: 65536,
+            nodes: 5,
+            evictions: 1,
+        },
         TraceEvent::ServeDrain {
             step: 40,
             in_flight: 2,

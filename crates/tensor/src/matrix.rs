@@ -255,6 +255,42 @@ impl Matrix {
         }
     }
 
+    /// Returns a new matrix holding the given rows of `self`, in index
+    /// order (duplicates allowed). The low-rank adapter path uses this to
+    /// gather one tenant's rows out of a mixed batch; row-copying keeps
+    /// every downstream kernel bit-identical to running that subset alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// In-place `self.row(idx[i]) += src.row(i)` for every `i` — the
+    /// scatter half of [`Matrix::gather_rows`]. Element order within each
+    /// row matches [`Matrix::add_assign`], so a gather → compute →
+    /// scatter-add round trip is bit-identical to computing on the full
+    /// matrix and adding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has a different column count, `idx` and `src`
+    /// disagree on length, or any index is out of bounds.
+    pub fn scatter_add_rows(&mut self, idx: &[usize], src: &Matrix) {
+        assert_eq!(self.cols, src.cols, "scatter_add_rows: column mismatch");
+        assert_eq!(idx.len(), src.rows, "scatter_add_rows: row mismatch");
+        for (i, &r) in idx.iter().enumerate() {
+            for (a, b) in self.row_mut(r).iter_mut().zip(src.row(i)) {
+                *a += b;
+            }
+        }
+    }
+
     /// Returns a new matrix of the columns `lo..hi`.
     pub fn slice_cols(&self, lo: usize, hi: usize) -> Matrix {
         assert!(
@@ -568,6 +604,19 @@ mod tests {
         assert_eq!(m.get(1, 2), 6.0);
         assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
         assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn gather_then_scatter_add_matches_full_add() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = x.gather_rows(&[2, 0]);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+        let mut out = Matrix::zeros(3, 2);
+        out.scatter_add_rows(&[2, 0], &g);
+        assert_eq!(out.row(0), &[1.0, 2.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[5.0, 6.0]);
     }
 
     #[test]

@@ -110,6 +110,56 @@ touch "$TRACE_TMP/serve.stop"
 wait "$SERVE_PID"
 ./target/release/apollo trace-check --trace "$TRACE_TMP/serve_trace.jsonl"
 
+echo "== multi-tenant serve smoke (3 adapters, prefix cache, /stats)"
+# Derive three LoRA adapter checkpoints from the generation checkpoint,
+# serve them over the shared base with a radix-tree prefix cache, and
+# drive prefix-heavy traffic: 80% of requests open with a shared
+# 48-token prefix and every request names one of the three tenants.
+# --expect-clean fails on any transport error; the drain report must
+# show nonzero prefix-cache hits; trace-check validates the serve.* and
+# infer.prefix.* events the run emitted.
+for i in 0 1 2; do
+    ./target/release/apollo make-adapter --resume "$TRACE_TMP/gen.ckpt" \
+        --out "$TRACE_TMP/tenant$i.ckpt" --rank 4 --seed "$((100 + i))"
+done
+./target/release/apollo serve --resume "$TRACE_TMP/gen.ckpt" \
+    --adapters "tenant0=$TRACE_TMP/tenant0.ckpt,tenant1=$TRACE_TMP/tenant1.ckpt,tenant2=$TRACE_TMP/tenant2.ckpt" \
+    --prefix-cache-mb 8 \
+    --addr 127.0.0.1:0 --addr-file "$TRACE_TMP/mt.addr" \
+    --shutdown-file "$TRACE_TMP/mt.stop" \
+    --trace-out "$TRACE_TMP/mt_trace.jsonl" 2>"$TRACE_TMP/mt_serve.log" &
+MT_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$TRACE_TMP/mt.addr" ] && break
+    sleep 0.1
+done
+[ -f "$TRACE_TMP/mt.addr" ] || {
+    echo "multi-tenant serve never published its address"
+    cat "$TRACE_TMP/mt_serve.log"
+    exit 1
+}
+./target/release/apollo loadgen --addr "$(cat "$TRACE_TMP/mt.addr")" \
+    --requests 40 --rate 100 --prompt-len 56 --max-new-tokens 8 \
+    --prefix-reuse 0.8 --prefix-len 48 --adapters 3 --expect-clean
+# GET /stats over a raw socket: the counters must be live mid-run.
+MT_HOST="$(cut -d: -f1 "$TRACE_TMP/mt.addr")"
+MT_PORT="$(cut -d: -f2 "$TRACE_TMP/mt.addr")"
+exec 3<>"/dev/tcp/$MT_HOST/$MT_PORT"
+printf 'GET /stats HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n' "$MT_HOST" >&3
+cat <&3 >"$TRACE_TMP/mt_stats.txt"
+exec 3<&- 3>&-
+grep -q '"prefix_cache"' "$TRACE_TMP/mt_stats.txt"
+grep -q '"adapters"' "$TRACE_TMP/mt_stats.txt"
+touch "$TRACE_TMP/mt.stop"
+wait "$MT_PID"
+# Drain report: the prefix cache must have served real hits.
+grep -Eq 'infer\.prefix\.hits +[1-9]' "$TRACE_TMP/mt_serve.log" || {
+    echo "multi-tenant run recorded no prefix-cache hits"
+    cat "$TRACE_TMP/mt_serve.log"
+    exit 1
+}
+./target/release/apollo trace-check --trace "$TRACE_TMP/mt_trace.jsonl"
+
 echo "== search smoke run (PBT determinism: byte-identical frontier + trace)"
 # Two identical seeded population-based searches must produce byte-identical
 # frontier JSON and identical trace-event sequences — the determinism
